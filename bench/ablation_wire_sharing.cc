@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation 3 (DESIGN.md): the hard wire-sharing rule of the container-
+ * hierarchy (paper Sec. III-B1). A shared analog wire (spatial_reuse)
+ * cannot carry distinct data, which restricts which dimensions may be
+ * mapped spatially — the "mapping restriction" row of paper Fig. 3.
+ *
+ * This bench evaluates Macro A with the rule enforced, then with every
+ * node idealized to flexible (NoC-like) interconnect, showing (1) how
+ * many candidate mappings the rule rejects and (2) how much an idealized
+ * model underestimates energy by multicasting where the silicon cannot.
+ */
+#include "common.hh"
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+int
+main()
+{
+    benchutil::banner("Ablation: wire-sharing constraints",
+                      "Macro A with physical wire sharing vs idealized "
+                      "flexible interconnect");
+
+    workload::Network net = workload::resnet18();
+
+    engine::Arch real = macros::macroA();
+    engine::Arch ideal = macros::macroA();
+    for (spec::SpecNode& node : ideal.hierarchy.nodes) {
+        node.flexibleSpatial = true; // idealize every connection
+        node.spatialDims.clear();    // and drop mapping restrictions
+    }
+
+    benchutil::Table t({"layer", "real pJ/MAC", "ideal pJ/MAC",
+                        "underestimate", "real rejects", "ideal rejects"});
+    double under_sum = 0.0;
+    int n = 0;
+    for (int idx : {1, 6, 12, 17, 20}) {
+        const workload::Layer& layer = net.layers[idx];
+        engine::SearchResult sr_real =
+            engine::searchMappings(real, layer, 150, 1);
+        engine::SearchResult sr_ideal =
+            engine::searchMappings(ideal, layer, 150, 1);
+        double rr = sr_real.best.energyPerMacPj();
+        double ri = sr_ideal.best.energyPerMacPj();
+        under_sum += rr / ri;
+        ++n;
+        t.row({layer.name, benchutil::num(rr), benchutil::num(ri),
+               benchutil::num(rr / ri, 3) + "x",
+               std::to_string(sr_real.invalid),
+               std::to_string(sr_ideal.invalid)});
+    }
+    t.print();
+
+    std::printf("\nignoring wire-level sharing constraints (as "
+                "architecture-only models like plain Timeloop must) "
+                "underestimates Macro A energy by %.2fx on average and "
+                "admits mappings the silicon cannot execute — why the "
+                "paper's circuit-level data-movement modeling matters\n",
+                under_sum / n);
+    return 0;
+}

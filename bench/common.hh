@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries: fixed-width
+ * table printing and percent-error reporting, so every bench emits the
+ * same style of rows/series the paper reports.
+ */
+#ifndef CIMLOOP_BENCH_COMMON_HH
+#define CIMLOOP_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/** Prints the experiment banner. */
+inline void
+banner(const std::string& id, const std::string& what)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+/** Simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns)
+        : cols(std::move(columns))
+    {}
+
+    /** Adds a row of pre-formatted cells (must match column count). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(cols.size());
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            widths[i] = cols[i].size();
+        for (const auto& r : rows) {
+            for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+                widths[i] = std::max(widths[i], r[i].size());
+        }
+        auto line = [&](const std::vector<std::string>& cells) {
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                std::string cell = i < cells.size() ? cells[i] : "";
+                std::printf("%-*s  ", static_cast<int>(widths[i]),
+                            cell.c_str());
+            }
+            std::printf("\n");
+        };
+        line(cols);
+        std::string dashes;
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            dashes += std::string(widths[i], '-') + "  ";
+        std::printf("%s\n", dashes.c_str());
+        for (const auto& r : rows)
+            line(r);
+    }
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Formats a double with the given precision. */
+inline std::string
+num(double v, int precision = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    return buf;
+}
+
+/** Formats a percent error between model and reference. */
+inline double
+pctErr(double model, double reference)
+{
+    return reference != 0.0
+        ? 100.0 * std::abs(model - reference) / std::abs(reference)
+        : 0.0;
+}
+
+} // namespace benchutil
+
+#endif // CIMLOOP_BENCH_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13 (Macro B + Circuits): analog adder width vs
+ * throughput-per-area across workload weight precisions. Wider adders
+ * need fewer ADCs (more compute density with many-bit weights) but sit
+ * underutilized when weights have fewer bits; the 8-operand adder's area
+ * overhead keeps it from ever winning.
+ */
+#include "common.hh"
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+
+using namespace cimloop;
+
+namespace {
+
+double
+topsPerMm2(int adder_operands, int weight_bits)
+{
+    macros::MacroParams p = macros::macroBDefaults();
+    p.adderOperands = adder_operands;
+    p.weightBits = weight_bits;
+    engine::Arch arch = macros::macroB(p);
+    workload::Layer layer =
+        workload::matmulLayer("mvm", 2048, p.rows, p.cols);
+    layer.network = "mvm";
+    engine::SearchResult sr = engine::searchMappings(arch, layer, 80, 1);
+    return sr.best.topsPerMm2();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Fig. 13",
+                      "Macro B analog adder width vs throughput/area "
+                      "(TOPS/mm^2) across weight precisions");
+
+    const int operand_counts[] = {1, 2, 4, 8};
+    benchutil::Table t({"weight bits", "1-op adder", "2-op", "4-op",
+                        "8-op", "best"});
+    int eight_op_wins = 0;
+    for (int wb : {1, 2, 4, 8}) {
+        std::vector<std::string> cells = {std::to_string(wb)};
+        double best = 0.0;
+        int best_ops = 0;
+        for (int ops : operand_counts) {
+            double v = topsPerMm2(ops, wb);
+            cells.push_back(benchutil::num(v));
+            if (v > best) {
+                best = v;
+                best_ops = ops;
+            }
+        }
+        cells.push_back(std::to_string(best_ops) + "-op");
+        if (best_ops == 8)
+            ++eight_op_wins;
+        t.row(cells);
+    }
+    t.print();
+
+    std::printf("\npaper Fig. 13 shape: more-operand adders win with "
+                "more-bit weights (higher compute density) but are "
+                "underutilized with few-bit weights; the 8-operand adder "
+                "never has the highest throughput/area\n");
+    std::printf("8-operand adder wins: %d of 4 precisions "
+                "(paper: never) — reproduced: %s\n",
+                eight_op_wins, eight_op_wins == 0 ? "YES" : "NO");
+    return 0;
+}

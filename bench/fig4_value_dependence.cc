@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: data-value-dependence can affect DAC energy by
+ * more than 2.5x, its effect differs per layer and per encoding, and the
+ * best encoding differs across layers. Sweeps ResNet18 layers x operand
+ * encodings and prints the per-convert DAC energy.
+ */
+#include "common.hh"
+
+#include <map>
+
+#include "cimloop/dist/encoding.hh"
+#include "cimloop/dist/operands.hh"
+#include "cimloop/models/component.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+namespace {
+
+/** DAC energy per convert for one layer's inputs under one encoding. */
+double
+dacEnergy(const dist::Pmf& inputs, dist::Encoding enc, int bits)
+{
+    spec::SpecNode node;
+    node.name = "dac";
+    node.attributes["resolution"] = yaml::Node::makeInt(bits);
+
+    models::ComponentContext ctx;
+    ctx.node = &node;
+    ctx.technologyNm = 40.0;
+    ctx.tensors[0] = dist::encodeOperands(inputs, enc, 8);
+
+    return models::PluginRegistry::instance().require("DAC").estimate(ctx)
+        .actionEnergyPj[0];
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Fig. 4",
+                      "data-value-dependent DAC energy across ResNet18 "
+                      "layers and encodings (pJ per 8b convert)");
+
+    workload::Network net = workload::resnet18();
+    const dist::Encoding encodings[] = {
+        dist::Encoding::Offset, dist::Encoding::TwosComplement,
+        dist::Encoding::MagnitudeOnly, dist::Encoding::Xnor};
+
+    benchutil::Table table({"layer", "offset", "twos_compl", "magnitude",
+                            "xnor", "best encoding"});
+
+    double global_min = 1e300, global_max = 0.0;
+    std::map<std::string, int> best_count;
+    for (int idx : {0, 2, 5, 8, 11, 14, 17, 20}) {
+        const workload::Layer& layer = net.layers[idx];
+        dist::OperandProfile prof = dist::synthesizeOperands(
+            layer.network, layer.index, layer.networkLayers, 8, 8);
+
+        std::vector<std::string> cells = {layer.name};
+        double best = 1e300;
+        std::string best_name;
+        for (dist::Encoding e : encodings) {
+            double pj = dacEnergy(prof.inputs, e, 8);
+            cells.push_back(benchutil::num(pj));
+            global_min = std::min(global_min, pj);
+            global_max = std::max(global_max, pj);
+            if (pj < best) {
+                best = pj;
+                best_name = dist::encodingName(e);
+            }
+        }
+        cells.push_back(best_name);
+        best_count[best_name]++;
+        table.row(cells);
+    }
+    table.print();
+
+    std::printf("\nmax/min DAC energy across (layer, encoding): %.2fx\n",
+                global_max / global_min);
+    std::printf("paper Fig. 4 shape: data-value-dependence swings DAC "
+                "energy > 2.5x — reproduced: %s\n",
+                global_max / global_min > 2.5 ? "YES" : "NO");
+    std::printf("distinct best encodings across layers: %zu (paper: the "
+                "best encoding is layer-dependent)\n",
+                best_count.size());
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: energy efficiency and throughput of Macros B
+ * and C for varying numbers of input bits. Macro B streams more input
+ * slices through its 4b DAC as precision grows; Macro C is bit-serial
+ * with an analog accumulator, so its ADC converts stay constant while
+ * DAC/cell activations grow with precision.
+ *
+ * References are reconstructed ideal-scaling curves anchored at the
+ * published nominal efficiency (see EXPERIMENTS.md).
+ */
+#include "common.hh"
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+
+using namespace cimloop;
+
+namespace {
+
+struct MacroEval
+{
+    engine::Evaluation ev;
+    double macroTopsW = 0.0;
+};
+
+MacroEval
+evalMacro(const engine::Arch& arch, std::int64_t rows, std::int64_t cols)
+{
+    workload::Layer layer = workload::matmulLayer("mvm", 2048, rows, cols);
+    layer.network = "mvm";
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+    MacroEval out;
+    out.ev = engine::evaluate(arch, table, mapper.greedy());
+    out.macroTopsW = macros::macroTopsPerWatt(arch, out.ev);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Fig. 8",
+                      "energy efficiency / throughput vs # input bits "
+                      "(Macros B, C)");
+
+    double err_eff_sum = 0.0, err_thr_sum = 0.0;
+    int err_count = 0;
+
+    // --- Macro B: 4b DAC; input bits 1-8 change the slice count. ---
+    {
+        std::printf("\n--- Macro B (7nm SRAM, 4b DAC) ---\n");
+        macros::MacroParams base = macros::macroBDefaults();
+        MacroEval nominal = evalMacro(macros::macroB(base),
+                                      base.rows, base.cols);
+        double anchor_eff = 351.0; // published TOPS/W at 4b inputs
+        double anchor_thr = nominal.ev.macsPerSecond();
+        double nominal_eff = nominal.macroTopsW;
+
+        benchutil::Table t({"input bits", "TOPS/W", "ref", "err %",
+                            "rel thr", "ref thr", "err %"});
+        for (int bits : {1, 2, 4, 8}) {
+            macros::MacroParams p = base;
+            p.inputBits = bits;
+            MacroEval me = evalMacro(macros::macroB(p), p.rows, p.cols);
+            // Ideal scaling: slices = ceil(bits/4) activations per MAC.
+            double slices = (bits + 3) / 4;
+            double eff = me.macroTopsW;
+            double ref_eff = anchor_eff / slices;
+            double thr = me.ev.macsPerSecond() / anchor_thr;
+            double ref_thr = 1.0 / slices;
+            double e1 = benchutil::pctErr(eff / nominal_eff,
+                                          ref_eff / anchor_eff);
+            double e2 = benchutil::pctErr(thr, ref_thr);
+            err_eff_sum += e1;
+            err_thr_sum += e2;
+            ++err_count;
+            t.row({std::to_string(bits), benchutil::num(eff),
+                   benchutil::num(ref_eff), benchutil::num(e1, 2),
+                   benchutil::num(thr), benchutil::num(ref_thr),
+                   benchutil::num(e2, 2)});
+        }
+        t.print();
+    }
+
+    // --- Macro C: bit-serial 1b DAC + analog accumulator. ---
+    {
+        std::printf("\n--- Macro C (130nm ReRAM, bit-serial) ---\n");
+        macros::MacroParams base = macros::macroCDefaults();
+        MacroEval nominal = evalMacro(macros::macroC(base),
+                                      base.rows, base.cols);
+        double anchor_eff = 148.0; // published 74 TMACS/W ~ 148 TOPS/W, 8b
+        double anchor_thr = nominal.ev.macsPerSecond();
+        double nominal_eff = nominal.macroTopsW;
+
+        benchutil::Table t({"input bits", "TOPS/W", "ref", "err %",
+                            "rel thr", "ref thr", "err %"});
+        for (int bits : {1, 2, 4, 8}) {
+            macros::MacroParams p = base;
+            p.inputBits = bits;
+            MacroEval me = evalMacro(macros::macroC(p), p.rows, p.cols);
+            double eff = me.macroTopsW;
+            // Bit-serial: activation-proportional energy scales with the
+            // serial cycles, but the ADC/eviction share (phi of the 8b
+            // energy) does not. The reconstructed reference states
+            // phi = 0.5 for energy and 0.1 for time (EXPERIMENTS.md).
+            const double phi_e = 0.5, phi_t = 0.1;
+            double ref_eff =
+                anchor_eff / (phi_e + (1.0 - phi_e) * bits / 8.0);
+            double thr = me.ev.macsPerSecond() / anchor_thr;
+            double ref_thr = 1.0 / (phi_t + (1.0 - phi_t) * bits / 8.0);
+            double e1 = benchutil::pctErr(eff / nominal_eff,
+                                          ref_eff / anchor_eff);
+            double e2 = benchutil::pctErr(thr, ref_thr);
+            err_eff_sum += e1;
+            err_thr_sum += e2;
+            ++err_count;
+            t.row({std::to_string(bits), benchutil::num(eff),
+                   benchutil::num(ref_eff), benchutil::num(e1, 2),
+                   benchutil::num(thr), benchutil::num(ref_thr),
+                   benchutil::num(e2, 2)});
+        }
+        t.print();
+    }
+
+    std::printf("\naverage energy-efficiency error: %.1f%% "
+                "(paper: 6%%)\n",
+                err_eff_sum / err_count);
+    std::printf("average throughput error:        %.1f%% "
+                "(paper: 5%%)\n",
+                err_thr_sum / err_count);
+    std::printf("paper Fig. 8 shape: fewer input bits raise both "
+                "efficiency and throughput; Macro C gains more because "
+                "its ADC cost is input-bit-invariant\n");
+    return 0;
+}

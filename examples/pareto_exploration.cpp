@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Energy/latency trade-space exploration: instead of a single best
+ * mapping, expose the Pareto frontier of a layer on two macros and show
+ * how the frontier shifts with architecture — the kind of exploration
+ * the paper's fast statistical model makes cheap (thousands of mappings
+ * per second).
+ */
+#include <cstdio>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+namespace {
+
+void
+printFrontier(const char* label, const engine::Arch& arch,
+              const workload::Layer& layer)
+{
+    std::vector<engine::ParetoPoint> frontier =
+        engine::paretoFrontier(arch, layer, 2000, 1);
+    std::printf("\n%s — %zu nondominated mappings of ~2000 sampled:\n",
+                label, frontier.size());
+    std::printf("  %12s  %12s  %8s\n", "energy (uJ)", "latency (ms)",
+                "util");
+    for (const engine::ParetoPoint& p : frontier) {
+        std::printf("  %12.4f  %12.4f  %7.0f%%\n",
+                    p.eval.energyPj / 1e6, p.eval.latencyNs / 1e6,
+                    100.0 * p.eval.utilization);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    workload::Layer layer = workload::resnet18().layers[8];
+    std::printf("layer %s (%s)\n", layer.name.c_str(),
+                layer.shapeString().c_str());
+
+    macros::MacroParams small = macros::baseDefaults();
+    small.rows = 128;
+    small.cols = 128;
+    printFrontier("base macro, 128x128", macros::baseMacro(small), layer);
+
+    macros::MacroParams large = macros::baseDefaults();
+    large.rows = 512;
+    large.cols = 512;
+    large.adcBits = macros::scaledAdcBits(512);
+    printFrontier("base macro, 512x512", macros::baseMacro(large), layer);
+
+    std::printf("\nthe frontier, not a single optimum, is what a "
+                "co-design loop consumes: a mapping that wins on energy "
+                "may lose 2x on latency, and the trade moves with the "
+                "architecture\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: describe a small CiM macro with the container-hierarchy
+ * specification, map a matrix-vector workload onto it, and read out
+ * energy / area / throughput.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/spec/builder.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+using workload::TensorKind;
+
+int
+main()
+{
+    // 1. Describe the hardware: a buffer feeding a 64x64 CiM array.
+    //    Per-tensor reuse directives say who stores, converts, and sums
+    //    what (paper Fig. 5). The same spec can be written in YAML and
+    //    loaded with spec::Hierarchy::fromFile.
+    spec::Hierarchy macro = spec::HierarchyBuilder("quickstart_macro")
+        .component("buffer", "SRAM")
+            .temporalReuse({TensorKind::Input, TensorKind::Output})
+            .attr("entries", std::int64_t{16384})
+            .attr("width", std::int64_t{64})
+        .container("macro")
+        .component("shift_add", "ShiftAdd")
+            .coalesce({TensorKind::Output})
+        .component("dac_bank", "DAC")
+            .noCoalesce({TensorKind::Input})
+            .attr("resolution", std::int64_t{1})
+        .container("column")
+            .spatial(64, 1)
+            .spatialReuse({TensorKind::Input}) // rows broadcast inputs
+            .spatialDims({workload::Dim::K, workload::Dim::WB})
+        .component("adc", "ADC")
+            .noCoalesce({TensorKind::Output})
+            .attr("resolution", std::int64_t{5})
+        .component("cells", "ReRAMCell")
+            .spatial(1, 64)
+            .temporalReuse({TensorKind::Weight}) // weights stay in cells
+            .spatialReuse({TensorKind::Output})  // column wire sums
+            .spatialDims({workload::Dim::C, workload::Dim::R,
+                          workload::Dim::S})
+        .build();
+
+    std::printf("%s\n", macro.summary().c_str());
+
+    // 2. Wrap it into an evaluable architecture: technology node and the
+    //    hardware data representation (encoding + bit slicing).
+    engine::Arch arch;
+    arch.name = "quickstart";
+    arch.hierarchy = macro;
+    arch.technologyNm = 40.0;
+    arch.rep.inputEncoding = dist::Encoding::Offset;
+    arch.rep.weightEncoding = dist::Encoding::Offset;
+    arch.rep.dacBits = 1;  // bit-serial inputs
+    arch.rep.cellBits = 1; // one weight bit per cell
+
+    // 3. A workload: one 1024-vector MVM over a 64x64 weight matrix.
+    workload::Network net = workload::maxUtilMvm(64, 64, 1024);
+
+    // 4. Search mappings and report.
+    engine::SearchResult sr =
+        engine::searchMappings(arch, net.layers[0], 200, /*seed=*/1);
+
+    std::printf("best mapping found (of %d evaluated):\n%s\n",
+                sr.evaluated,
+                sr.bestMapping.toString(arch.hierarchy).c_str());
+    std::printf("energy      : %.3f uJ  (%.3f pJ/MAC)\n",
+                sr.best.energyPj / 1e6, sr.best.energyPerMacPj());
+    std::printf("efficiency  : %.1f TOPS/W\n", sr.best.topsPerWatt());
+    std::printf("area        : %.3f mm^2\n", sr.best.areaUm2 / 1e6);
+    std::printf("latency     : %.3f ms\n", sr.best.latencyNs / 1e6);
+    std::printf("utilization : %.0f%%\n", 100.0 * sr.best.utilization);
+    return 0;
+}

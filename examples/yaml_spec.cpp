@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Loading an architecture from a YAML specification file — the paper's
+ * Fig. 5b front end. Writes the spec to disk, loads it back, and
+ * evaluates it, demonstrating that non-parameterizable changes (adding
+ * components, changing connections) need only input-file edits (paper
+ * Sec. VI contrasts this with simulators requiring source changes).
+ */
+#include <cstdio>
+#include <fstream>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/spec/hierarchy.hh"
+#include "cimloop/workload/networks.hh"
+
+using namespace cimloop;
+
+namespace {
+
+const char* kSpec = R"(# A CiM macro in the paper's Fig. 5b style.
+!Component
+name: buffer
+class: SRAM
+temporal_reuse: [Inputs, Outputs]   # bypass weights
+entries: 16384
+width: 64
+!Container
+name: macro
+!Component
+name: shift_add
+class: ShiftAdd
+coalesce: [Outputs]                 # merges bit-sliced partials
+!Component
+name: dac_bank
+class: DAC
+no_coalesce: [Inputs]               # every datum is a fresh convert
+resolution: 2
+!Container
+name: column
+spatial: {meshX: 128}
+spatial_reuse: [Inputs]             # rows broadcast across columns
+spatial_dims: [K, WB]
+!Component
+name: adc
+class: ADC
+no_coalesce: [Outputs]
+resolution: 6
+!Component
+name: cells
+class: ReRAMCell
+spatial: {meshY: 128}
+temporal_reuse: [Weights]           # weights stationary in the array
+spatial_reuse: [Outputs]            # column wire sums partial outputs
+spatial_dims: [C, R, S]
+idle_fraction: 0.25
+)";
+
+} // namespace
+
+int
+main()
+{
+    const char* path = "example_macro.yaml";
+    {
+        std::ofstream out(path);
+        out << kSpec;
+    }
+    std::printf("wrote %s; loading it back...\n\n", path);
+
+    spec::Hierarchy h = spec::Hierarchy::fromFile(path);
+    std::printf("%s\n", h.summary().c_str());
+
+    engine::Arch arch;
+    arch.name = "yaml_macro";
+    arch.hierarchy = h;
+    arch.technologyNm = 40.0;
+    arch.rep.dacBits = 2;  // matches the DAC resolution above
+    arch.rep.cellBits = 1;
+
+    workload::Network net = workload::resnet18();
+    const workload::Layer& layer = net.layers[6];
+    engine::SearchResult sr = engine::searchMappings(arch, layer, 150, 1);
+
+    std::printf("layer %s (%s):\n", layer.name.c_str(),
+                layer.shapeString().c_str());
+    std::printf("  energy     : %.3f pJ/MAC\n", sr.best.energyPerMacPj());
+    std::printf("  efficiency : %.1f TOPS/W\n", sr.best.topsPerWatt());
+    std::printf("  mappings evaluated: %d (%d invalid samples skipped)\n",
+                sr.evaluated, sr.invalid);
+    std::printf("\nedit %s (e.g. change resolutions, add an analog "
+                "accumulator before the cells) and re-run — no "
+                "recompilation needed for spec-level changes\n",
+                path);
+    return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, regenerate every figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,324 @@
+#include "cimloop/cli/cli.hh"
+
+#include <fstream>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/models/devices.hh"
+#include "cimloop/workload/networks.hh"
+#include "cimloop/yaml/parser.hh"
+
+namespace cimloop::cli {
+
+std::string
+usage()
+{
+    return R"(usage: cimloop [options]
+
+architecture (exactly one):
+  --macro NAME         built-in macro: base, A, B, C, D, digital
+  --arch FILE.yaml     container-hierarchy specification file
+
+workload (exactly one):
+  --network NAME       bundled: resnet18, vit, mobilenetv3, gpt2,
+                       alexnet, vgg16, bert, mvm
+  --workload FILE.yaml network description file
+
+search:
+  --mappings N         mappings searched per layer (default 500)
+  --seed N             search seed (default 1)
+  --threads N          worker threads over layers (default 1)
+  --objective OBJ      energy | edp | delay (default energy)
+
+operating point / representation overrides:
+  --tech NM            technology node in nm
+  --voltage V          supply voltage in volts
+  --dac-bits B         input slice width (DAC resolution)
+  --cell-bits B        weight bits per cell
+  --input-bits B       operand precision overrides
+  --weight-bits B
+  --device NAME        memory-cell preset: ReRAM, PCM, STT-MRAM,
+                       FeFET, SRAM (re-targets the 'cells'/'mac_units'
+                       node)
+
+output:
+  --csv FILE           write per-layer results as CSV
+  --ert FILE           dump the per-action energy reference table (YAML)
+                       computed for the first layer
+  --report             print the per-node energy table for each layer
+  --help               this text
+
+fixed mapping:
+  --mapping FILE.yaml  replay a pinned mapping (Timeloop-style) on every
+                       layer instead of searching
+)";
+}
+
+namespace {
+
+std::int64_t
+parseInt(const std::string& flag, const std::string& value)
+{
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception&) {
+        CIM_FATAL("flag ", flag, " expects an integer, got '", value, "'");
+    }
+}
+
+double
+parseDouble(const std::string& flag, const std::string& value)
+{
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception&) {
+        CIM_FATAL("flag ", flag, " expects a number, got '", value, "'");
+    }
+}
+
+} // namespace
+
+CliOptions
+parseArgs(const std::vector<std::string>& args)
+{
+    CliOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        auto value = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                CIM_FATAL("flag ", flag, " expects a value");
+            return args[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            opts.help = true;
+        } else if (flag == "--macro") {
+            opts.macroName = value();
+        } else if (flag == "--arch") {
+            opts.archPath = value();
+        } else if (flag == "--network") {
+            opts.networkName = value();
+        } else if (flag == "--workload") {
+            opts.workloadPath = value();
+        } else if (flag == "--mappings") {
+            opts.mappings = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--seed") {
+            opts.seed = static_cast<std::uint64_t>(parseInt(flag, value()));
+        } else if (flag == "--threads") {
+            opts.threads = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--objective") {
+            opts.objective = value();
+        } else if (flag == "--tech") {
+            opts.technologyNm = parseDouble(flag, value());
+        } else if (flag == "--voltage") {
+            opts.voltage = parseDouble(flag, value());
+        } else if (flag == "--dac-bits") {
+            opts.dacBits = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--cell-bits") {
+            opts.cellBits = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--input-bits") {
+            opts.inputBits = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--weight-bits") {
+            opts.weightBits = static_cast<int>(parseInt(flag, value()));
+        } else if (flag == "--device") {
+            opts.device = value();
+        } else if (flag == "--csv") {
+            opts.csvPath = value();
+        } else if (flag == "--ert") {
+            opts.ertPath = value();
+        } else if (flag == "--mapping") {
+            opts.mappingPath = value();
+        } else if (flag == "--report") {
+            opts.report = true;
+        } else {
+            CIM_FATAL("unknown flag '", flag, "' (try --help)");
+        }
+    }
+    if (!opts.help) {
+        if (opts.macroName.empty() == opts.archPath.empty())
+            CIM_FATAL("specify exactly one of --macro or --arch");
+        if (opts.networkName.empty() == opts.workloadPath.empty())
+            CIM_FATAL("specify exactly one of --network or --workload");
+        if (opts.mappings < 1)
+            CIM_FATAL("--mappings must be >= 1");
+        if (opts.threads < 1)
+            CIM_FATAL("--threads must be >= 1");
+        if (opts.objective != "energy" && opts.objective != "edp" &&
+            opts.objective != "delay") {
+            CIM_FATAL("--objective must be energy, edp, or delay");
+        }
+    }
+    return opts;
+}
+
+namespace {
+
+engine::Arch
+buildArch(const CliOptions& opts)
+{
+    engine::Arch arch;
+    if (!opts.macroName.empty()) {
+        arch = macros::macroByName(opts.macroName);
+    } else {
+        arch.name = opts.archPath;
+        arch.hierarchy = spec::Hierarchy::fromFile(opts.archPath);
+    }
+    if (opts.technologyNm > 0.0)
+        arch.technologyNm = opts.technologyNm;
+    if (opts.voltage > 0.0)
+        arch.supplyVoltage = opts.voltage;
+    if (opts.dacBits > 0)
+        arch.rep.dacBits = opts.dacBits;
+    if (opts.cellBits > 0)
+        arch.rep.cellBits = opts.cellBits;
+    if (opts.inputBits > 0)
+        arch.rep.inputBits = opts.inputBits;
+    if (opts.weightBits > 0)
+        arch.rep.weightBits = opts.weightBits;
+    if (!opts.device.empty()) {
+        const models::DevicePreset& preset =
+            models::devicePreset(opts.device);
+        const char* cell_node =
+            arch.hierarchy.indexOf("cells") >= 0 ? "cells" : "mac_units";
+        models::applyDevicePreset(arch.hierarchy, cell_node, preset);
+        arch.rep.cellBits =
+            std::min(arch.rep.cellBits, preset.maxBitsPerCell);
+    }
+    return arch;
+}
+
+workload::Network
+buildWorkload(const CliOptions& opts)
+{
+    if (!opts.networkName.empty())
+        return workload::networkByName(opts.networkName);
+    return workload::networkFromFile(opts.workloadPath);
+}
+
+engine::Objective
+objectiveFromString(const std::string& s)
+{
+    if (s == "edp")
+        return engine::Objective::Edp;
+    if (s == "delay")
+        return engine::Objective::Delay;
+    return engine::Objective::Energy;
+}
+
+} // namespace
+
+int
+run(const std::vector<std::string>& args, std::ostream& out,
+    std::ostream& err)
+{
+    CliOptions opts;
+    try {
+        opts = parseArgs(args);
+    } catch (const FatalError& e) {
+        err << e.what() << "\n" << usage();
+        return 2;
+    }
+    if (opts.help) {
+        out << usage();
+        return 0;
+    }
+
+    try {
+        engine::Arch arch = buildArch(opts);
+        workload::Network net = buildWorkload(opts);
+
+        out << "architecture: " << arch.name << " ("
+            << arch.technologyNm << " nm)\n";
+        out << "workload: " << net.name << " (" << net.layers.size()
+            << " layers, " << net.totalMacs() << " MACs)\n";
+        engine::NetworkEvaluation ev;
+        if (!opts.mappingPath.empty()) {
+            out << "replaying fixed mapping " << opts.mappingPath
+                << " on every layer\n\n";
+            mapping::Mapping fixed = mapping::Mapping::fromYaml(
+                arch.hierarchy, yaml::parseFile(opts.mappingPath));
+            for (const workload::Layer& layer : net.layers) {
+                engine::PerActionTable table =
+                    engine::precompute(arch, layer);
+                engine::SearchResult sr;
+                sr.bestMapping = fixed;
+                sr.best = engine::evaluate(arch, table, fixed);
+                sr.evaluated = sr.best.valid ? 1 : 0;
+                if (!sr.best.valid) {
+                    CIM_FATAL("fixed mapping invalid for layer '",
+                              layer.name, "': ",
+                              sr.best.invalidReason);
+                }
+                double reps = static_cast<double>(layer.count);
+                ev.energyPj += sr.best.energyPj * reps;
+                ev.latencyNs += sr.best.latencyNs * reps;
+                ev.macs += sr.best.macs * reps;
+                ev.areaUm2 = std::max(ev.areaUm2, sr.best.areaUm2);
+                ev.layers.push_back(std::move(sr));
+            }
+        } else {
+            out << "searching " << opts.mappings
+                << " mappings per layer (objective: " << opts.objective
+                << ", seed " << opts.seed << ")\n\n";
+            ev = engine::evaluateNetworkParallel(
+                arch, net, opts.threads, opts.mappings, opts.seed,
+                objectiveFromString(opts.objective));
+        }
+
+        if (!opts.ertPath.empty()) {
+            engine::PerActionTable table =
+                engine::precompute(arch, net.layers.front());
+            std::ofstream ert(opts.ertPath);
+            if (!ert)
+                CIM_FATAL("cannot write ERT to '", opts.ertPath, "'");
+            ert << engine::toYamlErt(arch, table);
+            out << "wrote " << opts.ertPath << "\n";
+        }
+
+        if (opts.report) {
+            for (std::size_t i = 0; i < net.layers.size(); ++i) {
+                out << "--- " << net.layers[i].name << " ("
+                    << net.layers[i].shapeString() << ") ---\n";
+                out << engine::formatReport(arch, ev.layers[i].best);
+            }
+            out << "\n";
+        }
+
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "total energy : %.6g uJ (%.4g pJ/MAC)\n",
+                      ev.energyPj / 1e6, ev.energyPerMacPj());
+        out << line;
+        std::snprintf(line, sizeof(line), "efficiency   : %.4g TOPS/W\n",
+                      ev.topsPerWatt());
+        out << line;
+        std::snprintf(line, sizeof(line), "area         : %.4g mm^2\n",
+                      ev.areaUm2 / 1e6);
+        out << line;
+        std::snprintf(line, sizeof(line), "latency      : %.4g ms\n",
+                      ev.latencyNs / 1e6);
+        out << line;
+
+        if (!opts.csvPath.empty()) {
+            std::ofstream csv(opts.csvPath);
+            if (!csv)
+                CIM_FATAL("cannot write CSV to '", opts.csvPath, "'");
+            csv << engine::toCsv(ev, net);
+            out << "wrote " << opts.csvPath << "\n";
+        }
+        return 0;
+    } catch (const FatalError& e) {
+        err << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace cimloop::cli

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The `cimloop` command-line driver, as a testable library.
+ *
+ * Mirrors the original tool's workflow: point it at an architecture (a
+ * YAML container-hierarchy or a built-in macro) and a workload (a YAML
+ * network or a bundled one), and it searches mappings and reports
+ * energy / area / performance.
+ *
+ *   cimloop --macro base --network resnet18 --mappings 500
+ *   cimloop --arch my_macro.yaml --dac-bits 2 --workload net.yaml \
+ *           --csv out.csv --report
+ */
+#ifndef CIMLOOP_CLI_CLI_HH
+#define CIMLOOP_CLI_CLI_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cimloop::cli {
+
+/** Parsed command-line options. */
+struct CliOptions
+{
+    std::string archPath;    //!< --arch <file.yaml>
+    std::string macroName;   //!< --macro base|A|B|C|D|digital
+    std::string workloadPath; //!< --workload <file.yaml>
+    std::string networkName; //!< --network resnet18|vit|...
+
+    int mappings = 500;       //!< --mappings N
+    std::uint64_t seed = 1;   //!< --seed N
+    int threads = 1;          //!< --threads N
+    std::string objective = "energy"; //!< --objective energy|edp|delay
+
+    double technologyNm = 0.0; //!< --tech NM (override; 0 = keep)
+    double voltage = 0.0;      //!< --voltage V (0 = nominal)
+    int dacBits = 0;           //!< --dac-bits B (YAML archs; 0 = default)
+    int cellBits = 0;          //!< --cell-bits B
+    int inputBits = 0;         //!< --input-bits B
+    int weightBits = 0;        //!< --weight-bits B
+    std::string device;        //!< --device reram|pcm|stt-mram|fefet|sram
+
+    std::string csvPath;     //!< --csv <file>: per-layer CSV dump
+    std::string ertPath;     //!< --ert <file>: energy-reference-table dump
+    std::string mappingPath; //!< --mapping <file>: replay a fixed mapping
+    bool report = false;     //!< --report: per-node table per layer
+    bool help = false;       //!< --help
+};
+
+/**
+ * Parses argv-style arguments (without the program name). Fatal
+ * (cimloop::FatalError) on unknown flags or malformed values.
+ */
+CliOptions parseArgs(const std::vector<std::string>& args);
+
+/** Usage text. */
+std::string usage();
+
+/**
+ * Runs the tool: builds the architecture and workload, searches
+ * mappings, and writes results to @p out (diagnostics to @p err).
+ * Returns a process exit code (0 = success).
+ */
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+} // namespace cimloop::cli
+
+#endif // CIMLOOP_CLI_CLI_HH

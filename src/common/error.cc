@@ -1,0 +1,21 @@
+#include "cimloop/common/error.hh"
+
+namespace cimloop {
+namespace detail {
+
+void
+throwFatal(const std::string& msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+throwPanic(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " [" << file << ":" << line << "]";
+    throw PanicError(oss.str());
+}
+
+} // namespace detail
+} // namespace cimloop

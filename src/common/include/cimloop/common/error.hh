@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error reporting for CiMLoop.
+ *
+ * Follows the gem5 fatal-vs-panic convention:
+ *  - CIM_FATAL: the situation is the *user's* fault (bad specification,
+ *    invalid attribute, unmappable workload). Throws cimloop::FatalError so
+ *    callers and tests can recover.
+ *  - CIM_PANIC: an internal invariant was violated, i.e. a CiMLoop bug.
+ *    Throws cimloop::PanicError.
+ *  - CIM_ASSERT: cheap invariant check that panics with source location.
+ */
+#ifndef CIMLOOP_COMMON_ERROR_HH
+#define CIMLOOP_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cimloop {
+
+/** Raised for user-caused errors (bad configuration, invalid arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Raised for internal invariant violations, i.e. CiMLoop bugs. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what_arg)
+        : std::logic_error(what_arg)
+    {}
+};
+
+namespace detail {
+
+/** Streams a parameter pack into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void throwFatal(const std::string& msg);
+[[noreturn]] void throwPanic(const char* file, int line,
+                             const std::string& msg);
+
+} // namespace detail
+
+} // namespace cimloop
+
+/** Report a user error: throws cimloop::FatalError with the given message. */
+#define CIM_FATAL(...) \
+    ::cimloop::detail::throwFatal( \
+        ::cimloop::detail::concatMessage(__VA_ARGS__))
+
+/** Report an internal bug: throws cimloop::PanicError with file/line. */
+#define CIM_PANIC(...) \
+    ::cimloop::detail::throwPanic(__FILE__, __LINE__, \
+        ::cimloop::detail::concatMessage(__VA_ARGS__))
+
+/** Invariant check; panics with the stringified condition on failure. */
+#define CIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cimloop::detail::throwPanic(__FILE__, __LINE__, \
+                ::cimloop::detail::concatMessage( \
+                    "assertion failed: " #cond ". ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CIMLOOP_COMMON_ERROR_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Status messages (gem5-style inform/warn). None of these stop execution;
+ * they provide operating status to the user on stderr.
+ */
+#ifndef CIMLOOP_COMMON_LOG_HH
+#define CIMLOOP_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace cimloop {
+
+/** Global verbosity: 0 = silent, 1 = warn, 2 = inform (default). */
+int logLevel();
+
+/** Sets the global verbosity level. */
+void setLogLevel(int level);
+
+namespace detail {
+
+void emitLog(const char* prefix, int min_level, const std::string& msg);
+
+} // namespace detail
+
+/** Informative message users should know but not worry about. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    detail::emitLog("info: ", 2, oss.str());
+}
+
+/** Something may not behave exactly as expected; a place to look first. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    detail::emitLog("warn: ", 1, oss.str());
+}
+
+} // namespace cimloop
+
+#endif // CIMLOOP_COMMON_LOG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small shared utilities: integer math, string helpers, and a deterministic
+ * pseudo-random generator used everywhere reproducibility matters.
+ */
+#ifndef CIMLOOP_COMMON_UTIL_HH
+#define CIMLOOP_COMMON_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cimloop {
+
+/** Ceiling division for positive integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Returns true when @p n is a power of two (n >= 1). */
+constexpr bool
+isPowerOfTwo(std::int64_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+/** Smallest power of two >= n. */
+std::int64_t nextPowerOfTwo(std::int64_t n);
+
+/** Base-2 logarithm of a power of two; fatals if not a power of two. */
+int log2Exact(std::int64_t n);
+
+/** Number of bits needed to represent values 0..n-1 (>= 1). */
+int bitsForCount(std::int64_t n);
+
+/** All positive divisors of @p n in increasing order. */
+std::vector<std::int64_t> divisorsOf(std::int64_t n);
+
+/** Strips leading and trailing whitespace. */
+std::string trim(const std::string& s);
+
+/** Splits on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string& s, char delim);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(const std::string& s, const std::string& prefix);
+
+/** Lower-cases ASCII. */
+std::string toLower(std::string s);
+
+/**
+ * Deterministic 64-bit xorshift* generator. Used instead of std::mt19937 in
+ * hot loops and wherever cross-platform reproducibility of sampled values
+ * matters (the reference simulator, the mapper's random search).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double gaussian();
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace cimloop
+
+#endif // CIMLOOP_COMMON_UTIL_HH

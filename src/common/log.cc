@@ -1,0 +1,34 @@
+#include "cimloop/common/log.hh"
+
+#include <iostream>
+
+namespace cimloop {
+
+namespace {
+int g_log_level = 1;
+} // namespace
+
+int
+logLevel()
+{
+    return g_log_level;
+}
+
+void
+setLogLevel(int level)
+{
+    g_log_level = level;
+}
+
+namespace detail {
+
+void
+emitLog(const char* prefix, int min_level, const std::string& msg)
+{
+    if (g_log_level >= min_level)
+        std::cerr << prefix << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace cimloop

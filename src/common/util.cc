@@ -1,0 +1,108 @@
+#include "cimloop/common/util.hh"
+
+#include <cctype>
+#include <cmath>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop {
+
+std::int64_t
+nextPowerOfTwo(std::int64_t n)
+{
+    CIM_ASSERT(n >= 1, "nextPowerOfTwo requires n >= 1, got ", n);
+    std::int64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+int
+log2Exact(std::int64_t n)
+{
+    if (!isPowerOfTwo(n))
+        CIM_FATAL("expected a power of two, got ", n);
+    int b = 0;
+    while ((std::int64_t{1} << b) < n)
+        ++b;
+    return b;
+}
+
+int
+bitsForCount(std::int64_t n)
+{
+    CIM_ASSERT(n >= 1, "bitsForCount requires n >= 1, got ", n);
+    int b = 1;
+    while ((std::int64_t{1} << b) < n)
+        ++b;
+    return b;
+}
+
+std::vector<std::int64_t>
+divisorsOf(std::int64_t n)
+{
+    CIM_ASSERT(n >= 1, "divisorsOf requires n >= 1, got ", n);
+    std::vector<std::int64_t> low, high;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            low.push_back(d);
+            if (d != n / d)
+                high.push_back(n / d);
+        }
+    }
+    low.insert(low.end(), high.rbegin(), high.rend());
+    return low;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(const std::string& s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; discard the second value for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+} // namespace cimloop

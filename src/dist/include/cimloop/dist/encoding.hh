@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware data representations: encoding and bit slicing (paper Sec.
+ * III-C1b).
+ *
+ * Operands are first *encoded* (represented as binary codes) and then
+ * *sliced* (bits partitioned across hardware components). Component energy
+ * models consume the resulting per-slice code distributions.
+ */
+#ifndef CIMLOOP_DIST_ENCODING_HH
+#define CIMLOOP_DIST_ENCODING_HH
+
+#include <string>
+#include <vector>
+
+#include "cimloop/dist/pmf.hh"
+
+namespace cimloop::dist {
+
+/**
+ * Operand-to-bits encoding schemes used by published CiM macros
+ * (paper cites offset [ISAAC], differential [RAELLA], XNOR [Jia],
+ * magnitude-only [FORMS], plus plain unsigned / two's complement).
+ */
+enum class Encoding {
+    Unsigned,        //!< non-negative magnitude, all bits data
+    TwosComplement,  //!< standard signed binary
+    Offset,          //!< value + 2^(b-1); zero-point shifted
+    Differential,    //!< positive/negative parts on paired devices
+    Xnor,            //!< bits carry +/-1 levels (binary networks)
+    MagnitudeOnly,   //!< |value| in b-1 bits, sign handled digitally
+};
+
+/** Parses an encoding name ("offset", "xnor", ...); fatal when unknown. */
+Encoding encodingFromString(const std::string& name);
+
+/** Canonical lowercase name of an encoding. */
+const char* encodingName(Encoding e);
+
+/**
+ * The representation of one tensor at one component: an encoding, a bit
+ * width, and the distribution of the unsigned codes that devices/circuits
+ * actually see. This is the interface between the workload's operand PMFs
+ * and the data-value-dependent component models.
+ */
+struct EncodedTensor
+{
+    Encoding encoding = Encoding::Unsigned;
+    int bits = 8;          //!< bits per plane code
+    int planes = 1;        //!< 2 for differential (pos/neg device pair)
+    bool bipolarBits = false; //!< XNOR: each bit drives a +/-1 level
+    Pmf codes;             //!< PMF over plane codes in [0, 2^bits)
+
+    /** Largest representable plane code. */
+    double maxCode() const;
+
+    /** E[code] / maxCode: average normalized analog level in [0, 1]. */
+    double meanNormValue() const;
+
+    /** E[code^2] / maxCode^2: drives V^2-type energies. */
+    double meanNormSquare() const;
+
+    /** P(bit i == 1) for each of the `bits` bit positions (LSB first). */
+    std::vector<double> bitOnProbs() const;
+
+    /**
+     * Expected number of bit transitions between two independent
+     * consecutive codes: sum_i 2 p_i (1 - p_i). Drives switching
+     * (capacitive) energy models.
+     */
+    double meanBitFlips() const;
+
+    /**
+     * Partitions the code's bits into slices of @p slice_bits (LSB-first;
+     * the final slice may be narrower) and returns the marginal
+     * representation each slice's hardware sees.
+     */
+    std::vector<EncodedTensor> slices(int slice_bits) const;
+};
+
+/**
+ * Encodes an operand PMF (signed integers at @p operand_bits precision)
+ * under scheme @p e. Fatal when the PMF's support does not fit the scheme
+ * (e.g. negative operands under Unsigned).
+ */
+EncodedTensor encodeOperands(const Pmf& operands, Encoding e,
+                             int operand_bits);
+
+/**
+ * Convenience: the per-plane code average MAC contribution used for
+ * validation plots, E[input_level * weight_level] under independence.
+ */
+double meanNormMac(const EncodedTensor& input, const EncodedTensor& weight);
+
+} // namespace cimloop::dist
+
+#endif // CIMLOOP_DIST_ENCODING_HH

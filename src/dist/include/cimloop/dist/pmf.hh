@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Probability mass functions over operand / code values.
+ *
+ * CiMLoop's statistical energy model (paper Sec. III-C/III-D) represents
+ * every tensor by an independent per-layer PMF instead of the full tensor.
+ * All data-value-dependent component models consume these PMFs.
+ */
+#ifndef CIMLOOP_DIST_PMF_HH
+#define CIMLOOP_DIST_PMF_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cimloop::dist {
+
+/**
+ * A discrete probability mass function over real-valued points. Points are
+ * kept sorted and unique; probabilities sum to 1 after normalize().
+ */
+class Pmf
+{
+  public:
+    /** One support point. */
+    struct Point
+    {
+        double value = 0.0;
+        double prob = 0.0;
+    };
+
+    Pmf() = default;
+
+    /** Point mass at @p v. */
+    static Pmf delta(double v);
+
+    /** Uniform over the integers lo..hi inclusive. */
+    static Pmf uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Builds from (value, weight) pairs; merges duplicates, normalizes. */
+    static Pmf fromPoints(std::vector<Point> pts);
+
+    /** Empirical PMF of a sample vector. */
+    static Pmf fromSamples(const std::vector<double>& samples);
+
+    /**
+     * Gaussian N(mean, sigma^2) quantized to the integers lo..hi (values
+     * outside clamp to the ends). Used by the synthetic operand profiler.
+     */
+    static Pmf quantizedGaussian(double mean, double sigma, std::int64_t lo,
+                                 std::int64_t hi);
+
+    /**
+     * Post-ReLU Gaussian: negative mass collapses to 0, positive mass is
+     * quantized to 0..hi. Models activation tensors.
+     */
+    static Pmf reluGaussian(double mean, double sigma, std::int64_t hi);
+
+    /** Number of support points. */
+    std::size_t size() const { return points_.size(); }
+
+    bool empty() const { return points_.empty(); }
+
+    /** Support points in increasing value order. */
+    const std::vector<Point>& points() const { return points_; }
+
+    /** E[X]. */
+    double mean() const;
+
+    /** E[|X|]. */
+    double meanAbs() const;
+
+    /** E[X^2]. */
+    double meanSquare() const;
+
+    /** Var[X]. */
+    double variance() const;
+
+    /** E[f(X)]. */
+    double expectation(const std::function<double(double)>& f) const;
+
+    /** P(X == v) with exact match on the stored double. */
+    double probOf(double v) const;
+
+    /** Smallest / largest support value; fatal when empty. */
+    double minValue() const;
+    double maxValue() const;
+
+    /** Applies f to every support value, merging collisions. */
+    Pmf mapped(const std::function<double(double)>& f) const;
+
+    /**
+     * PMF of X + Y for independent X, Y (discrete convolution). Support is
+     * capped at @p max_points by greedy merging of nearest points, keeping
+     * the model fast for deep accumulations.
+     */
+    Pmf convolveWith(const Pmf& other, std::size_t max_points = 4096) const;
+
+    /** Mixture: this with weight w, other with weight (1-w). */
+    Pmf mixedWith(const Pmf& other, double w) const;
+
+    /** Rescales probabilities to sum to 1; fatal when total is 0. */
+    void normalize();
+
+    /** Draws one sample using @p u uniform in [0, 1). */
+    double sample(double u) const;
+
+  private:
+    std::vector<Point> points_;
+
+    void sortMerge();
+};
+
+} // namespace cimloop::dist
+
+#endif // CIMLOOP_DIST_PMF_HH

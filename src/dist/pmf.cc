@@ -1,0 +1,270 @@
+#include "cimloop/dist/pmf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::dist {
+
+namespace {
+
+/** Standard normal CDF. */
+double
+normCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace
+
+Pmf
+Pmf::delta(double v)
+{
+    Pmf p;
+    p.points_.push_back({v, 1.0});
+    return p;
+}
+
+Pmf
+Pmf::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    CIM_ASSERT(hi >= lo, "uniformInt requires hi >= lo");
+    Pmf p;
+    double prob = 1.0 / static_cast<double>(hi - lo + 1);
+    p.points_.reserve(hi - lo + 1);
+    for (std::int64_t v = lo; v <= hi; ++v)
+        p.points_.push_back({static_cast<double>(v), prob});
+    return p;
+}
+
+Pmf
+Pmf::fromPoints(std::vector<Point> pts)
+{
+    Pmf p;
+    p.points_ = std::move(pts);
+    p.sortMerge();
+    p.normalize();
+    return p;
+}
+
+Pmf
+Pmf::fromSamples(const std::vector<double>& samples)
+{
+    CIM_ASSERT(!samples.empty(), "fromSamples requires samples");
+    std::vector<Point> pts;
+    pts.reserve(samples.size());
+    double w = 1.0 / static_cast<double>(samples.size());
+    for (double s : samples)
+        pts.push_back({s, w});
+    return fromPoints(std::move(pts));
+}
+
+Pmf
+Pmf::quantizedGaussian(double mean, double sigma, std::int64_t lo,
+                       std::int64_t hi)
+{
+    CIM_ASSERT(sigma > 0.0, "quantizedGaussian requires sigma > 0");
+    CIM_ASSERT(hi >= lo, "quantizedGaussian requires hi >= lo");
+    Pmf p;
+    p.points_.reserve(hi - lo + 1);
+    for (std::int64_t v = lo; v <= hi; ++v) {
+        double a = (v == lo) ? -1e30 : (static_cast<double>(v) - 0.5);
+        double b = (v == hi) ? 1e30 : (static_cast<double>(v) + 0.5);
+        double prob =
+            normCdf((b - mean) / sigma) - normCdf((a - mean) / sigma);
+        if (prob > 0.0)
+            p.points_.push_back({static_cast<double>(v), prob});
+    }
+    p.normalize();
+    return p;
+}
+
+Pmf
+Pmf::reluGaussian(double mean, double sigma, std::int64_t hi)
+{
+    CIM_ASSERT(sigma > 0.0, "reluGaussian requires sigma > 0");
+    CIM_ASSERT(hi >= 0, "reluGaussian requires hi >= 0");
+    Pmf p;
+    p.points_.reserve(hi + 1);
+    for (std::int64_t v = 0; v <= hi; ++v) {
+        double a = (v == 0) ? -1e30 : (static_cast<double>(v) - 0.5);
+        double b = (v == hi) ? 1e30 : (static_cast<double>(v) + 0.5);
+        double prob =
+            normCdf((b - mean) / sigma) - normCdf((a - mean) / sigma);
+        if (prob > 0.0)
+            p.points_.push_back({static_cast<double>(v), prob});
+    }
+    p.normalize();
+    return p;
+}
+
+double
+Pmf::mean() const
+{
+    double m = 0.0;
+    for (const Point& pt : points_)
+        m += pt.value * pt.prob;
+    return m;
+}
+
+double
+Pmf::meanAbs() const
+{
+    double m = 0.0;
+    for (const Point& pt : points_)
+        m += std::abs(pt.value) * pt.prob;
+    return m;
+}
+
+double
+Pmf::meanSquare() const
+{
+    double m = 0.0;
+    for (const Point& pt : points_)
+        m += pt.value * pt.value * pt.prob;
+    return m;
+}
+
+double
+Pmf::variance() const
+{
+    double m = mean();
+    return meanSquare() - m * m;
+}
+
+double
+Pmf::expectation(const std::function<double(double)>& f) const
+{
+    double m = 0.0;
+    for (const Point& pt : points_)
+        m += f(pt.value) * pt.prob;
+    return m;
+}
+
+double
+Pmf::probOf(double v) const
+{
+    for (const Point& pt : points_) {
+        if (pt.value == v)
+            return pt.prob;
+    }
+    return 0.0;
+}
+
+double
+Pmf::minValue() const
+{
+    CIM_ASSERT(!points_.empty(), "minValue on empty PMF");
+    return points_.front().value;
+}
+
+double
+Pmf::maxValue() const
+{
+    CIM_ASSERT(!points_.empty(), "maxValue on empty PMF");
+    return points_.back().value;
+}
+
+Pmf
+Pmf::mapped(const std::function<double(double)>& f) const
+{
+    std::vector<Point> pts;
+    pts.reserve(points_.size());
+    for (const Point& pt : points_)
+        pts.push_back({f(pt.value), pt.prob});
+    return fromPoints(std::move(pts));
+}
+
+Pmf
+Pmf::convolveWith(const Pmf& other, std::size_t max_points) const
+{
+    CIM_ASSERT(!points_.empty() && !other.points_.empty(),
+               "convolveWith on empty PMF");
+    std::vector<Point> pts;
+    pts.reserve(points_.size() * other.points_.size());
+    for (const Point& a : points_) {
+        for (const Point& b : other.points_) {
+            pts.push_back({a.value + b.value, a.prob * b.prob});
+        }
+    }
+    Pmf out = fromPoints(std::move(pts));
+    // Cap the support by merging adjacent points (probability-weighted) so
+    // repeated accumulations stay bounded.
+    while (out.points_.size() > max_points) {
+        std::vector<Point> merged;
+        merged.reserve(out.points_.size() / 2 + 1);
+        for (std::size_t i = 0; i + 1 < out.points_.size(); i += 2) {
+            const Point& a = out.points_[i];
+            const Point& b = out.points_[i + 1];
+            double p = a.prob + b.prob;
+            double v = p > 0.0
+                ? (a.value * a.prob + b.value * b.prob) / p
+                : 0.5 * (a.value + b.value);
+            merged.push_back({v, p});
+        }
+        if (out.points_.size() % 2 == 1)
+            merged.push_back(out.points_.back());
+        out.points_ = std::move(merged);
+    }
+    return out;
+}
+
+Pmf
+Pmf::mixedWith(const Pmf& other, double w) const
+{
+    CIM_ASSERT(w >= 0.0 && w <= 1.0, "mixture weight must be in [0, 1]");
+    std::vector<Point> pts;
+    pts.reserve(points_.size() + other.points_.size());
+    for (const Point& pt : points_)
+        pts.push_back({pt.value, pt.prob * w});
+    for (const Point& pt : other.points_)
+        pts.push_back({pt.value, pt.prob * (1.0 - w)});
+    return fromPoints(std::move(pts));
+}
+
+void
+Pmf::normalize()
+{
+    double total = 0.0;
+    for (const Point& pt : points_)
+        total += pt.prob;
+    if (total <= 0.0)
+        CIM_FATAL("cannot normalize PMF with zero total probability");
+    for (Point& pt : points_)
+        pt.prob /= total;
+}
+
+double
+Pmf::sample(double u) const
+{
+    CIM_ASSERT(!points_.empty(), "sample on empty PMF");
+    double acc = 0.0;
+    for (const Point& pt : points_) {
+        acc += pt.prob;
+        if (u < acc)
+            return pt.value;
+    }
+    return points_.back().value;
+}
+
+void
+Pmf::sortMerge()
+{
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) {
+                  return a.value < b.value;
+              });
+    std::vector<Point> merged;
+    merged.reserve(points_.size());
+    for (const Point& pt : points_) {
+        if (!merged.empty() && merged.back().value == pt.value) {
+            merged.back().prob += pt.prob;
+        } else {
+            merged.push_back(pt);
+        }
+    }
+    points_ = std::move(merged);
+}
+
+} // namespace cimloop::dist

@@ -1,0 +1,524 @@
+#include "cimloop/engine/evaluate.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/log.hh"
+#include "cimloop/common/util.hh"
+
+namespace cimloop::engine {
+
+using dist::EncodedTensor;
+using spec::tensorIndex;
+using workload::TensorKind;
+
+namespace {
+
+constexpr int kI = tensorIndex(TensorKind::Input);
+constexpr int kW = tensorIndex(TensorKind::Weight);
+constexpr int kO = tensorIndex(TensorKind::Output);
+
+/**
+ * The representation an "average action" sees when a tensor is sliced:
+ * the equal-weight mixture of the per-slice code marginals.
+ */
+EncodedTensor
+sliceMixture(const EncodedTensor& full, int slice_bits)
+{
+    std::vector<EncodedTensor> slices = full.slices(slice_bits);
+    CIM_ASSERT(!slices.empty(), "slicing produced no slices");
+    EncodedTensor mix = slices.front();
+    if (slices.size() > 1) {
+        dist::Pmf codes = slices[0].codes;
+        for (std::size_t i = 1; i < slices.size(); ++i) {
+            double keep = static_cast<double>(i) /
+                          static_cast<double>(i + 1);
+            codes = codes.mixedWith(slices[i].codes, keep);
+        }
+        mix.codes = std::move(codes);
+        // Mixture spans the widest slice.
+        for (const EncodedTensor& s : slices)
+            mix.bits = std::max(mix.bits, s.bits);
+    }
+    return mix;
+}
+
+} // namespace
+
+PerActionTable
+precompute(const Arch& arch, const workload::Layer& layer,
+           const dist::OperandProfile* profile_override)
+{
+    PerActionTable table;
+    table.extLayer = arch.extendLayer(layer);
+
+    if (profile_override) {
+        table.profile = *profile_override;
+    } else {
+        const std::string network =
+            layer.network.empty() ? layer.name : layer.network;
+        table.profile = dist::synthesizeOperands(
+            network, layer.index,
+            std::max(layer.networkLayers, layer.index + 1),
+            arch.inputBitsFor(layer), arch.weightBitsFor(layer));
+    }
+
+    // Encode at full precision, then slice per the representation spec.
+    EncodedTensor in_full = dist::encodeOperands(
+        table.profile.inputs, arch.rep.inputEncoding,
+        arch.inputBitsFor(layer));
+    EncodedTensor wt_full = dist::encodeOperands(
+        table.profile.weights, arch.rep.weightEncoding,
+        arch.weightBitsFor(layer));
+    EncodedTensor out_full = dist::encodeOperands(
+        table.profile.outputs, dist::Encoding::TwosComplement,
+        arch.rep.outputBits);
+
+    EncodedTensor in_sliced = sliceMixture(in_full, arch.rep.dacBits);
+    EncodedTensor wt_sliced = sliceMixture(wt_full, arch.rep.cellBits);
+
+    models::PluginRegistry& registry = models::PluginRegistry::instance();
+    table.nodes.reserve(arch.hierarchy.nodes.size());
+
+    for (const spec::SpecNode& node : arch.hierarchy.nodes) {
+        std::string klass = node.klass.empty() ? "Wire" : node.klass;
+        std::string klass_lower = toLower(klass);
+
+        models::ComponentContext ctx;
+        ctx.node = &node;
+        ctx.technologyNm = arch.technologyNm;
+        ctx.supplyVoltage = arch.supplyVoltage;
+
+        // Input/weight traffic is counted in slice units everywhere (the
+        // IB/WB dims are tensor-relevant), so every component sees the
+        // per-slice representation; output traffic is whole partial
+        // words. The ADC digitizes column sums at its own resolution.
+        ctx.tensors[kI] = in_sliced;
+        ctx.tensors[kW] = wt_sliced;
+        ctx.tensors[kO] = out_full;
+        if (klass_lower == "adc") {
+            int res = static_cast<int>(node.attrInt("resolution", 8));
+            ctx.tensors[kO] = dist::encodeOperands(
+                table.profile.outputs, dist::Encoding::Offset, res);
+        }
+
+        table.nodes.push_back(registry.require(klass).estimate(ctx));
+    }
+    return table;
+}
+
+double
+Evaluation::energyPerMacPj() const
+{
+    return macs > 0.0 ? energyPj / macs : 0.0;
+}
+
+double
+Evaluation::topsPerWatt() const
+{
+    // TOPS/W = (2 ops/MAC x MACs) / (energy in pJ) exactly.
+    return energyPj > 0.0 ? 2.0 * macs / energyPj : 0.0;
+}
+
+double
+Evaluation::macsPerSecond() const
+{
+    return latencyNs > 0.0 ? macs / (latencyNs * 1e-9) : 0.0;
+}
+
+double
+Evaluation::topsPerMm2() const
+{
+    double tops = 2.0 * macsPerSecond() / 1e12;
+    double mm2 = areaUm2 / 1e6;
+    return mm2 > 0.0 ? tops / mm2 : 0.0;
+}
+
+Evaluation
+evaluate(const Arch& arch, const PerActionTable& table,
+         const mapping::Mapping& mapping)
+{
+    Evaluation ev;
+    mapping::NestResult nest =
+        mapping::analyzeNest(arch.hierarchy, mapping, table.extLayer);
+    if (!nest.valid) {
+        ev.invalidReason = nest.invalidReason;
+        return ev;
+    }
+
+    const std::size_t n = arch.hierarchy.nodes.size();
+    CIM_ASSERT(table.nodes.size() == n,
+               "per-action table does not match the hierarchy");
+
+    ev.valid = true;
+    ev.steps = nest.steps;
+    ev.utilization = nest.nodes.back().utilization;
+    ev.nodeEnergyPj.assign(n, 0.0);
+    ev.nodeAreaUm2.assign(n, 0.0);
+
+    std::int64_t slice_ops = table.extLayer.size(workload::Dim::IB) *
+                             table.extLayer.size(workload::Dim::WB);
+    ev.macs = nest.totalOps / static_cast<double>(slice_ops);
+
+    double step_time_ns = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const models::ComponentEstimate& est = table.nodes[i];
+        const mapping::NodeCounts& counts = nest.nodes[i];
+
+        double node_energy = 0.0;
+        double node_actions = 0.0;
+        for (TensorKind t : workload::kAllTensors) {
+            int ti = tensorIndex(t);
+            const mapping::TensorCounts& tc = counts.tensors[ti];
+            node_energy += tc.reads * est.readEnergyPj[ti];
+            node_energy += tc.fills * est.fillEnergyPj[ti];
+            node_energy += tc.actions * est.actionEnergyPj[ti];
+            node_actions += tc.reads + tc.fills + tc.actions;
+        }
+
+        // Analog arrays activate whole rows/columns: cells the mapping
+        // leaves idle still conduct at a fraction of the active-cell
+        // cost. This is what makes oversized arrays lose at the macro
+        // level when tensors underutilize them (paper Fig. 2a).
+        double idle_fraction =
+            arch.hierarchy.nodes[i].attrDouble("idle_fraction", 0.0);
+        if (idle_fraction > 0.0 &&
+            counts.usedInstances < counts.totalInstances) {
+            double idle_ratio =
+                static_cast<double>(counts.totalInstances) /
+                    static_cast<double>(std::max<std::int64_t>(
+                        counts.usedInstances, 1)) -
+                1.0;
+            node_energy *= 1.0 + idle_fraction * idle_ratio;
+        }
+        ev.nodeEnergyPj[i] = node_energy;
+        ev.energyPj += node_energy;
+
+        ev.nodeAreaUm2[i] =
+            est.areaUm2 * static_cast<double>(counts.totalInstances);
+        ev.areaUm2 += ev.nodeAreaUm2[i];
+
+        // Throughput: every component must keep pace; the step time is
+        // set by the slowest (latency x actions per step per instance).
+        if (est.latencyNs > 0.0 && node_actions > 0.0) {
+            double per_step_per_instance =
+                node_actions /
+                (static_cast<double>(nest.steps) *
+                 static_cast<double>(std::max<std::int64_t>(
+                     counts.usedInstances, 1)));
+            step_time_ns = std::max(step_time_ns,
+                                    est.latencyNs * per_step_per_instance);
+        }
+    }
+    ev.latencyNs = static_cast<double>(nest.steps) * step_time_ns;
+
+    // Leakage: static power of every built instance over the execution
+    // time (uW x ns = fJ). Charged per node so breakdowns include it.
+    if (arch.includeLeakage && ev.latencyNs > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double leak_pj = table.nodes[i].staticPowerUw *
+                             static_cast<double>(
+                                 nest.nodes[i].totalInstances) *
+                             ev.latencyNs * 1e-3;
+            ev.nodeEnergyPj[i] += leak_pj;
+            ev.energyPj += leak_pj;
+        }
+    }
+    return ev;
+}
+
+namespace {
+
+double
+objectiveValue(Objective obj, const Evaluation& ev)
+{
+    switch (obj) {
+      case Objective::Energy:
+        return ev.energyPj;
+      case Objective::Edp:
+        return ev.energyPj * ev.latencyNs;
+      case Objective::Delay:
+        return ev.latencyNs;
+    }
+    CIM_PANIC("unknown objective");
+}
+
+} // namespace
+
+SearchResult
+searchMappings(const Arch& arch, const workload::Layer& layer,
+               int num_mappings, std::uint64_t seed, Objective objective)
+{
+    PerActionTable table = precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer, {.seed = seed});
+
+    SearchResult result;
+    bool have_best = false;
+    double best_value = 0.0;
+
+    auto consider = [&](const mapping::Mapping& m) {
+        Evaluation ev = evaluate(arch, table, m);
+        if (!ev.valid) {
+            ++result.invalid;
+            return;
+        }
+        ++result.evaluated;
+        double value = objectiveValue(objective, ev);
+        if (!have_best || value < best_value) {
+            have_best = true;
+            best_value = value;
+            result.best = ev;
+            result.bestMapping = m;
+        }
+    };
+
+    consider(mapper.greedy());
+    for (int i = 0; i < num_mappings; ++i) {
+        std::optional<mapping::Mapping> m = mapper.next();
+        if (!m)
+            break;
+        consider(*m);
+    }
+
+    if (!have_best) {
+        CIM_FATAL("no valid mapping found for layer '", layer.name,
+                  "' on arch '", arch.name, "' (", result.invalid,
+                  " invalid samples)");
+    }
+    return result;
+}
+
+NetworkEvaluation
+evaluateNetwork(const Arch& arch, const workload::Network& network,
+                int mappings_per_layer, std::uint64_t seed,
+                Objective objective)
+{
+    NetworkEvaluation net;
+    net.layers.reserve(network.layers.size());
+    for (const workload::Layer& layer : network.layers) {
+        SearchResult sr = searchMappings(arch, layer, mappings_per_layer,
+                                         seed + layer.index, objective);
+        double reps = static_cast<double>(layer.count);
+        net.energyPj += sr.best.energyPj * reps;
+        net.latencyNs += sr.best.latencyNs * reps;
+        net.macs += sr.best.macs * reps;
+        net.areaUm2 = std::max(net.areaUm2, sr.best.areaUm2);
+        net.layers.push_back(std::move(sr));
+    }
+    return net;
+}
+
+NetworkEvaluation
+evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
+                        int threads, int mappings_per_layer,
+                        std::uint64_t seed, Objective objective)
+{
+    if (threads <= 1)
+        return evaluateNetwork(arch, network, mappings_per_layer, seed,
+                               objective);
+
+    std::vector<SearchResult> results(network.layers.size());
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1);
+                 i < network.layers.size(); i = next.fetch_add(1)) {
+                const workload::Layer& layer = network.layers[i];
+                results[i] = searchMappings(arch, layer,
+                                            mappings_per_layer,
+                                            seed + layer.index, objective);
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+
+    NetworkEvaluation net;
+    for (std::size_t i = 0; i < network.layers.size(); ++i) {
+        double reps = static_cast<double>(network.layers[i].count);
+        net.energyPj += results[i].best.energyPj * reps;
+        net.latencyNs += results[i].best.latencyNs * reps;
+        net.macs += results[i].best.macs * reps;
+        net.areaUm2 = std::max(net.areaUm2, results[i].best.areaUm2);
+        net.layers.push_back(std::move(results[i]));
+    }
+    return net;
+}
+
+std::string
+formatReport(const Arch& arch, const Evaluation& ev)
+{
+    std::ostringstream oss;
+    oss << "=== " << arch.name << " ===\n";
+    if (!ev.valid) {
+        oss << "invalid mapping: " << ev.invalidReason << "\n";
+        return oss.str();
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-20s %14s %8s %12s\n", "component",
+                  "energy (pJ)", "share", "area (um^2)");
+    oss << line;
+    for (std::size_t i = 0; i < arch.hierarchy.nodes.size(); ++i) {
+        const spec::SpecNode& node = arch.hierarchy.nodes[i];
+        if (node.kind == spec::SpecNode::Kind::Container &&
+            ev.nodeEnergyPj[i] == 0.0) {
+            continue; // free structural nodes clutter the report
+        }
+        double share = ev.energyPj > 0.0
+            ? 100.0 * ev.nodeEnergyPj[i] / ev.energyPj
+            : 0.0;
+        double area = i < ev.nodeAreaUm2.size() ? ev.nodeAreaUm2[i] : 0.0;
+        std::snprintf(line, sizeof(line), "%-20s %14.4g %7.1f%% %12.4g\n",
+                      node.name.c_str(), ev.nodeEnergyPj[i], share, area);
+        oss << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "total: %.4g pJ | %.4g pJ/MAC | %.4g TOPS/W | "
+                  "%.4g mm^2 | %.4g ms | util %.0f%%\n",
+                  ev.energyPj, ev.energyPerMacPj(), ev.topsPerWatt(),
+                  ev.areaUm2 / 1e6, ev.latencyNs / 1e6,
+                  100.0 * ev.utilization);
+    oss << line;
+    return oss.str();
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(const Arch& arch, const workload::Layer& layer,
+               int num_mappings, std::uint64_t seed)
+{
+    PerActionTable table = precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer, {.seed = seed});
+
+    std::vector<ParetoPoint> points;
+    auto consider = [&](const mapping::Mapping& m) {
+        Evaluation ev = evaluate(arch, table, m);
+        if (ev.valid)
+            points.push_back({m, std::move(ev)});
+    };
+    consider(mapper.greedy());
+    for (int i = 0; i < num_mappings; ++i) {
+        std::optional<mapping::Mapping> m = mapper.next();
+        if (!m)
+            break;
+        consider(*m);
+    }
+    if (points.empty())
+        CIM_FATAL("no valid mapping found for layer '", layer.name,
+                  "' on arch '", arch.name, "'");
+
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint& a, const ParetoPoint& b) {
+                  if (a.eval.energyPj != b.eval.energyPj)
+                      return a.eval.energyPj < b.eval.energyPj;
+                  return a.eval.latencyNs < b.eval.latencyNs;
+              });
+    // Sweep in energy order keeping strict latency improvements.
+    std::vector<ParetoPoint> frontier;
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (ParetoPoint& p : points) {
+        if (p.eval.latencyNs < best_latency) {
+            best_latency = p.eval.latencyNs;
+            frontier.push_back(std::move(p));
+        }
+    }
+    return frontier;
+}
+
+std::string
+toCsv(const NetworkEvaluation& ev, const workload::Network& network)
+{
+    CIM_ASSERT(ev.layers.size() == network.layers.size(),
+               "evaluation does not match the network");
+    std::ostringstream oss;
+    oss << "layer,count,macs,energy_pj,latency_ns,utilization,"
+           "tops_per_watt\n";
+    char line[256];
+    for (std::size_t i = 0; i < ev.layers.size(); ++i) {
+        const Evaluation& e = ev.layers[i].best;
+        std::snprintf(line, sizeof(line),
+                      "%s,%lld,%.0f,%.6g,%.6g,%.4f,%.6g\n",
+                      network.layers[i].name.c_str(),
+                      static_cast<long long>(network.layers[i].count),
+                      e.macs, e.energyPj, e.latencyNs, e.utilization,
+                      e.topsPerWatt());
+        oss << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "TOTAL,,%.0f,%.6g,%.6g,,%.6g\n", ev.macs, ev.energyPj,
+                  ev.latencyNs, ev.topsPerWatt());
+    oss << line;
+    return oss.str();
+}
+
+std::string
+toYamlErt(const Arch& arch, const PerActionTable& table)
+{
+    CIM_ASSERT(table.nodes.size() == arch.hierarchy.nodes.size(),
+               "per-action table does not match the hierarchy");
+    std::ostringstream oss;
+    oss << "# energy reference table for arch '" << arch.name
+        << "', layer '" << table.extLayer.name << "'\n";
+    oss << "ert:\n";
+    char line[160];
+    for (std::size_t i = 0; i < table.nodes.size(); ++i) {
+        const spec::SpecNode& node = arch.hierarchy.nodes[i];
+        const models::ComponentEstimate& est = table.nodes[i];
+        oss << "  - node: " << node.name << "\n";
+        if (!node.klass.empty())
+            oss << "    class: " << node.klass << "\n";
+        auto emit = [&](const char* action,
+                        const spec::PerTensor<double>& e) {
+            for (workload::TensorKind t : workload::kAllTensors) {
+                double pj = e[spec::tensorIndex(t)];
+                if (pj <= 0.0)
+                    continue;
+                std::snprintf(line, sizeof(line),
+                              "    %s_%s_pj: %.6g\n", action,
+                              toLower(workload::tensorName(t)).c_str(),
+                              pj);
+                oss << line;
+            }
+        };
+        emit("read", est.readEnergyPj);
+        emit("fill", est.fillEnergyPj);
+        emit("action", est.actionEnergyPj);
+        if (est.areaUm2 > 0.0) {
+            std::snprintf(line, sizeof(line), "    area_um2: %.6g\n",
+                          est.areaUm2);
+            oss << line;
+        }
+        if (est.latencyNs > 0.0) {
+            std::snprintf(line, sizeof(line), "    latency_ns: %.6g\n",
+                          est.latencyNs);
+            oss << line;
+        }
+        if (est.staticPowerUw > 0.0) {
+            std::snprintf(line, sizeof(line), "    static_uw: %.6g\n",
+                          est.staticPowerUw);
+            oss << line;
+        }
+    }
+    return oss.str();
+}
+
+double
+NetworkEvaluation::energyPerMacPj() const
+{
+    return macs > 0.0 ? energyPj / macs : 0.0;
+}
+
+double
+NetworkEvaluation::topsPerWatt() const
+{
+    return energyPj > 0.0 ? 2.0 * macs / energyPj : 0.0;
+}
+
+} // namespace cimloop::engine

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * An evaluable architecture: a container-hierarchy plus the hardware data
+ * representation (encodings and bit slicing) and operating point.
+ */
+#ifndef CIMLOOP_ENGINE_ARCH_HH
+#define CIMLOOP_ENGINE_ARCH_HH
+
+#include <string>
+
+#include "cimloop/dist/encoding.hh"
+#include "cimloop/spec/hierarchy.hh"
+#include "cimloop/workload/layer.hh"
+
+namespace cimloop::engine {
+
+/**
+ * How operands are represented in hardware (paper Sec. III-C1b). Slicing
+ * widths determine the IB / WB pseudo-dimensions the mapper schedules.
+ */
+struct RepresentationSpec
+{
+    dist::Encoding inputEncoding = dist::Encoding::Offset;
+    dist::Encoding weightEncoding = dist::Encoding::Offset;
+
+    /** Operand precisions; 0 means "use the layer's bits". */
+    int inputBits = 0;
+    int weightBits = 0;
+
+    /** Digital partial-sum width at accumulators/buffers. */
+    int outputBits = 16;
+
+    /** Bits per input slice (DAC resolution). IB = ceil(in/dac). */
+    int dacBits = 1;
+
+    /** Bits per weight slice (bits per memory cell). WB = ceil(wt/cell). */
+    int cellBits = 1;
+};
+
+/** A complete architecture to evaluate. */
+struct Arch
+{
+    std::string name = "arch";
+    spec::Hierarchy hierarchy;
+    RepresentationSpec rep;
+
+    /** Process node in nm. */
+    double technologyNm = 65.0;
+
+    /** Supply voltage in V; 0 = the node's nominal. */
+    double supplyVoltage = 0.0;
+
+    /** Charge static (leakage) power over the layer execution time. */
+    bool includeLeakage = true;
+
+    /** Effective operand precisions for a layer (rep overrides layer). */
+    int inputBitsFor(const workload::Layer& layer) const;
+    int weightBitsFor(const workload::Layer& layer) const;
+
+    /** Input slices per operand for a layer. */
+    std::int64_t inputSlices(const workload::Layer& layer) const;
+
+    /** Weight slices per operand for a layer. */
+    std::int64_t weightSlices(const workload::Layer& layer) const;
+
+    /**
+     * Copies @p layer and sets the IB / WB dimensions from the slicing
+     * widths, exposing bit slices to the mapper (paper Sec. III-C1b).
+     */
+    workload::Layer extendLayer(const workload::Layer& layer) const;
+};
+
+} // namespace cimloop::engine
+
+#endif // CIMLOOP_ENGINE_ARCH_HH

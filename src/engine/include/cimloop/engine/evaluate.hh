@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The CiMLoop evaluation engine.
+ *
+ * Fast statistical pipeline (paper Sec. III-D):
+ *  1. precompute() profiles the layer's operand PMFs, applies the
+ *     architecture's encodings and slicing, and asks every component
+ *     plug-in for its average per-action energy — ONCE per (arch, layer).
+ *  2. evaluate() runs the nest analysis for a mapping and multiplies
+ *     per-action energies by action counts — no per-value work, so its
+ *     cost is independent of tensor sizes and array dimensions, and the
+ *     step-1 cost amortizes over thousands of mappings.
+ */
+#ifndef CIMLOOP_ENGINE_EVALUATE_HH
+#define CIMLOOP_ENGINE_EVALUATE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cimloop/dist/operands.hh"
+#include "cimloop/engine/arch.hh"
+#include "cimloop/mapping/mapper.hh"
+#include "cimloop/mapping/nest.hh"
+#include "cimloop/models/component.hh"
+
+namespace cimloop::engine {
+
+/** Mapping-invariant per-action energies for one (arch, layer) pair. */
+struct PerActionTable
+{
+    workload::Layer extLayer;       //!< layer with IB/WB dims set
+    dist::OperandProfile profile;   //!< operand PMFs used
+    std::vector<models::ComponentEstimate> nodes; //!< per hierarchy node
+};
+
+/**
+ * Computes the per-action table (paper Algorithm 1, lines 3-7).
+ * @p profile_override replaces the synthesized operand PMFs; the paper's
+ * validation sweeps (Figs. 7, 11) drive macros with specific small/large
+ * data values this way.
+ */
+PerActionTable precompute(const Arch& arch, const workload::Layer& layer,
+                          const dist::OperandProfile* profile_override
+                          = nullptr);
+
+/** Energy/area/performance results for one mapping of one layer. */
+struct Evaluation
+{
+    bool valid = false;
+    std::string invalidReason;
+
+    double energyPj = 0.0;    //!< total layer energy
+    double areaUm2 = 0.0;     //!< built area (all instances)
+    double latencyNs = 0.0;   //!< layer execution time
+    double macs = 0.0;        //!< workload MACs (slice dims excluded)
+    std::int64_t steps = 1;   //!< temporal steps
+    double utilization = 1.0; //!< innermost-mesh utilization
+
+    /** Per-node energy breakdown, parallel to hierarchy nodes. */
+    std::vector<double> nodeEnergyPj;
+
+    /** Per-node built area (all instances), parallel to hierarchy nodes. */
+    std::vector<double> nodeAreaUm2;
+
+    /** Energy per MAC, pJ. */
+    double energyPerMacPj() const;
+
+    /** TOPS/W counting 2 ops per MAC. */
+    double topsPerWatt() const;
+
+    /** MACs per second. */
+    double macsPerSecond() const;
+
+    /** TOPS/mm^2 counting 2 ops per MAC. */
+    double topsPerMm2() const;
+};
+
+/** Evaluates one mapping using a precomputed table (Algorithm 1, 8-10). */
+Evaluation evaluate(const Arch& arch, const PerActionTable& table,
+                    const mapping::Mapping& mapping);
+
+/** Search objective. */
+enum class Objective { Energy, Edp, Delay };
+
+/** Outcome of a mapping search for one layer. */
+struct SearchResult
+{
+    mapping::Mapping bestMapping;
+    Evaluation best;
+    int evaluated = 0; //!< valid mappings evaluated
+    int invalid = 0;   //!< samples rejected as invalid
+};
+
+/**
+ * Searches @p num_mappings random mappings (plus the greedy heuristic)
+ * and returns the best under @p objective. Fatal when no valid mapping is
+ * found at all.
+ */
+SearchResult searchMappings(const Arch& arch, const workload::Layer& layer,
+                            int num_mappings, std::uint64_t seed = 1,
+                            Objective objective = Objective::Energy);
+
+/** Whole-network evaluation: best mapping per layer, then totals. */
+struct NetworkEvaluation
+{
+    std::vector<SearchResult> layers; //!< parallel to network.layers
+    double energyPj = 0.0;            //!< total (respecting layer counts)
+    double latencyNs = 0.0;
+    double macs = 0.0;
+    double areaUm2 = 0.0;             //!< max over layers (same hardware)
+
+    double energyPerMacPj() const;
+    double topsPerWatt() const;
+};
+
+/** Runs searchMappings for every layer of @p network. */
+NetworkEvaluation evaluateNetwork(const Arch& arch,
+                                  const workload::Network& network,
+                                  int mappings_per_layer = 200,
+                                  std::uint64_t seed = 1,
+                                  Objective objective = Objective::Energy);
+
+/**
+ * Same as evaluateNetwork but distributes layers over @p threads worker
+ * threads (layers are independent searches). Results are identical to
+ * the sequential version for the same seed. threads <= 1 falls through
+ * to evaluateNetwork.
+ */
+NetworkEvaluation evaluateNetworkParallel(
+    const Arch& arch, const workload::Network& network, int threads,
+    int mappings_per_layer = 200, std::uint64_t seed = 1,
+    Objective objective = Objective::Energy);
+
+/**
+ * Renders a per-node report of one evaluation: energy share, accesses
+ * served, area — the Accelergy-style output table.
+ */
+std::string formatReport(const Arch& arch, const Evaluation& ev);
+
+/** One nondominated mapping from an energy/latency exploration. */
+struct ParetoPoint
+{
+    mapping::Mapping mapping;
+    Evaluation eval;
+};
+
+/**
+ * Samples @p num_mappings mappings (plus the greedy heuristic) and
+ * returns the energy/latency Pareto frontier, sorted by ascending
+ * energy (therefore descending latency). Design-space explorations use
+ * this to expose the trade space rather than a single optimum.
+ */
+std::vector<ParetoPoint> paretoFrontier(const Arch& arch,
+                                        const workload::Layer& layer,
+                                        int num_mappings,
+                                        std::uint64_t seed = 1);
+
+/**
+ * Serializes a network evaluation as CSV (one row per layer plus a
+ * totals row) for plotting: layer, macs, energy_pj, latency_ns,
+ * utilization, tops_per_watt.
+ */
+std::string toCsv(const NetworkEvaluation& ev,
+                  const workload::Network& network);
+
+/**
+ * Renders the per-action energy table as YAML — Accelergy's "energy
+ * reference table" (ERT). One entry per hierarchy node with its
+ * per-tensor read/fill/action energies (pJ), area, latency, and static
+ * power, so users can inspect exactly what the statistical pipeline
+ * computed for an (architecture, layer) pair.
+ */
+std::string toYamlErt(const Arch& arch, const PerActionTable& table);
+
+} // namespace cimloop::engine
+
+#endif // CIMLOOP_ENGINE_EVALUATE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Models of the published CiM macros used in the paper's case studies
+ * (Sec. V, Table III, Fig. 3), built with the container-hierarchy spec:
+ *
+ *  - Base macro [Lu/NeuroSim]: rows sum outputs on each column wire, one
+ *    ADC convert per column, bit-serial DAC inputs.
+ *  - Macro A [Jia, 65 nm SRAM 768x768]: outputs additionally summed on
+ *    wires across groups of columns holding *different weights*; costs
+ *    input reuse (each group member gets its own DAC converts).
+ *  - Macro B [Sinangil, 7 nm SRAM 64x64]: an analog adder sums groups of
+ *    columns holding *different bits of the same weight* before one ADC.
+ *  - Macro C [Wan, 130 nm ReRAM 256x256]: an analog accumulator
+ *    integrates partial sums across input-bit cycles, so the ADC converts
+ *    each output once instead of once per cycle.
+ *  - Macro D [Wang, 22 nm SRAM 512x128]: C-2C ladder analog MAC units
+ *    compute full 8b x 8b products; a 512-row weight bank feeds the 64
+ *    active rows.
+ *  - Digital CiM [Kim/Colonnade]: bit-serial digital MACs and an adder
+ *    tree; no DAC/ADC at all.
+ */
+#ifndef CIMLOOP_MACROS_MACROS_HH
+#define CIMLOOP_MACROS_MACROS_HH
+
+#include "cimloop/engine/arch.hh"
+#include "cimloop/engine/evaluate.hh"
+
+namespace cimloop::spec {
+class HierarchyBuilder;
+} // namespace cimloop::spec
+
+namespace cimloop::macros {
+
+/** Knobs shared by the macro builders (defaults = Table III values,
+ *  overridable for the paper's sweeps). */
+struct MacroParams
+{
+    std::int64_t rows = 256;  //!< CiM array rows
+    std::int64_t cols = 256;  //!< CiM array columns
+
+    int inputBits = 8;   //!< operand precision presented to the macro
+    int weightBits = 8;
+    int dacBits = 1;     //!< input slice width (DAC resolution)
+    int cellBits = 1;    //!< weight bits per cell / per MAC unit
+    int adcBits = 8;     //!< ADC resolution
+
+    double technologyNm = 65.0;
+    double supplyVoltage = 0.0; //!< 0 = nominal for the node
+
+    dist::Encoding inputEncoding = dist::Encoding::Offset;
+    dist::Encoding weightEncoding = dist::Encoding::Offset;
+
+    std::int64_t bufferKb = 64; //!< local SRAM buffer capacity
+
+    int outputReuseCols = 1; //!< Macro A: columns summed per output group
+    int adderOperands = 4;   //!< Macro B: analog adder width
+    std::int64_t weightBankRows = 0; //!< Macro D: stored rows (0 = rows)
+};
+
+/** Table III defaults for each macro. */
+MacroParams baseDefaults();
+MacroParams macroADefaults();
+MacroParams macroBDefaults();
+MacroParams macroCDefaults();
+MacroParams macroDDefaults();
+MacroParams digitalCimDefaults();
+
+/** @name Macro builders; each returns a complete evaluable Arch. @{ */
+engine::Arch baseMacro(const MacroParams& p = baseDefaults());
+engine::Arch macroA(const MacroParams& p = macroADefaults());
+engine::Arch macroB(const MacroParams& p = macroBDefaults());
+engine::Arch macroC(const MacroParams& p = macroCDefaults());
+engine::Arch macroD(const MacroParams& p = macroDDefaults());
+engine::Arch digitalCim(const MacroParams& p = digitalCimDefaults());
+/** @} */
+
+/** Builds a macro by letter ("base", "A".."D", "digital"); fatal when
+ *  unknown. */
+engine::Arch macroByName(const std::string& name);
+
+/** Table III defaults by the same names. */
+MacroParams defaultsByName(const std::string& name);
+
+/**
+ * Appends one macro instance (its local buffer and everything inside) to
+ * an existing hierarchy builder — used to embed macros in larger systems
+ * (paper Fig. 15). @p kind selects the macro as in macroByName().
+ */
+void appendMacro(spec::HierarchyBuilder& builder, const MacroParams& p,
+                 const std::string& kind);
+
+/** Fills an Arch's representation/operating point from macro params. */
+void applyMacroParams(engine::Arch& arch, const MacroParams& p);
+
+/**
+ * ADC resolution required to digitize a rows-long analog column sum at a
+ * fixed truncation level: grows as log2(rows) (the Titanium-law scaling
+ * the paper's array-size studies rely on). @p bits_at_128 anchors the
+ * scale (NeuroSim's validated macro uses 5b at 128 rows).
+ */
+int scaledAdcBits(std::int64_t rows, int bits_at_128 = 5);
+
+/**
+ * Energy of the macro proper — nodes at or inside the "macro" container
+ * — excluding the local buffer. The paper defines a macro as "an array
+ * of memory cells plus the additional components needed to compute full
+ * MAC operations"; published macro TOPS/W figures (Table III, Figs.
+ * 7-11, 16) exclude the memory hierarchy, so validation uses this.
+ */
+double macroOnlyEnergyPj(const engine::Arch& arch,
+                         const engine::Evaluation& ev);
+
+/** Macro-level TOPS/W (2 ops per MAC, macro-only energy). */
+double macroTopsPerWatt(const engine::Arch& arch,
+                        const engine::Evaluation& ev);
+
+} // namespace cimloop::macros
+
+#endif // CIMLOOP_MACROS_MACROS_HH

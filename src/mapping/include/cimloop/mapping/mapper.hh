@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mapspace search (paper Sec. III-A: Timeloop-style mapping search).
+ *
+ * The mapper generates valid mappings of a layer onto a hierarchy:
+ *  - a greedy heuristic that maximizes array (innermost mesh) utilization
+ *    and keeps weights stationary, and
+ *  - seeded random sampling of the mapspace for search loops that
+ *    evaluate thousands of mappings per layer (paper Sec. II-E).
+ */
+#ifndef CIMLOOP_MAPPING_MAPPER_HH
+#define CIMLOOP_MAPPING_MAPPER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cimloop/common/util.hh"
+#include "cimloop/mapping/mapping.hh"
+
+namespace cimloop::mapping {
+
+/** Mapper knobs. */
+struct MapperOptions
+{
+    std::uint64_t seed = 1;   //!< RNG seed; same seed, same mappings
+    int maxAttempts = 64;     //!< resamples per next() before giving up
+};
+
+/**
+ * Generates mappings for one (hierarchy, layer) pair. Spatial factors are
+ * drawn only over dims each node allows (spatial_dims constraint and the
+ * hard wire-sharing rule); temporal loops live at storage nodes and the
+ * outermost node.
+ */
+class Mapper
+{
+  public:
+    Mapper(const spec::Hierarchy& hierarchy, const Layer& layer,
+           MapperOptions options = {});
+
+    /**
+     * Deterministic high-utilization mapping: fills every mesh innermost-
+     * first with the largest allowed factors, then places leftover loops
+     * temporally at the outermost storage. Fatal when even this mapping
+     * is structurally invalid.
+     */
+    Mapping greedy();
+
+    /**
+     * Draws the next random valid mapping, or nullopt when maxAttempts
+     * samples in a row fail validation.
+     */
+    std::optional<Mapping> next();
+
+    /**
+     * Enumerates the COMPLETE mapspace — every valid combination of
+     * spatial factors, temporal splits, and per-node loop permutations —
+     * for small layers/hierarchies. Fatal when the space exceeds
+     * @p limit (use random search instead). The exhaustive optimum
+     * bounds what any search can achieve, which the test suite uses to
+     * validate the greedy/random mappers.
+     */
+    std::vector<Mapping> exhaustive(std::size_t limit = 200000);
+
+    /** Mappings drawn so far (valid ones). */
+    std::int64_t generated() const { return num_generated; }
+
+  private:
+    const spec::Hierarchy& hierarchy;
+    const Layer& layer;
+    MapperOptions options;
+    Rng rng;
+    std::int64_t num_generated = 0;
+
+    /** Dims that node @p i may map spatially. */
+    std::vector<Dim> allowedSpatialDims(int i) const;
+
+    /** One random sample (may be invalid). */
+    Mapping sample();
+};
+
+} // namespace cimloop::mapping
+
+#endif // CIMLOOP_MAPPING_MAPPER_HH

@@ -1,0 +1,405 @@
+#include "cimloop/mapping/mapper.hh"
+
+#include <algorithm>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::mapping {
+
+using spec::SpecNode;
+using spec::tensorIndex;
+using workload::dimIndex;
+using workload::dimRelevantTo;
+using workload::kAllDims;
+using workload::kAllTensors;
+
+Mapper::Mapper(const spec::Hierarchy& h, const Layer& l, MapperOptions opts)
+    : hierarchy(h), layer(l), options(opts), rng(opts.seed ? opts.seed : 1)
+{
+    CIM_ASSERT(!hierarchy.nodes.empty(), "mapper needs a hierarchy");
+}
+
+namespace {
+
+/** True when node @p n permits a temporal loop over @p d. */
+bool
+allowsTemporal(const SpecNode& n, Dim d)
+{
+    return n.temporalDims.empty() ||
+           std::find(n.temporalDims.begin(), n.temporalDims.end(), d) !=
+               n.temporalDims.end();
+}
+
+} // namespace
+
+std::vector<Dim>
+Mapper::allowedSpatialDims(int i) const
+{
+    const SpecNode& node = hierarchy.nodes[i];
+    std::vector<Dim> allowed;
+    for (Dim d : kAllDims) {
+        if (!node.spatialDims.empty() &&
+            std::find(node.spatialDims.begin(), node.spatialDims.end(), d) ==
+                node.spatialDims.end()) {
+            continue;
+        }
+        bool conflict = false;
+        if (!node.flexibleSpatial) {
+            for (TensorKind t : kAllTensors) {
+                if (node.spatialReuse[tensorIndex(t)] &&
+                    dimRelevantTo(t, d)) {
+                    conflict = true; // shared wire cannot carry distinct data
+                }
+            }
+        }
+        if (!conflict)
+            allowed.push_back(d);
+    }
+    return allowed;
+}
+
+Mapping
+Mapper::greedy()
+{
+    Mapping m = Mapping::identity(hierarchy);
+    DimSizes remaining = layer.dims;
+
+    const int num_nodes = static_cast<int>(hierarchy.nodes.size());
+
+    // Spatial: innermost mesh first, largest allowed divisors.
+    for (int i = num_nodes - 1; i >= 0; --i) {
+        const SpecNode& node = hierarchy.nodes[i];
+        std::int64_t budget = node.spatialFanout();
+        if (budget <= 1)
+            continue;
+        for (Dim d : allowedSpatialDims(i)) {
+            if (budget <= 1)
+                break;
+            std::int64_t rem = remaining[dimIndex(d)];
+            if (rem <= 1)
+                continue;
+            // Largest divisor of rem that fits the budget.
+            std::int64_t best = 1;
+            for (std::int64_t f : divisorsOf(rem)) {
+                if (f <= budget)
+                    best = f;
+            }
+            if (best > 1) {
+                m.levels[i].spatial[dimIndex(d)] = best;
+                remaining[dimIndex(d)] /= best;
+                budget /= best;
+            }
+        }
+    }
+
+    // Temporal: each leftover dimension goes to the outermost storage
+    // node whose temporal_dims constraint permits it (node 0 as the
+    // fallback host when it stores nothing).
+    std::vector<int> eligible;
+    for (int i = 0; i < num_nodes; ++i) {
+        bool stores_any = false;
+        for (TensorKind t : kAllTensors)
+            stores_any = stores_any || hierarchy.nodes[i].stores(t);
+        if (stores_any || i == 0)
+            eligible.push_back(i);
+    }
+    for (Dim d : kAllDims) {
+        if (remaining[dimIndex(d)] <= 1)
+            continue;
+        bool placed = false;
+        for (int i : eligible) {
+            if (allowsTemporal(hierarchy.nodes[i], d)) {
+                m.levels[i].temporal[dimIndex(d)] =
+                    remaining[dimIndex(d)];
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            CIM_FATAL("no storage node permits a temporal loop over ",
+                      workload::dimName(d), " for layer '", layer.name,
+                      "' on hierarchy '", hierarchy.name, "'");
+        }
+    }
+
+    // Weight-stationary loop order everywhere: weight-relevant dims
+    // outermost so the innermost block of weight-irrelevant loops
+    // (N, P, Q, IB) keeps the array's weights resident.
+    for (int i : eligible) {
+        m.levels[i].order = {Dim::C, Dim::K, Dim::R, Dim::S, Dim::WB,
+                             Dim::N, Dim::P, Dim::Q, Dim::IB};
+    }
+
+    m.validate(hierarchy, layer);
+    return m;
+}
+
+Mapping
+Mapper::sample()
+{
+    Mapping m = Mapping::identity(hierarchy);
+    DimSizes remaining = layer.dims;
+    const int num_nodes = static_cast<int>(hierarchy.nodes.size());
+
+    // Spatial factors, innermost first. Bias toward high utilization
+    // (the published macros' mappers do the same) but keep the space open.
+    for (int i = num_nodes - 1; i >= 0; --i) {
+        const SpecNode& node = hierarchy.nodes[i];
+        std::int64_t budget = node.spatialFanout();
+        if (budget <= 1)
+            continue;
+        std::vector<Dim> allowed = allowedSpatialDims(i);
+        // Visit allowed dims in random order.
+        for (std::size_t a = allowed.size(); a > 1; --a)
+            std::swap(allowed[a - 1], allowed[rng.below(a)]);
+        for (Dim d : allowed) {
+            if (budget <= 1)
+                break;
+            std::int64_t rem = remaining[dimIndex(d)];
+            if (rem <= 1)
+                continue;
+            std::vector<std::int64_t> divs;
+            for (std::int64_t f : divisorsOf(rem)) {
+                if (f <= budget)
+                    divs.push_back(f);
+            }
+            std::int64_t f = 1;
+            if (rng.uniform() < 0.7) {
+                f = divs.back(); // largest fitting divisor
+            } else {
+                f = divs[rng.below(divs.size())];
+            }
+            if (f > 1) {
+                m.levels[i].spatial[dimIndex(d)] = f;
+                remaining[dimIndex(d)] /= f;
+                budget /= f;
+            }
+        }
+    }
+
+    // Temporal factors: split what remains of each dim across the storage
+    // nodes (inner ones take random divisors; the outermost eligible node
+    // takes the rest).
+    std::vector<int> eligible; // ascending = outermost first
+    for (int i = 0; i < num_nodes; ++i) {
+        bool stores_any = false;
+        for (TensorKind t : kAllTensors)
+            stores_any = stores_any || hierarchy.nodes[i].stores(t);
+        if (stores_any || i == 0)
+            eligible.push_back(i);
+    }
+    for (Dim d : kAllDims) {
+        std::int64_t rem = remaining[dimIndex(d)];
+        if (rem <= 1)
+            continue;
+        // The outermost node permitting d takes whatever is left.
+        int rest_taker = -1;
+        for (int i : eligible) {
+            if (allowsTemporal(hierarchy.nodes[i], d)) {
+                rest_taker = i;
+                break;
+            }
+        }
+        if (rest_taker < 0)
+            return m; // unmappable dim; caller's check() rejects it
+        // Walk eligible nodes innermost-first, peeling random factors.
+        for (auto it = eligible.rbegin(); it != eligible.rend(); ++it) {
+            int i = *it;
+            if (i == rest_taker) {
+                m.levels[i].temporal[dimIndex(d)] *= rem;
+                rem = 1;
+                break;
+            }
+            if (!allowsTemporal(hierarchy.nodes[i], d))
+                continue;
+            auto divs = divisorsOf(rem);
+            std::int64_t f = divs[rng.below(divs.size())];
+            if (f > 1) {
+                m.levels[i].temporal[dimIndex(d)] = f;
+                rem /= f;
+            }
+            if (rem == 1)
+                break;
+        }
+        CIM_ASSERT(rem == 1, "temporal split left factor ", rem,
+                   " unassigned for dim ", workload::dimName(d));
+    }
+
+    // Random permutation per node over the dims with temporal loops.
+    for (int i = 0; i < num_nodes; ++i) {
+        std::vector<Dim> order;
+        for (Dim d : kAllDims) {
+            if (m.levels[i].temporal[dimIndex(d)] > 1)
+                order.push_back(d);
+        }
+        for (std::size_t a = order.size(); a > 1; --a)
+            std::swap(order[a - 1], order[rng.below(a)]);
+        m.levels[i].order = order;
+    }
+    return m;
+}
+
+namespace {
+
+/** Recursion state for exhaustive enumeration. */
+struct Enumerator
+{
+    const spec::Hierarchy& hierarchy;
+    const Layer& layer;
+    std::size_t limit;
+    std::vector<Mapping>& out;
+    std::vector<int> eligible; //!< temporal-loop hosts, outermost first
+
+    void
+    emit(Mapping& m)
+    {
+        if (m.check(hierarchy, layer).empty()) {
+            if (out.size() >= limit) {
+                CIM_FATAL("mapspace exceeds the exhaustive limit of ",
+                          limit, " mappings; use random search");
+            }
+            out.push_back(m);
+        }
+    }
+
+    /** Permutations of each node's active temporal dims, innermost
+     *  choice last: recurse over eligible nodes. */
+    void
+    permutations(Mapping& m, std::size_t who)
+    {
+        if (who == eligible.size()) {
+            emit(m);
+            return;
+        }
+        int node = eligible[who];
+        std::vector<Dim> active;
+        for (Dim d : kAllDims) {
+            if (m.levels[node].temporal[dimIndex(d)] > 1)
+                active.push_back(d);
+        }
+        if (active.size() <= 1) {
+            m.levels[node].order = active;
+            permutations(m, who + 1);
+            return;
+        }
+        std::sort(active.begin(), active.end());
+        do {
+            m.levels[node].order = active;
+            permutations(m, who + 1);
+        } while (std::next_permutation(active.begin(), active.end()));
+    }
+
+    /** Splits dim d's remaining extent across the eligible nodes. */
+    void
+    temporalSplit(Mapping& m, const DimSizes& remaining, int dim_idx)
+    {
+        if (dim_idx == workload::kNumDims) {
+            permutations(m, 0);
+            return;
+        }
+        Dim d = kAllDims[dim_idx];
+        std::int64_t rem = remaining[dimIndex(d)];
+        if (rem == 1) {
+            temporalSplit(m, remaining, dim_idx + 1);
+            return;
+        }
+        // Ordered factorizations of rem over the eligible nodes.
+        splitOver(m, remaining, dim_idx, 0, rem);
+    }
+
+    void
+    splitOver(Mapping& m, const DimSizes& remaining, int dim_idx,
+              std::size_t who, std::int64_t rem)
+    {
+        Dim d = kAllDims[dim_idx];
+        if (who == eligible.size()) {
+            if (rem == 1)
+                temporalSplit(m, remaining, dim_idx + 1);
+            return;
+        }
+        int node = eligible[who];
+        bool allowed = allowsTemporal(hierarchy.nodes[node], d);
+        for (std::int64_t f : divisorsOf(rem)) {
+            if (f > 1 && !allowed)
+                break; // divisors ascend; only f == 1 is permitted
+            m.levels[node].temporal[dimIndex(d)] = f;
+            splitOver(m, remaining, dim_idx, who + 1, rem / f);
+        }
+        m.levels[node].temporal[dimIndex(d)] = 1;
+    }
+
+    /** Assigns spatial factors node by node, innermost first. */
+    void
+    spatial(Mapping& m, DimSizes remaining, int node_rev)
+    {
+        int num_nodes = static_cast<int>(hierarchy.nodes.size());
+        if (node_rev == num_nodes) {
+            temporalSplit(m, remaining, 0);
+            return;
+        }
+        int node = num_nodes - 1 - node_rev;
+        std::int64_t budget = hierarchy.nodes[node].spatialFanout();
+        if (budget <= 1) {
+            spatial(m, remaining, node_rev + 1);
+            return;
+        }
+        spatialDims(m, remaining, node_rev, node, 0, budget);
+    }
+
+    void
+    spatialDims(Mapping& m, DimSizes remaining, int node_rev, int node,
+                int dim_idx, std::int64_t budget)
+    {
+        if (dim_idx == workload::kNumDims) {
+            spatial(m, remaining, node_rev + 1);
+            return;
+        }
+        Dim d = kAllDims[dim_idx];
+        std::int64_t rem = remaining[dimIndex(d)];
+        for (std::int64_t f : divisorsOf(rem)) {
+            if (f > budget)
+                break;
+            m.levels[node].spatial[dimIndex(d)] = f;
+            remaining[dimIndex(d)] = rem / f;
+            spatialDims(m, remaining, node_rev, node, dim_idx + 1,
+                        budget / f);
+        }
+        m.levels[node].spatial[dimIndex(d)] = 1;
+        remaining[dimIndex(d)] = rem;
+    }
+};
+
+} // namespace
+
+std::vector<Mapping>
+Mapper::exhaustive(std::size_t limit)
+{
+    std::vector<Mapping> out;
+    std::vector<int> eligible;
+    for (int i = 0; i < static_cast<int>(hierarchy.nodes.size()); ++i) {
+        bool stores_any = false;
+        for (TensorKind t : kAllTensors)
+            stores_any = stores_any || hierarchy.nodes[i].stores(t);
+        if (stores_any || i == 0)
+            eligible.push_back(i);
+    }
+    Enumerator en{hierarchy, layer, limit, out, eligible};
+    Mapping m = Mapping::identity(hierarchy);
+    en.spatial(m, layer.dims, 0);
+    return out;
+}
+
+std::optional<Mapping>
+Mapper::next()
+{
+    for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+        Mapping m = sample();
+        if (m.check(hierarchy, layer).empty()) {
+            ++num_generated;
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace cimloop::mapping

@@ -1,0 +1,277 @@
+#include "cimloop/mapping/nest.hh"
+
+#include <algorithm>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::mapping {
+
+using spec::SpecNode;
+using spec::TemporalDirective;
+using spec::tensorIndex;
+using workload::dimIndex;
+using workload::dimRelevantTo;
+using workload::kAllDims;
+using workload::kAllTensors;
+
+namespace {
+
+/** Product of all mapping factors (temporal x spatial) of node @p i for
+ *  dims relevant / irrelevant to tensor @p t. */
+std::int64_t
+spatialRelevant(const LevelMapping& lm, TensorKind t)
+{
+    std::int64_t rel = 1;
+    for (Dim d : kAllDims) {
+        if (dimRelevantTo(t, d))
+            rel *= lm.spatial[dimIndex(d)];
+    }
+    return rel;
+}
+
+std::int64_t
+spatialIrrelevant(const LevelMapping& lm, TensorKind t)
+{
+    return lm.spatialUsed() / spatialRelevant(lm, t);
+}
+
+/** Extents covered strictly inside node @p i (all factors of nodes > i). */
+DimSizes
+extentsBelow(const Mapping& mapping, int i)
+{
+    DimSizes cum = workload::onesDims();
+    for (std::size_t j = i + 1; j < mapping.levels.size(); ++j) {
+        const LevelMapping& lm = mapping.levels[j];
+        for (Dim d : kAllDims) {
+            cum[dimIndex(d)] *=
+                lm.temporal[dimIndex(d)] * lm.spatial[dimIndex(d)];
+        }
+    }
+    return cum;
+}
+
+/**
+ * Permutation-aware temporal eviction product for tensor @p t stored at
+ * node @p b: the number of times node b's tile is (re)fetched due to the
+ * temporal loops outside its storage (nodes 0..b, including b's own
+ * temporal loops, which iterate over successive tiles).
+ *
+ * A relevant loop always multiplies (each iteration is new data). An
+ * irrelevant loop multiplies only when a relevant temporal loop sits
+ * strictly inside it — below it in its own node's order, or at any node
+ * between it and the storage node — because then the tile sequence
+ * repeats and must be refetched. Otherwise the tile is stationary.
+ */
+double
+temporalEvictions(const spec::Hierarchy& hierarchy, const Mapping& mapping,
+                  TensorKind t, int b)
+{
+    (void)hierarchy;
+    // relevantInside[j] = true when a relevant temporal loop exists at any
+    // node k with j < k <= b.
+    std::vector<bool> relevant_inside(b + 2, false);
+    for (int j = b; j >= 0; --j) {
+        bool here = false;
+        for (Dim d : kAllDims) {
+            if (dimRelevantTo(t, d) &&
+                mapping.levels[j].temporal[dimIndex(d)] > 1) {
+                here = true;
+            }
+        }
+        relevant_inside[j] = relevant_inside[j + 1] || here;
+    }
+
+    double product = 1.0;
+    for (int j = 0; j <= b; ++j) {
+        const LevelMapping& lm = mapping.levels[j];
+        std::vector<Dim> order = lm.effectiveOrder(); // outermost first
+        // Walk this node's loops innermost-first, tracking whether a
+        // relevant loop lies inside the current position.
+        bool relevant_below = relevant_inside[j + 1];
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            Dim d = *it;
+            std::int64_t f = lm.temporal[dimIndex(d)];
+            if (dimRelevantTo(t, d)) {
+                product *= static_cast<double>(f);
+                relevant_below = true;
+            } else if (relevant_below) {
+                product *= static_cast<double>(f);
+            }
+            // else: stationary tile; no refetch from this loop.
+        }
+    }
+    return product;
+}
+
+/** True when tensor @p t can be multicast/reduced across node @p j. */
+bool
+reusesSpatially(const SpecNode& node, TensorKind t)
+{
+    return node.spatialReuse[tensorIndex(t)] || node.flexibleSpatial;
+}
+
+} // namespace
+
+NestResult
+analyzeNest(const spec::Hierarchy& hierarchy, const Mapping& mapping,
+            const Layer& layer)
+{
+    NestResult result;
+    result.invalidReason = mapping.check(hierarchy, layer);
+    if (!result.invalidReason.empty())
+        return result;
+
+    const int num_nodes = static_cast<int>(hierarchy.nodes.size());
+    result.nodes.resize(num_nodes);
+    result.steps = mapping.totalSteps();
+
+    result.totalOps = 1.0;
+    for (Dim d : kAllDims)
+        result.totalOps *= static_cast<double>(layer.size(d));
+
+    // Instance counts: node i is replicated by the spatial factors of all
+    // nodes scoping it (indices < i).
+    for (int i = 0; i < num_nodes; ++i) {
+        std::int64_t used = 1, total = 1;
+        for (int j = 0; j < i; ++j) {
+            used *= mapping.levels[j].spatialUsed();
+            total *= hierarchy.nodes[j].spatialFanout();
+        }
+        // A node's own mesh also contributes to its own instance count.
+        used *= mapping.levels[i].spatialUsed();
+        total *= hierarchy.nodes[i].spatialFanout();
+        result.nodes[i].usedInstances = used;
+        result.nodes[i].totalInstances = total;
+        result.nodes[i].utilization =
+            static_cast<double>(used) / static_cast<double>(total);
+    }
+    result.innermostParallelism = result.nodes[num_nodes - 1].usedInstances;
+
+    // Per-tensor traffic analysis.
+    for (TensorKind t : kAllTensors) {
+        const int ti = tensorIndex(t);
+
+        // Storage nodes for t, ascending index (outermost first).
+        std::vector<int> storages;
+        for (int i = 0; i < num_nodes; ++i) {
+            if (hierarchy.nodes[i].stores(t))
+                storages.push_back(i);
+        }
+        CIM_ASSERT(!storages.empty(), "validate() guarantees storage for ",
+                   workload::tensorName(t));
+
+        // Tiles at storage nodes (per instance, slice units).
+        for (int b : storages) {
+            DimSizes below = extentsBelow(mapping, b);
+            result.nodes[b].tensors[ti].tile =
+                Layer::tensorTile(t, below);
+        }
+
+        // Demand segments run from each source (compute, or an inner
+        // storage node) up to the next outer storage node (or the top).
+        // sources[k] pairs with sink storages[k]; the innermost segment's
+        // source is compute (index num_nodes, raw demand = totalOps).
+        for (std::size_t seg = 0; seg <= storages.size(); ++seg) {
+            // Segment seg: from source (inner) to sink (outer).
+            //   seg == storages.size(): source = compute, sink =
+            //     storages.back().
+            //   otherwise: source = storages[seg], sink = storages[seg-1]
+            //     (seg == 0: sink = top of hierarchy).
+            int source; // node index of the source; num_nodes = compute
+            int sink;   // node index of the sink; -1 = top
+            double stream;
+            double pending = 1.0; // unmerged spatial partials (Outputs)
+
+            if (seg == storages.size()) {
+                source = num_nodes;
+                sink = storages.back();
+                // Compute demand: every unit op touches the tensor once.
+                // All mapping factors are already included in totalOps.
+                stream = result.totalOps;
+            } else {
+                source = storages[seg];
+                sink = seg == 0 ? -1 : storages[seg - 1];
+                // Demand the source storage places on its parent side,
+                // measured at its instance boundary (one term per
+                // instance, copies included): tile x every spatial factor
+                // at or outside the source x temporal evictions.
+                const TensorCounts& tc = result.nodes[source].tensors[ti];
+                stream = static_cast<double>(tc.tile);
+                for (int j = 0; j <= source; ++j) {
+                    stream *= static_cast<double>(
+                        mapping.levels[j].spatialUsed());
+                }
+                stream *= temporalEvictions(hierarchy, mapping, t, source);
+            }
+
+            // Walk node boundaries from the source's own mesh boundary
+            // outward to the sink.
+            int start = (source == num_nodes) ? num_nodes - 1 : source;
+            for (int k = start; k > sink; --k) {
+                const SpecNode& node = hierarchy.nodes[k];
+                const LevelMapping& lm = mapping.levels[k];
+                std::int64_t s_irr = spatialIrrelevant(lm, t);
+
+                // Crossing node k's mesh boundary: a shared wire
+                // multicasts (Inputs/Weights) or sums (Outputs) the
+                // s_irr same-datum crossings into one. Without reuse the
+                // copies stay in flight; coalescers track them via
+                // `pending`.
+                if (s_irr > 1) {
+                    if (reusesSpatially(node, t))
+                        stream /= static_cast<double>(s_irr);
+                    else
+                        pending *= static_cast<double>(s_irr);
+                }
+
+                if (k == source) {
+                    // Traffic on the wire directly above the source: its
+                    // fills (Inputs/Weights) or writebacks (Outputs).
+                    result.nodes[source].tensors[ti].fills = stream;
+                    continue;
+                }
+
+                TemporalDirective dir = node.directiveFor(t);
+                if (dir == TemporalDirective::NoCoalesce) {
+                    result.nodes[k].tensors[ti].actions += stream;
+                } else if (dir == TemporalDirective::Coalesce) {
+                    result.nodes[k].tensors[ti].actions += stream;
+                    stream /= pending;
+                    pending = 1.0;
+                }
+            }
+
+            if (sink >= 0) {
+                // The sink serves this segment's demand on its child side
+                // (reads for Inputs/Weights, arriving updates for
+                // Outputs).
+                result.nodes[sink].tensors[ti].reads += stream;
+            }
+        }
+    }
+
+    // Capacity checks: per-instance stored tiles must fit an 'entries'
+    // attribute when present.
+    for (int i = 0; i < num_nodes; ++i) {
+        const SpecNode& node = hierarchy.nodes[i];
+        if (!node.hasAttr("entries"))
+            continue;
+        std::int64_t entries = node.attrInt("entries", 0);
+        std::int64_t occupied = 0;
+        for (TensorKind t : kAllTensors) {
+            if (node.stores(t))
+                occupied += result.nodes[i].tensors[tensorIndex(t)].tile;
+        }
+        if (occupied > entries) {
+            result.invalidReason = cimloop::detail::concatMessage(
+                "node '", node.name, "': tile of ", occupied,
+                " entries exceeds capacity ", entries);
+            return result;
+        }
+    }
+
+    result.valid = true;
+    return result;
+}
+
+} // namespace cimloop::mapping

@@ -1,0 +1,142 @@
+#include "cimloop/models/devices.hh"
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/util.hh"
+
+namespace cimloop::models {
+
+namespace {
+
+yaml::Node
+num(double v)
+{
+    return yaml::Node::makeFloat(v);
+}
+
+/** Builds the preset table once. Values follow the NVMExplorer /
+ *  NeuroSim survey ballparks for each technology class. */
+std::vector<DevicePreset>
+buildPresets()
+{
+    std::vector<DevicePreset> out;
+
+    {
+        DevicePreset p;
+        p.name = "ReRAM";
+        p.cellClass = "ReRAMCell";
+        p.nonVolatile = true;
+        p.maxBitsPerCell = 4; // analog multi-level storage
+        p.attributes["g_on_us"] = num(100.0);
+        p.attributes["g_off_us"] = num(2.0);
+        p.attributes["v_read"] = num(0.25);
+        p.attributes["t_read_ns"] = num(10.0);
+        p.attributes["write_energy_pj"] = num(8.0);
+        p.attributes["area_f2"] = num(40.0);
+        out.push_back(std::move(p));
+    }
+    {
+        DevicePreset p;
+        p.name = "PCM";
+        p.cellClass = "ReRAMCell"; // same conductive-read physics
+        p.nonVolatile = true;
+        p.maxBitsPerCell = 4;
+        p.attributes["g_on_us"] = num(50.0);
+        p.attributes["g_off_us"] = num(0.5);
+        p.attributes["v_read"] = num(0.2);
+        p.attributes["t_read_ns"] = num(20.0);
+        // Melt-quench programming is expensive.
+        p.attributes["write_energy_pj"] = num(30.0);
+        p.attributes["area_f2"] = num(25.0);
+        out.push_back(std::move(p));
+    }
+    {
+        DevicePreset p;
+        p.name = "STT-MRAM";
+        p.cellClass = "ReRAMCell";
+        p.nonVolatile = true;
+        p.maxBitsPerCell = 1; // binary only; low TMR ratio
+        p.attributes["g_on_us"] = num(250.0);
+        p.attributes["g_off_us"] = num(125.0);
+        p.attributes["v_read"] = num(0.15);
+        p.attributes["t_read_ns"] = num(5.0);
+        p.attributes["write_energy_pj"] = num(1.0);
+        p.attributes["area_f2"] = num(60.0);
+        out.push_back(std::move(p));
+    }
+    {
+        DevicePreset p;
+        p.name = "FeFET";
+        p.cellClass = "ReRAMCell";
+        p.nonVolatile = true;
+        p.maxBitsPerCell = 3;
+        p.attributes["g_on_us"] = num(40.0);
+        p.attributes["g_off_us"] = num(0.4);
+        p.attributes["v_read"] = num(0.2);
+        p.attributes["t_read_ns"] = num(8.0);
+        // Field-effect programming: very cheap writes.
+        p.attributes["write_energy_pj"] = num(0.1);
+        p.attributes["area_f2"] = num(30.0);
+        out.push_back(std::move(p));
+    }
+    {
+        DevicePreset p;
+        p.name = "SRAM";
+        p.cellClass = "SRAMCell";
+        p.nonVolatile = false;
+        p.maxBitsPerCell = 1;
+        p.attributes["mac_energy_fj"] = num(1.8);
+        p.attributes["write_energy_fj"] = num(4.0);
+        p.attributes["area_f2"] = num(320.0);
+        p.attributes["leakage_pw"] = num(40.0);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+const std::vector<DevicePreset>&
+presets()
+{
+    static const std::vector<DevicePreset> table = buildPresets();
+    return table;
+}
+
+} // namespace
+
+const DevicePreset&
+devicePreset(const std::string& name)
+{
+    std::string n = toLower(name);
+    for (const DevicePreset& p : presets()) {
+        if (toLower(p.name) == n)
+            return p;
+    }
+    CIM_FATAL("unknown device preset '", name, "' (have: ReRAM, PCM, "
+              "STT-MRAM, FeFET, SRAM)");
+}
+
+std::vector<std::string>
+devicePresetNames()
+{
+    std::vector<std::string> names;
+    for (const DevicePreset& p : presets())
+        names.push_back(p.name);
+    return names;
+}
+
+void
+applyDevicePreset(spec::Hierarchy& hierarchy,
+                  const std::string& cell_node_name,
+                  const DevicePreset& preset)
+{
+    int idx = hierarchy.indexOf(cell_node_name);
+    if (idx < 0) {
+        CIM_FATAL("hierarchy '", hierarchy.name, "' has no node '",
+                  cell_node_name, "' to re-target to ", preset.name);
+    }
+    spec::SpecNode& node = hierarchy.nodes[idx];
+    node.klass = preset.cellClass;
+    for (const auto& [key, value] : preset.attributes)
+        node.attributes[key] = value;
+}
+
+} // namespace cimloop::models

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory-cell device presets (paper Sec. III-C2: "we also connect the
+ * NeuroSim plug-in to memory cells in the NVMExplorer memory cell
+ * exploration tool to let users flexibly swap device models").
+ *
+ * Each preset names the plug-in class that models the device and the
+ * attribute set to program into a hierarchy's cell node, so a user can
+ * re-run any study with a different storage technology by swapping one
+ * preset.
+ */
+#ifndef CIMLOOP_MODELS_DEVICES_HH
+#define CIMLOOP_MODELS_DEVICES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cimloop/spec/hierarchy.hh"
+
+namespace cimloop::models {
+
+/** One memory-cell technology operating point. */
+struct DevicePreset
+{
+    std::string name;       //!< "ReRAM", "PCM", "STT-MRAM", "SRAM", "FeFET"
+    std::string cellClass;  //!< plug-in class modeling it
+    bool nonVolatile = true;
+    int maxBitsPerCell = 1; //!< multi-level-cell capability
+
+    /** Attributes programmed into the cell node. */
+    std::map<std::string, yaml::Node> attributes;
+};
+
+/** Looks a preset up by (case-insensitive) name; fatal when unknown. */
+const DevicePreset& devicePreset(const std::string& name);
+
+/** All preset names, in a stable order. */
+std::vector<std::string> devicePresetNames();
+
+/**
+ * Re-targets the named cell node of @p hierarchy to @p preset: replaces
+ * its class and merges the preset's attributes (existing attributes with
+ * the same keys are overwritten; others are kept). Fatal when the node
+ * does not exist.
+ */
+void applyDevicePreset(spec::Hierarchy& hierarchy,
+                       const std::string& cell_node_name,
+                       const DevicePreset& preset);
+
+} // namespace cimloop::models
+
+#endif // CIMLOOP_MODELS_DEVICES_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Technology and supply-voltage scaling.
+ *
+ * CiMLoop scales component models across process nodes (paper Sec. V-B5
+ * scales Macros A/B/D to 7 nm for a fair comparison) using
+ * Stillmaker-Baas-style scaling factors, and models supply-voltage sweeps
+ * (paper Fig. 7) with the standard CV^2 energy rule and the alpha-power
+ * delay law.
+ */
+#ifndef CIMLOOP_MODELS_TECH_HH
+#define CIMLOOP_MODELS_TECH_HH
+
+namespace cimloop::models {
+
+/** Per-node reference parameters (interpolated between table entries). */
+struct TechParams
+{
+    double nm = 65.0;          //!< feature size
+    double vNominal = 1.0;     //!< nominal supply (V)
+    double vThreshold = 0.35;  //!< threshold voltage (V)
+    double energyFactor = 1.0; //!< dynamic energy relative to 65 nm
+    double areaFactor = 1.0;   //!< logic area relative to 65 nm
+    double delayFactor = 1.0;  //!< gate delay relative to 65 nm
+};
+
+/** Looks up (with geometric interpolation) parameters for a node. */
+TechParams techParams(double nm);
+
+/** Dynamic energy multiplier when porting a value from one node to
+ *  another at nominal voltage. */
+double energyScale(double from_nm, double to_nm);
+
+/** Area multiplier between nodes. */
+double areaScale(double from_nm, double to_nm);
+
+/** Delay multiplier between nodes. */
+double delayScale(double from_nm, double to_nm);
+
+/**
+ * Supply-voltage behaviour at a node: energy goes as (V/Vnom)^2, maximum
+ * frequency follows the alpha-power law f ~ (V - Vt)^alpha / V.
+ */
+class VoltageModel
+{
+  public:
+    explicit VoltageModel(const TechParams& tech, double alpha = 1.3);
+
+    /** Dynamic-energy multiplier at supply @p v relative to nominal. */
+    double energyFactor(double v) const;
+
+    /** Achievable-frequency multiplier at supply @p v (1.0 at nominal);
+     *  fatal when @p v is at or below threshold. */
+    double frequencyFactor(double v) const;
+
+    double nominal() const { return v_nom; }
+    double threshold() const { return v_th; }
+
+  private:
+    double v_nom;
+    double v_th;
+    double alpha;
+};
+
+} // namespace cimloop::models
+
+#endif // CIMLOOP_MODELS_TECH_HH

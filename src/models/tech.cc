@@ -1,0 +1,113 @@
+#include "cimloop/models/tech.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::models {
+
+namespace {
+
+// Reference table in the spirit of Stillmaker & Baas, "Scaling equations
+// for the accurate prediction of CMOS device performance from 180 nm to
+// 7 nm". Factors are relative to 65 nm at nominal supply.
+const std::vector<TechParams> kTable = {
+    //  nm   Vnom   Vth   energy  area    delay
+    {  7.0,  0.70,  0.30, 0.040,  0.012,  0.28 },
+    { 14.0,  0.80,  0.32, 0.095,  0.046,  0.40 },
+    { 22.0,  0.85,  0.33, 0.160,  0.110,  0.52 },
+    { 28.0,  0.90,  0.34, 0.220,  0.180,  0.60 },
+    { 32.0,  0.95,  0.34, 0.280,  0.240,  0.66 },
+    { 40.0,  1.00,  0.35, 0.420,  0.380,  0.76 },
+    { 65.0,  1.10,  0.35, 1.000,  1.000,  1.00 },
+    { 90.0,  1.20,  0.38, 1.900,  1.900,  1.30 },
+    { 130.0, 1.30,  0.40, 3.800,  4.000,  1.80 },
+    { 180.0, 1.80,  0.45, 9.500,  7.700,  2.60 },
+};
+
+/** Geometric interpolation of a factor between two table rows. */
+double
+interp(double nm, double a_nm, double a_v, double b_nm, double b_v)
+{
+    double t = (std::log(nm) - std::log(a_nm)) /
+               (std::log(b_nm) - std::log(a_nm));
+    return std::exp(std::log(a_v) + t * (std::log(b_v) - std::log(a_v)));
+}
+
+} // namespace
+
+TechParams
+techParams(double nm)
+{
+    if (nm <= 0.0)
+        CIM_FATAL("technology node must be positive, got ", nm);
+    if (nm <= kTable.front().nm)
+        return kTable.front();
+    if (nm >= kTable.back().nm)
+        return kTable.back();
+    for (std::size_t i = 1; i < kTable.size(); ++i) {
+        if (nm <= kTable[i].nm) {
+            const TechParams& a = kTable[i - 1];
+            const TechParams& b = kTable[i];
+            TechParams out;
+            out.nm = nm;
+            out.vNominal = interp(nm, a.nm, a.vNominal, b.nm, b.vNominal);
+            out.vThreshold =
+                interp(nm, a.nm, a.vThreshold, b.nm, b.vThreshold);
+            out.energyFactor =
+                interp(nm, a.nm, a.energyFactor, b.nm, b.energyFactor);
+            out.areaFactor =
+                interp(nm, a.nm, a.areaFactor, b.nm, b.areaFactor);
+            out.delayFactor =
+                interp(nm, a.nm, a.delayFactor, b.nm, b.delayFactor);
+            return out;
+        }
+    }
+    CIM_PANIC("unreachable: node ", nm, " not bracketed");
+}
+
+double
+energyScale(double from_nm, double to_nm)
+{
+    return techParams(to_nm).energyFactor / techParams(from_nm).energyFactor;
+}
+
+double
+areaScale(double from_nm, double to_nm)
+{
+    return techParams(to_nm).areaFactor / techParams(from_nm).areaFactor;
+}
+
+double
+delayScale(double from_nm, double to_nm)
+{
+    return techParams(to_nm).delayFactor / techParams(from_nm).delayFactor;
+}
+
+VoltageModel::VoltageModel(const TechParams& tech, double a)
+    : v_nom(tech.vNominal), v_th(tech.vThreshold), alpha(a)
+{
+    CIM_ASSERT(v_nom > v_th, "nominal voltage must exceed threshold");
+}
+
+double
+VoltageModel::energyFactor(double v) const
+{
+    if (v <= 0.0)
+        CIM_FATAL("supply voltage must be positive, got ", v);
+    return (v * v) / (v_nom * v_nom);
+}
+
+double
+VoltageModel::frequencyFactor(double v) const
+{
+    if (v <= v_th)
+        CIM_FATAL("supply voltage ", v, " V is at or below threshold ",
+                  v_th, " V; the circuit cannot switch");
+    double f = std::pow(v - v_th, alpha) / v;
+    double f_nom = std::pow(v_nom - v_th, alpha) / v_nom;
+    return f / f_nom;
+}
+
+} // namespace cimloop::models

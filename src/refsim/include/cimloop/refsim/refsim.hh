@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Value-level reference simulator and baseline energy models.
+ *
+ * The paper validates CiMLoop's statistical model against NeuroSim, which
+ * "calculates every data value propagated by every modeled component"
+ * (Sec. IV). NeuroSim is unavailable here, so this module provides a
+ * from-scratch equivalent (see DESIGN.md): it synthesizes *correlated*
+ * operand tensors (per-activation contrast, per-filter scale — the joint
+ * structure real DNN tensors have), then walks every DAC convert, cell
+ * read, column sum, ADC convert, and digital accumulation of the base CiM
+ * macro, summing exact per-value energies.
+ *
+ * Three estimators share the same physics:
+ *  - simulateValueLevel(): exact, slow — the ground truth (paper's
+ *    "NeuroSim" column in Fig. 6 / Table II).
+ *  - estimateStatistical(): CiMLoop's model — expectation over *per-layer
+ *    marginal PMFs recorded from the same tensors*, treating tensors as
+ *    independent (paper Sec. III-D1). Error relative to ground truth
+ *    comes from the independence assumption on nonlinear components.
+ *  - estimateFixedEnergy(): Timeloop-style non-data-value-dependent
+ *    baseline using one network-average distribution for all layers.
+ */
+#ifndef CIMLOOP_REFSIM_REFSIM_HH
+#define CIMLOOP_REFSIM_REFSIM_HH
+
+#include <cstdint>
+
+#include "cimloop/dist/operands.hh"
+#include "cimloop/workload/layer.hh"
+
+namespace cimloop::refsim {
+
+/** Base-macro configuration simulated at value level. */
+struct RefSimConfig
+{
+    std::int64_t rows = 128;
+    std::int64_t cols = 128;
+
+    int inputBits = 8;
+    int weightBits = 8;
+    int dacBits = 1;   //!< input slice width
+    int cellBits = 1;  //!< weight bits per cell
+    int adcBits = 5;
+
+    double technologyNm = 40.0;
+
+    /** ADC spends less on small codes (nonlinear in the column sum). */
+    bool valueAwareAdc = true;
+
+    /**
+     * Macro-C-style analog accumulation (paper Fig. 3): column partial
+     * sums integrate across the input-bit cycles and the ADC converts
+     * each output once, instead of once per cycle. DAC and cell activity
+     * still scale with the number of input slices.
+     */
+    bool accumulateAcrossInputBits = false;
+
+    /**
+     * Strength of the joint structure in the synthesized tensors: the
+     * log-std of the shared per-activation contrast factor. 0 makes
+     * operand values independent (the statistical model's assumption is
+     * then exact); larger values grow the independence-assumption error
+     * (DESIGN.md ablation 1, bench/ablation_independence).
+     */
+    double contrastStd = 0.5;
+
+    std::uint64_t seed = 1;
+
+    /** Activation vectors simulated per layer (the rest is scaled up);
+     *  0 simulates every vector. */
+    std::int64_t maxVectors = 48;
+};
+
+/** Energy totals (pJ, whole layer) with a per-component breakdown. */
+struct RefSimResult
+{
+    double dacPj = 0.0;
+    double cellPj = 0.0;
+    double adcPj = 0.0;
+    double digitalPj = 0.0;
+    double bufferPj = 0.0;
+
+    double ops = 0.0;              //!< unit cell operations accounted
+    std::int64_t valuesSimulated = 0; //!< per-value events processed
+
+    double totalPj() const
+    {
+        return dacPj + cellPj + adcPj + digitalPj + bufferPj;
+    }
+};
+
+/**
+ * Exact value-level simulation. When @p out_profile is non-null it
+ * receives the *empirical marginal PMFs* of the simulated tensors — what
+ * the paper's "RecordOperandPMFs" step produces — for use by
+ * estimateStatistical().
+ */
+RefSimResult simulateValueLevel(const RefSimConfig& config,
+                                const workload::Layer& layer,
+                                dist::OperandProfile* out_profile = nullptr);
+
+/** CiMLoop-style statistical estimate from independent marginal PMFs. */
+RefSimResult estimateStatistical(const RefSimConfig& config,
+                                 const workload::Layer& layer,
+                                 const dist::OperandProfile& profile);
+
+/** Fixed-energy baseline: per-action energies frozen at the
+ *  network-average operand distribution @p network_avg. */
+RefSimResult estimateFixedEnergy(const RefSimConfig& config,
+                                 const workload::Layer& layer,
+                                 const dist::OperandProfile& network_avg);
+
+/**
+ * Averages several per-layer profiles into the network-average profile
+ * the fixed-energy baseline uses (paper Fig. 6: "energy ... calculated
+ * using data values averaged over all layers").
+ */
+dist::OperandProfile averageProfiles(
+    const std::vector<dist::OperandProfile>& profiles);
+
+} // namespace cimloop::refsim
+
+#endif // CIMLOOP_REFSIM_REFSIM_HH

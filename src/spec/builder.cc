@@ -1,0 +1,160 @@
+#include "cimloop/spec/builder.hh"
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::spec {
+
+HierarchyBuilder::HierarchyBuilder(std::string name)
+{
+    hierarchy.name = std::move(name);
+}
+
+HierarchyBuilder&
+HierarchyBuilder::container(const std::string& name)
+{
+    SpecNode node;
+    node.kind = SpecNode::Kind::Container;
+    node.name = name;
+    hierarchy.nodes.push_back(std::move(node));
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::component(const std::string& name,
+                            const std::string& klass)
+{
+    SpecNode node;
+    node.kind = SpecNode::Kind::Component;
+    node.name = name;
+    node.klass = klass;
+    hierarchy.nodes.push_back(std::move(node));
+    return *this;
+}
+
+SpecNode&
+HierarchyBuilder::current()
+{
+    if (hierarchy.nodes.empty())
+        CIM_FATAL("builder: directive before any node was added");
+    return hierarchy.nodes.back();
+}
+
+void
+HierarchyBuilder::setDirective(std::initializer_list<TensorKind> ts,
+                               TemporalDirective d)
+{
+    SpecNode& node = current();
+    for (TensorKind t : ts) {
+        TemporalDirective& slot = node.temporal[tensorIndex(t)];
+        if (slot != TemporalDirective::Bypass && slot != d) {
+            CIM_FATAL("builder: node '", node.name, "' tensor ",
+                      workload::tensorName(t), " already has directive ",
+                      directiveName(slot));
+        }
+        slot = d;
+    }
+}
+
+HierarchyBuilder&
+HierarchyBuilder::temporalReuse(std::initializer_list<TensorKind> ts)
+{
+    setDirective(ts, TemporalDirective::TemporalReuse);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::coalesce(std::initializer_list<TensorKind> ts)
+{
+    setDirective(ts, TemporalDirective::Coalesce);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::noCoalesce(std::initializer_list<TensorKind> ts)
+{
+    setDirective(ts, TemporalDirective::NoCoalesce);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::spatialReuse(std::initializer_list<TensorKind> ts)
+{
+    SpecNode& node = current();
+    for (TensorKind t : ts)
+        node.spatialReuse[tensorIndex(t)] = true;
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::spatial(std::int64_t mesh_x, std::int64_t mesh_y)
+{
+    SpecNode& node = current();
+    if (mesh_x < 1 || mesh_y < 1)
+        CIM_FATAL("builder: node '", node.name,
+                  "' mesh sizes must be >= 1");
+    node.meshX = mesh_x;
+    node.meshY = mesh_y;
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::spatialDims(std::initializer_list<workload::Dim> ds)
+{
+    SpecNode& node = current();
+    for (workload::Dim d : ds)
+        node.spatialDims.push_back(d);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::temporalDims(std::initializer_list<workload::Dim> ds)
+{
+    SpecNode& node = current();
+    for (workload::Dim d : ds)
+        node.temporalDims.push_back(d);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::flexibleSpatial(bool flexible)
+{
+    current().flexibleSpatial = flexible;
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::attr(const std::string& key, std::int64_t value)
+{
+    current().attributes[key] = yaml::Node::makeInt(value);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::attr(const std::string& key, double value)
+{
+    current().attributes[key] = yaml::Node::makeFloat(value);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::attr(const std::string& key, const std::string& value)
+{
+    current().attributes[key] = yaml::Node::makeString(value);
+    return *this;
+}
+
+HierarchyBuilder&
+HierarchyBuilder::attr(const std::string& key, const char* value)
+{
+    current().attributes[key] = yaml::Node::makeString(value);
+    return *this;
+}
+
+Hierarchy
+HierarchyBuilder::build()
+{
+    hierarchy.validate();
+    return hierarchy;
+}
+
+} // namespace cimloop::spec

@@ -1,0 +1,379 @@
+#include "cimloop/spec/hierarchy.hh"
+
+#include <set>
+#include <sstream>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/yaml/parser.hh"
+
+namespace cimloop::spec {
+
+const char*
+directiveName(TemporalDirective d)
+{
+    switch (d) {
+      case TemporalDirective::Bypass: return "bypass";
+      case TemporalDirective::TemporalReuse: return "temporal_reuse";
+      case TemporalDirective::Coalesce: return "coalesce";
+      case TemporalDirective::NoCoalesce: return "no_coalesce";
+    }
+    return "?";
+}
+
+std::int64_t
+SpecNode::attrInt(const std::string& key, std::int64_t fallback) const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second.asInt();
+}
+
+double
+SpecNode::attrDouble(const std::string& key, double fallback) const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second.asDouble();
+}
+
+std::string
+SpecNode::attrString(const std::string& key,
+                     const std::string& fallback) const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second.asString();
+}
+
+bool
+SpecNode::hasAttr(const std::string& key) const
+{
+    return attributes.count(key) > 0;
+}
+
+namespace {
+
+/** Applies a directive list ("temporal_reuse: [Inputs, Outputs]"). */
+void
+applyDirective(SpecNode& node, const yaml::Node& list,
+               TemporalDirective directive)
+{
+    if (!list.isSequence())
+        CIM_FATAL("node '", node.name, "': ", directiveName(directive),
+                  " must be a list of tensor names");
+    for (const yaml::Node& entry : list.elements()) {
+        TensorKind t = workload::tensorFromString(entry.asString());
+        TemporalDirective& slot = node.temporal[tensorIndex(t)];
+        if (slot != TemporalDirective::Bypass && slot != directive) {
+            CIM_FATAL("node '", node.name, "': tensor ",
+                      workload::tensorName(t), " listed under both ",
+                      directiveName(slot), " and ",
+                      directiveName(directive));
+        }
+        slot = directive;
+    }
+}
+
+SpecNode
+nodeFromYaml(const yaml::Node& y)
+{
+    SpecNode node;
+    if (y.tag() == "Component") {
+        node.kind = SpecNode::Kind::Component;
+    } else if (y.tag() == "Container") {
+        node.kind = SpecNode::Kind::Container;
+    } else {
+        CIM_FATAL("hierarchy entries must be tagged !Component or "
+                  "!Container, got '!", y.tag(), "'");
+    }
+    if (!y.isMapping())
+        CIM_FATAL("hierarchy node body must be a mapping");
+
+    for (const auto& [key, value] : y.items()) {
+        if (key == "name") {
+            node.name = value.asString();
+        } else if (key == "class") {
+            node.klass = value.asString();
+        } else if (key == "temporal_reuse") {
+            applyDirective(node, value, TemporalDirective::TemporalReuse);
+        } else if (key == "coalesce") {
+            applyDirective(node, value, TemporalDirective::Coalesce);
+        } else if (key == "no_coalesce") {
+            applyDirective(node, value, TemporalDirective::NoCoalesce);
+        } else if (key == "spatial_reuse") {
+            if (!value.isSequence())
+                CIM_FATAL("node '", node.name,
+                          "': spatial_reuse must be a list");
+            for (const yaml::Node& entry : value.elements()) {
+                TensorKind t =
+                    workload::tensorFromString(entry.asString());
+                node.spatialReuse[tensorIndex(t)] = true;
+            }
+        } else if (key == "spatial") {
+            if (!value.isMapping())
+                CIM_FATAL("node '", node.name,
+                          "': spatial must be a mapping of meshX/meshY");
+            node.meshX = value.getInt("meshX", 1);
+            node.meshY = value.getInt("meshY", 1);
+            for (const auto& [mk, mv] : value.items()) {
+                (void)mv;
+                if (mk != "meshX" && mk != "meshY")
+                    CIM_FATAL("node '", node.name,
+                              "': unknown spatial key '", mk, "'");
+            }
+        } else if (key == "spatial_dims") {
+            if (!value.isSequence())
+                CIM_FATAL("node '", node.name,
+                          "': spatial_dims must be a list");
+            for (const yaml::Node& entry : value.elements())
+                node.spatialDims.push_back(
+                    workload::dimFromString(entry.asString()));
+        } else if (key == "temporal_dims") {
+            if (!value.isSequence())
+                CIM_FATAL("node '", node.name,
+                          "': temporal_dims must be a list");
+            for (const yaml::Node& entry : value.elements())
+                node.temporalDims.push_back(
+                    workload::dimFromString(entry.asString()));
+        } else if (key == "flexible_spatial") {
+            node.flexibleSpatial = value.asBool();
+        } else if (key == "attributes") {
+            if (!value.isMapping())
+                CIM_FATAL("node '", node.name,
+                          "': attributes must be a mapping");
+            for (const auto& [ak, av] : value.items())
+                node.attributes[ak] = av;
+        } else {
+            // Any other key is a free-form attribute.
+            node.attributes[key] = value;
+        }
+    }
+    if (node.name.empty())
+        CIM_FATAL("hierarchy node is missing a name");
+    return node;
+}
+
+} // namespace
+
+Hierarchy
+Hierarchy::fromYaml(const yaml::Node& doc, const std::string& name)
+{
+    Hierarchy h;
+    h.name = name;
+    const yaml::Node* seq = &doc;
+    // Accept either a bare tagged-block sequence or a document with an
+    // 'architecture:' key holding one.
+    if (doc.isMapping() && doc.has("architecture"))
+        seq = &doc["architecture"];
+    if (!seq->isSequence())
+        CIM_FATAL("hierarchy document must be a sequence of !Component / "
+                  "!Container nodes");
+    for (const yaml::Node& entry : seq->elements())
+        h.nodes.push_back(nodeFromYaml(entry));
+    h.validate();
+    return h;
+}
+
+Hierarchy
+Hierarchy::fromText(const std::string& text, const std::string& name)
+{
+    return fromYaml(yaml::parse(text), name);
+}
+
+Hierarchy
+Hierarchy::fromFile(const std::string& path)
+{
+    return fromYaml(yaml::parseFile(path), path);
+}
+
+const SpecNode&
+Hierarchy::node(const std::string& node_name) const
+{
+    int i = indexOf(node_name);
+    if (i < 0)
+        CIM_FATAL("hierarchy '", name, "' has no node '", node_name, "'");
+    return nodes[i];
+}
+
+int
+Hierarchy::indexOf(const std::string& node_name) const
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].name == node_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::int64_t
+Hierarchy::instancesOf(int i) const
+{
+    CIM_ASSERT(i >= 0 && i < static_cast<int>(nodes.size()),
+               "node index out of range: ", i);
+    std::int64_t instances = 1;
+    for (int j = 0; j < i; ++j)
+        instances *= nodes[j].spatialFanout();
+    return instances;
+}
+
+void
+Hierarchy::insertAfter(const std::string& anchor, SpecNode new_node)
+{
+    int i = indexOf(anchor);
+    if (i < 0)
+        CIM_FATAL("hierarchy '", name, "' has no node '", anchor,
+                  "' to insert after");
+    nodes.insert(nodes.begin() + i + 1, std::move(new_node));
+    validate();
+}
+
+void
+Hierarchy::remove(const std::string& node_name)
+{
+    int i = indexOf(node_name);
+    if (i < 0)
+        CIM_FATAL("hierarchy '", name, "' has no node '", node_name,
+                  "' to remove");
+    SpecNode removed = std::move(nodes[i]);
+    nodes.erase(nodes.begin() + i);
+    try {
+        validate();
+    } catch (const FatalError&) {
+        // Restore so the hierarchy stays usable, then re-report.
+        nodes.insert(nodes.begin() + i, std::move(removed));
+        CIM_FATAL("removing '", node_name, "' from hierarchy '", name,
+                  "' would leave it inconsistent");
+    }
+}
+
+void
+Hierarchy::validate() const
+{
+    if (nodes.empty())
+        CIM_FATAL("hierarchy '", name, "' has no nodes");
+
+    std::set<std::string> names;
+    for (const SpecNode& n : nodes) {
+        if (!names.insert(n.name).second)
+            CIM_FATAL("hierarchy '", name, "': duplicate node name '",
+                      n.name, "'");
+        if (n.meshX < 1 || n.meshY < 1)
+            CIM_FATAL("node '", n.name, "': mesh sizes must be >= 1");
+        for (TensorKind t : workload::kAllTensors) {
+            if (n.spatialReuse[tensorIndex(t)] && n.spatialFanout() == 1 &&
+                n.kind == SpecNode::Kind::Component) {
+                // Benign: spatial reuse with a single instance is a no-op.
+                continue;
+            }
+        }
+    }
+
+    // Every tensor needs at least one temporal-reuse (storage) node so the
+    // nest analysis has a backing store to charge fills against.
+    for (TensorKind t : workload::kAllTensors) {
+        bool stored = false;
+        for (const SpecNode& n : nodes)
+            stored = stored || n.stores(t);
+        if (!stored)
+            CIM_FATAL("hierarchy '", name, "': no node stores ",
+                      workload::tensorName(t),
+                      " (need temporal_reuse somewhere)");
+    }
+}
+
+std::string
+Hierarchy::toYamlText() const
+{
+    std::ostringstream oss;
+    oss << "# hierarchy '" << name << "' (generated)\n";
+    for (const SpecNode& n : nodes) {
+        oss << (n.kind == SpecNode::Kind::Container ? "!Container\n"
+                                                    : "!Component\n");
+        oss << "name: " << n.name << "\n";
+        if (!n.klass.empty())
+            oss << "class: " << n.klass << "\n";
+
+        auto emitTensorList = [&](const char* key,
+                                  TemporalDirective which) {
+            std::vector<std::string> listed;
+            for (TensorKind t : workload::kAllTensors) {
+                if (n.directiveFor(t) == which)
+                    listed.push_back(workload::tensorName(t));
+            }
+            if (listed.empty())
+                return;
+            oss << key << ": [";
+            for (std::size_t i = 0; i < listed.size(); ++i)
+                oss << (i ? ", " : "") << listed[i];
+            oss << "]\n";
+        };
+        emitTensorList("temporal_reuse", TemporalDirective::TemporalReuse);
+        emitTensorList("coalesce", TemporalDirective::Coalesce);
+        emitTensorList("no_coalesce", TemporalDirective::NoCoalesce);
+
+        {
+            std::vector<std::string> reused;
+            for (TensorKind t : workload::kAllTensors) {
+                if (n.spatialReuse[tensorIndex(t)])
+                    reused.push_back(workload::tensorName(t));
+            }
+            if (!reused.empty()) {
+                oss << "spatial_reuse: [";
+                for (std::size_t i = 0; i < reused.size(); ++i)
+                    oss << (i ? ", " : "") << reused[i];
+                oss << "]\n";
+            }
+        }
+
+        if (n.spatialFanout() > 1) {
+            oss << "spatial: {meshX: " << n.meshX << ", meshY: " << n.meshY
+                << "}\n";
+        }
+        if (!n.spatialDims.empty()) {
+            oss << "spatial_dims: [";
+            for (std::size_t i = 0; i < n.spatialDims.size(); ++i)
+                oss << (i ? ", " : "") << workload::dimName(
+                                              n.spatialDims[i]);
+            oss << "]\n";
+        }
+        if (!n.temporalDims.empty()) {
+            oss << "temporal_dims: [";
+            for (std::size_t i = 0; i < n.temporalDims.size(); ++i)
+                oss << (i ? ", " : "") << workload::dimName(
+                                              n.temporalDims[i]);
+            oss << "]\n";
+        }
+        if (n.flexibleSpatial)
+            oss << "flexible_spatial: true\n";
+        for (const auto& [key, value] : n.attributes)
+            oss << key << ": " << value.toString() << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+Hierarchy::summary() const
+{
+    std::ostringstream oss;
+    oss << "hierarchy '" << name << "' (" << nodes.size() << " nodes)\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const SpecNode& n = nodes[i];
+        oss << "  [" << i << "] "
+            << (n.kind == SpecNode::Kind::Container ? "container " :
+                                                      "component ")
+            << n.name;
+        if (!n.klass.empty())
+            oss << " <" << n.klass << ">";
+        if (n.spatialFanout() > 1)
+            oss << " x" << n.meshX << "x" << n.meshY;
+        for (TensorKind t : workload::kAllTensors) {
+            if (n.touches(t)) {
+                oss << " " << workload::tensorName(t) << ":"
+                    << directiveName(n.directiveFor(t));
+            }
+            if (n.spatialReuse[tensorIndex(t)])
+                oss << " " << workload::tensorName(t) << ":spatial_reuse";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cimloop::spec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fluent C++ builder for container-hierarchies. The macro library uses this
+ * to construct the paper's Macros A-D programmatically; it produces the
+ * same Hierarchy type as the YAML front end.
+ */
+#ifndef CIMLOOP_SPEC_BUILDER_HH
+#define CIMLOOP_SPEC_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+
+#include "cimloop/spec/hierarchy.hh"
+
+namespace cimloop::spec {
+
+/**
+ * Builds a Hierarchy node-by-node. Directive calls apply to the most
+ * recently added node. Example:
+ *
+ *   Hierarchy h = HierarchyBuilder("macro")
+ *       .component("buffer", "SRAM")
+ *           .temporalReuse({TensorKind::Input, TensorKind::Output})
+ *           .attr("depth", 1024)
+ *       .container("column")
+ *           .spatial(8, 1)
+ *           .spatialReuse({TensorKind::Input})
+ *       .component("memory_cell", "SRAMCell")
+ *           .spatial(1, 64)
+ *           .temporalReuse({TensorKind::Weight})
+ *           .spatialReuse({TensorKind::Output})
+ *       .build();
+ */
+class HierarchyBuilder
+{
+  public:
+    explicit HierarchyBuilder(std::string name);
+
+    /** Starts a new container node. */
+    HierarchyBuilder& container(const std::string& name);
+
+    /** Starts a new component node with an optional class. */
+    HierarchyBuilder& component(const std::string& name,
+                                const std::string& klass = "");
+
+    /** @name Directives for the current node @{ */
+    HierarchyBuilder& temporalReuse(std::initializer_list<TensorKind> ts);
+    HierarchyBuilder& coalesce(std::initializer_list<TensorKind> ts);
+    HierarchyBuilder& noCoalesce(std::initializer_list<TensorKind> ts);
+    HierarchyBuilder& spatialReuse(std::initializer_list<TensorKind> ts);
+    HierarchyBuilder& spatial(std::int64_t mesh_x, std::int64_t mesh_y = 1);
+    HierarchyBuilder& spatialDims(std::initializer_list<workload::Dim> ds);
+    HierarchyBuilder& temporalDims(std::initializer_list<workload::Dim> ds);
+    HierarchyBuilder& flexibleSpatial(bool flexible = true);
+    HierarchyBuilder& attr(const std::string& key, std::int64_t value);
+    HierarchyBuilder& attr(const std::string& key, double value);
+    HierarchyBuilder& attr(const std::string& key, const std::string& value);
+    HierarchyBuilder& attr(const std::string& key, const char* value);
+    /** @} */
+
+    /** Validates and returns the hierarchy. */
+    Hierarchy build();
+
+  private:
+    Hierarchy hierarchy;
+
+    SpecNode& current();
+    void setDirective(std::initializer_list<TensorKind> ts,
+                      TemporalDirective d);
+};
+
+} // namespace cimloop::spec
+
+#endif // CIMLOOP_SPEC_BUILDER_HH

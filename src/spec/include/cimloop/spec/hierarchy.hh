@@ -1,0 +1,210 @@
+/**
+ * @file
+ * CiMLoop's flexible specification: the container-hierarchy (paper Sec.
+ * III-B).
+ *
+ * A specification is an ordered list of nodes. A !Container scopes
+ * everything declared after it; a !Component is a leaf that may move,
+ * store, or transform data. Per tensor (Inputs / Weights / Outputs), each
+ * node declares one reuse directive:
+ *
+ *  - temporal_reuse: the node stores the tensor across cycles (a buffer,
+ *    a memory cell holding weights, an accumulator register).
+ *  - coalesce: no temporal storage, but multiple child-side accesses of the
+ *    same datum merge into one parent-side access (an adder summing partial
+ *    outputs into one value).
+ *  - no_coalesce: no temporal storage and no merging; every datum streamed
+ *    through is a fresh action (a DAC or ADC convert).
+ *  - (absent): the tensor *bypasses* the node entirely.
+ *
+ * Containers (and components with a spatial mesh) additionally declare
+ * spatial_reuse per tensor: listed tensors are multicast (inputs/weights)
+ * or reduced (outputs) across the mesh; unlisted tensors are unicast.
+ */
+#ifndef CIMLOOP_SPEC_HIERARCHY_HH
+#define CIMLOOP_SPEC_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cimloop/workload/layer.hh"
+#include "cimloop/yaml/node.hh"
+
+namespace cimloop::spec {
+
+using workload::TensorKind;
+
+/** Per-tensor temporal behaviour of a node. */
+enum class TemporalDirective {
+    Bypass,          //!< tensor does not touch this node
+    TemporalReuse,   //!< stores the tensor between cycles
+    Coalesce,        //!< pass-through; merges same-datum accesses
+    NoCoalesce,      //!< pass-through; every datum is a fresh action
+};
+
+/** Name of a temporal directive (for messages). */
+const char* directiveName(TemporalDirective d);
+
+/** Convenience array indexed by TensorKind. */
+template <typename T>
+using PerTensor = std::array<T, workload::kNumTensors>;
+
+/** Index into a PerTensor array. */
+constexpr int
+tensorIndex(TensorKind t)
+{
+    return static_cast<int>(t);
+}
+
+/** One node of the container-hierarchy. */
+struct SpecNode
+{
+    enum class Kind { Component, Container };
+
+    Kind kind = Kind::Component;
+    std::string name;
+    std::string klass;  //!< component class ("SRAM", "ADC", ...); optional
+
+    /** Per-tensor temporal behaviour. */
+    PerTensor<TemporalDirective> temporal = {
+        TemporalDirective::Bypass, TemporalDirective::Bypass,
+        TemporalDirective::Bypass};
+
+    /** Per-tensor spatial reuse across this node's mesh. */
+    PerTensor<bool> spatialReuse = {false, false, false};
+
+    /** Spatial instances in X / Y. */
+    std::int64_t meshX = 1;
+    std::int64_t meshY = 1;
+
+    /**
+     * Mapping constraint: dimensions that may be mapped spatially across
+     * this node's mesh. Empty means unconstrained. Published macros use
+     * this to express restrictions like "adjacent columns hold different
+     * bits of the same weight" (spatial_dims: [WB], Fig. 3).
+     */
+    std::vector<workload::Dim> spatialDims;
+
+    /**
+     * Mapping constraint: dimensions whose temporal loops may live at
+     * this node. Empty means unconstrained. The paper's full syntax
+     * attaches "optional constraints/heuristics for the mapping search"
+     * to components; this is the temporal half of that.
+     */
+    std::vector<workload::Dim> temporalDims;
+
+    /**
+     * When true, the node's interconnect can multicast/reduce
+     * opportunistically (a NoC) without the hard wire-sharing constraint
+     * that spatial_reuse implies for macro-internal wires.
+     */
+    bool flexibleSpatial = false;
+
+    /** Free-form attributes (resolution, width, technology, ...). */
+    std::map<std::string, yaml::Node> attributes;
+
+    /** Total spatial instances contributed by this node. */
+    std::int64_t spatialFanout() const { return meshX * meshY; }
+
+    /** Directive for one tensor. */
+    TemporalDirective
+    directiveFor(TensorKind t) const
+    {
+        return temporal[tensorIndex(t)];
+    }
+
+    /** True when the tensor does not bypass this node. */
+    bool
+    touches(TensorKind t) const
+    {
+        return directiveFor(t) != TemporalDirective::Bypass;
+    }
+
+    /** True when the node stores the tensor across cycles. */
+    bool
+    stores(TensorKind t) const
+    {
+        return directiveFor(t) == TemporalDirective::TemporalReuse;
+    }
+
+    /** Attribute accessors with defaults. */
+    std::int64_t attrInt(const std::string& key, std::int64_t fallback) const;
+    double attrDouble(const std::string& key, double fallback) const;
+    std::string attrString(const std::string& key,
+                           const std::string& fallback) const;
+    bool hasAttr(const std::string& key) const;
+};
+
+/**
+ * An ordered container-hierarchy, outermost node first. Node i scopes all
+ * nodes j > i (the paper's "each container contains all subsequent
+ * components/containers").
+ */
+struct Hierarchy
+{
+    std::string name;
+    std::vector<SpecNode> nodes;
+
+    /** Parses a hierarchy from a YAML document (Fig. 5b style). */
+    static Hierarchy fromYaml(const yaml::Node& doc,
+                              const std::string& name = "arch");
+
+    /** Parses a hierarchy from YAML text. */
+    static Hierarchy fromText(const std::string& text,
+                              const std::string& name = "arch");
+
+    /** Parses a hierarchy from a YAML file. */
+    static Hierarchy fromFile(const std::string& path);
+
+    /** Looks a node up by name; fatal when missing. */
+    const SpecNode& node(const std::string& name) const;
+
+    /** Index of a node by name; -1 when missing. */
+    int indexOf(const std::string& name) const;
+
+    /**
+     * Cumulative spatial instances of node @p i: the product of the
+     * fanouts of all nodes 0..i-1 scoping it (its own mesh excluded).
+     */
+    std::int64_t instancesOf(int i) const;
+
+    /**
+     * Inserts @p node immediately after the named anchor node (i.e.
+     * inside every container the anchor is inside, scoping everything
+     * the anchor scoped). Re-validates. Fatal when the anchor is
+     * missing or the result is inconsistent. Supports programmatic
+     * design-space mutation (add an accumulator, splice in a buffer).
+     */
+    void insertAfter(const std::string& anchor, SpecNode node);
+
+    /**
+     * Removes the named node. Fatal when missing or when removal leaves
+     * a tensor without storage.
+     */
+    void remove(const std::string& node_name);
+
+    /**
+     * Checks structural invariants: unique names, positive meshes, at
+     * least one storage node per tensor, directive consistency. Fatal on
+     * violation.
+     */
+    void validate() const;
+
+    /** Renders a human-readable summary table. */
+    std::string summary() const;
+
+    /**
+     * Serializes the hierarchy back to the Fig. 5b YAML style.
+     * Hierarchy::fromText(h.toYamlText()) reconstructs an equivalent
+     * hierarchy (round-trip), so generated architectures can be saved
+     * and shared as specification files.
+     */
+    std::string toYamlText() const;
+};
+
+} // namespace cimloop::spec
+
+#endif // CIMLOOP_SPEC_HIERARCHY_HH

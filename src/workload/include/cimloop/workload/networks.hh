@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bundled DNN workloads used by the paper's evaluation:
+ *
+ *  - ResNet18 (medium tensors; Figs. 2, 4, 6, 12, 14, 15; Table II)
+ *  - ViT-Base (large tensors; Fig. 14)
+ *  - MobileNetV3-Large excerpt (small tensors; Fig. 14)
+ *  - GPT-2 small (large language tensors; Fig. 15)
+ *  - a maximum-utilization matrix-vector multiply sized to a CiM array
+ *    (Figs. 12-14, 16)
+ */
+#ifndef CIMLOOP_WORKLOAD_NETWORKS_HH
+#define CIMLOOP_WORKLOAD_NETWORKS_HH
+
+#include "cimloop/workload/layer.hh"
+
+namespace cimloop::workload {
+
+/** ResNet18 at 224x224 (all 20 convolutions + final FC). */
+Network resnet18(std::int64_t batch = 1);
+
+/** ViT-Base/16 at 224x224: one encoder block's matmuls, count = 12. */
+Network vitBase();
+
+/** MobileNetV3-Large excerpt: representative small pointwise/depthwise
+ *  stages (depthwise modeled as C = 1 grouped convs, see DESIGN.md). */
+Network mobileNetV3();
+
+/** GPT-2 small (124M), one decoder block's matmuls with count = 12 plus
+ *  the LM head, at sequence length @p seq. */
+Network gpt2Small(std::int64_t seq = 1024);
+
+/** A single matrix-vector multiply exactly filling a rows x cols array. */
+Network maxUtilMvm(std::int64_t rows, std::int64_t cols,
+                   std::int64_t vectors = 1024);
+
+/** AlexNet at 224x224 (5 convolutions + 3 FC layers). */
+Network alexNet(std::int64_t batch = 1);
+
+/** VGG-16 at 224x224 (13 convolutions + 3 FC layers). */
+Network vgg16(std::int64_t batch = 1);
+
+/** BERT-Base encoder: one block's matmuls with count = 12, at sequence
+ *  length @p seq. */
+Network bertBase(std::int64_t seq = 384);
+
+/** Looks a bundled network up by name ("resnet18", "vit", "mobilenetv3",
+ *  "gpt2", ...); fatal when unknown. */
+Network networkByName(const std::string& name);
+
+} // namespace cimloop::workload
+
+#endif // CIMLOOP_WORKLOAD_NETWORKS_HH

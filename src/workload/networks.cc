@@ -1,0 +1,311 @@
+#include "cimloop/workload/networks.hh"
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/util.hh"
+
+namespace cimloop::workload {
+
+namespace {
+
+/** Stamps network name + running index onto layers. */
+void
+finalize(Network& net)
+{
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        net.layers[i].network = net.name;
+        net.layers[i].index = static_cast<int>(i);
+        net.layers[i].networkLayers = static_cast<int>(net.layers.size());
+    }
+}
+
+} // namespace
+
+Network
+resnet18(std::int64_t batch)
+{
+    Network net;
+    net.name = "resnet18";
+    auto conv = [&](const std::string& name, std::int64_t c, std::int64_t k,
+                    std::int64_t pq, std::int64_t rs) {
+        net.layers.push_back(
+            convLayer(name, batch, c, k, pq, pq, rs, rs));
+    };
+
+    conv("conv1", 3, 64, 112, 7);
+
+    // Stage 1: 64 channels, 56x56.
+    conv("conv2_1a", 64, 64, 56, 3);
+    conv("conv2_1b", 64, 64, 56, 3);
+    conv("conv2_2a", 64, 64, 56, 3);
+    conv("conv2_2b", 64, 64, 56, 3);
+
+    // Stage 2: 128 channels, 28x28 (+1x1 downsample).
+    conv("conv3_1a", 64, 128, 28, 3);
+    conv("conv3_1b", 128, 128, 28, 3);
+    conv("conv3_ds", 64, 128, 28, 1);
+    conv("conv3_2a", 128, 128, 28, 3);
+    conv("conv3_2b", 128, 128, 28, 3);
+
+    // Stage 3: 256 channels, 14x14.
+    conv("conv4_1a", 128, 256, 14, 3);
+    conv("conv4_1b", 256, 256, 14, 3);
+    conv("conv4_ds", 128, 256, 14, 1);
+    conv("conv4_2a", 256, 256, 14, 3);
+    conv("conv4_2b", 256, 256, 14, 3);
+
+    // Stage 4: 512 channels, 7x7.
+    conv("conv5_1a", 256, 512, 7, 3);
+    conv("conv5_1b", 512, 512, 7, 3);
+    conv("conv5_ds", 256, 512, 7, 1);
+    conv("conv5_2a", 512, 512, 7, 3);
+    conv("conv5_2b", 512, 512, 7, 3);
+
+    // Classifier.
+    net.layers.push_back(matmulLayer("fc", batch, 512, 1000));
+
+    finalize(net);
+    return net;
+}
+
+Network
+vitBase()
+{
+    Network net;
+    net.name = "vit";
+    const std::int64_t tokens = 197; // 14x14 patches + class token
+    const std::int64_t d = 768;
+
+    // Patch embedding: each 16x16x3 patch projects to d.
+    net.layers.push_back(matmulLayer("patch_embed", 196, 16 * 16 * 3, d));
+
+    // One encoder block, repeated 12x.
+    Layer qkv = matmulLayer("blk_qkv", tokens, d, 3 * d);
+    qkv.count = 12;
+    net.layers.push_back(qkv);
+
+    // Attention scores and weighted values: 12 heads of 64 dims folded in.
+    Layer scores = matmulLayer("blk_scores", tokens * 12, 64, tokens);
+    scores.count = 12;
+    net.layers.push_back(scores);
+
+    Layer attend = matmulLayer("blk_attend", tokens * 12, tokens, 64);
+    attend.count = 12;
+    net.layers.push_back(attend);
+
+    Layer proj = matmulLayer("blk_proj", tokens, d, d);
+    proj.count = 12;
+    net.layers.push_back(proj);
+
+    Layer mlp1 = matmulLayer("blk_mlp1", tokens, d, 4 * d);
+    mlp1.count = 12;
+    net.layers.push_back(mlp1);
+
+    Layer mlp2 = matmulLayer("blk_mlp2", tokens, 4 * d, d);
+    mlp2.count = 12;
+    net.layers.push_back(mlp2);
+
+    // Classification head.
+    net.layers.push_back(matmulLayer("head", 1, d, 1000));
+
+    finalize(net);
+    return net;
+}
+
+Network
+mobileNetV3()
+{
+    Network net;
+    net.name = "mobilenetv3";
+    auto pw = [&](const std::string& name, std::int64_t c, std::int64_t k,
+                  std::int64_t pq) {
+        net.layers.push_back(convLayer(name, 1, c, k, pq, pq, 1, 1));
+    };
+    // Depthwise convs have no cross-channel reduction; on a weight-
+    // stationary CiM array each filter occupies only R*S rows, which is the
+    // underutilization behaviour Fig. 14's small-tensor workload probes.
+    auto dw = [&](const std::string& name, std::int64_t k, std::int64_t pq,
+                  std::int64_t rs) {
+        net.layers.push_back(convLayer(name, 1, 1, k, pq, pq, rs, rs));
+    };
+
+    net.layers.push_back(convLayer("conv_stem", 1, 3, 16, 112, 112, 3, 3));
+    dw("dw1", 16, 112, 3);
+    pw("pw1", 16, 16, 112);
+    pw("pw2_exp", 16, 64, 56);
+    dw("dw2", 64, 56, 3);
+    pw("pw2_prj", 64, 24, 56);
+    pw("pw3_exp", 24, 72, 28);
+    dw("dw3", 72, 28, 5);
+    pw("pw3_prj", 72, 40, 28);
+    pw("pw4_exp", 40, 120, 14);
+    dw("dw4", 120, 14, 5);
+    pw("pw4_prj", 120, 48, 14);
+    pw("pw5_exp", 48, 144, 14);
+    dw("dw5", 144, 14, 5);
+    pw("pw5_prj", 144, 96, 7);
+    pw("pw6_exp", 96, 576, 7);
+    net.layers.push_back(matmulLayer("fc1", 1, 576, 1024));
+    net.layers.push_back(matmulLayer("fc2", 1, 1024, 1000));
+
+    finalize(net);
+    return net;
+}
+
+Network
+gpt2Small(std::int64_t seq)
+{
+    CIM_ASSERT(seq >= 1, "sequence length must be positive");
+    Network net;
+    net.name = "gpt2";
+    const std::int64_t d = 768;
+
+    Layer qkv = matmulLayer("blk_qkv", seq, d, 3 * d);
+    qkv.count = 12;
+    net.layers.push_back(qkv);
+
+    Layer scores = matmulLayer("blk_scores", seq * 12, 64, seq);
+    scores.count = 12;
+    net.layers.push_back(scores);
+
+    Layer attend = matmulLayer("blk_attend", seq * 12, seq, 64);
+    attend.count = 12;
+    net.layers.push_back(attend);
+
+    Layer proj = matmulLayer("blk_proj", seq, d, d);
+    proj.count = 12;
+    net.layers.push_back(proj);
+
+    Layer mlp1 = matmulLayer("blk_mlp1", seq, d, 4 * d);
+    mlp1.count = 12;
+    net.layers.push_back(mlp1);
+
+    Layer mlp2 = matmulLayer("blk_mlp2", seq, 4 * d, d);
+    mlp2.count = 12;
+    net.layers.push_back(mlp2);
+
+    // LM head over the (tied) vocabulary projection.
+    net.layers.push_back(matmulLayer("lm_head", seq, d, 50257));
+
+    finalize(net);
+    return net;
+}
+
+Network
+maxUtilMvm(std::int64_t rows, std::int64_t cols, std::int64_t vectors)
+{
+    Network net;
+    net.name = "mvm";
+    net.layers.push_back(matmulLayer("mvm", vectors, rows, cols));
+    finalize(net);
+    return net;
+}
+
+Network
+alexNet(std::int64_t batch)
+{
+    Network net;
+    net.name = "alexnet";
+    net.layers.push_back(convLayer("conv1", batch, 3, 96, 55, 55, 11, 11));
+    net.layers.push_back(convLayer("conv2", batch, 96, 256, 27, 27, 5, 5));
+    net.layers.push_back(
+        convLayer("conv3", batch, 256, 384, 13, 13, 3, 3));
+    net.layers.push_back(
+        convLayer("conv4", batch, 384, 384, 13, 13, 3, 3));
+    net.layers.push_back(
+        convLayer("conv5", batch, 384, 256, 13, 13, 3, 3));
+    net.layers.push_back(matmulLayer("fc6", batch, 256 * 6 * 6, 4096));
+    net.layers.push_back(matmulLayer("fc7", batch, 4096, 4096));
+    net.layers.push_back(matmulLayer("fc8", batch, 4096, 1000));
+    finalize(net);
+    return net;
+}
+
+Network
+vgg16(std::int64_t batch)
+{
+    Network net;
+    net.name = "vgg16";
+    auto conv = [&](const std::string& name, std::int64_t c,
+                    std::int64_t k, std::int64_t pq) {
+        net.layers.push_back(convLayer(name, batch, c, k, pq, pq, 3, 3));
+    };
+    conv("conv1_1", 3, 64, 224);
+    conv("conv1_2", 64, 64, 224);
+    conv("conv2_1", 64, 128, 112);
+    conv("conv2_2", 128, 128, 112);
+    conv("conv3_1", 128, 256, 56);
+    conv("conv3_2", 256, 256, 56);
+    conv("conv3_3", 256, 256, 56);
+    conv("conv4_1", 256, 512, 28);
+    conv("conv4_2", 512, 512, 28);
+    conv("conv4_3", 512, 512, 28);
+    conv("conv5_1", 512, 512, 14);
+    conv("conv5_2", 512, 512, 14);
+    conv("conv5_3", 512, 512, 14);
+    net.layers.push_back(matmulLayer("fc6", batch, 512 * 7 * 7, 4096));
+    net.layers.push_back(matmulLayer("fc7", batch, 4096, 4096));
+    net.layers.push_back(matmulLayer("fc8", batch, 4096, 1000));
+    finalize(net);
+    return net;
+}
+
+Network
+bertBase(std::int64_t seq)
+{
+    CIM_ASSERT(seq >= 1, "sequence length must be positive");
+    Network net;
+    net.name = "bert";
+    const std::int64_t d = 768;
+
+    Layer qkv = matmulLayer("blk_qkv", seq, d, 3 * d);
+    qkv.count = 12;
+    net.layers.push_back(qkv);
+
+    Layer scores = matmulLayer("blk_scores", seq * 12, 64, seq);
+    scores.count = 12;
+    net.layers.push_back(scores);
+
+    Layer attend = matmulLayer("blk_attend", seq * 12, seq, 64);
+    attend.count = 12;
+    net.layers.push_back(attend);
+
+    Layer proj = matmulLayer("blk_proj", seq, d, d);
+    proj.count = 12;
+    net.layers.push_back(proj);
+
+    Layer mlp1 = matmulLayer("blk_mlp1", seq, d, 4 * d);
+    mlp1.count = 12;
+    net.layers.push_back(mlp1);
+
+    Layer mlp2 = matmulLayer("blk_mlp2", seq, 4 * d, d);
+    mlp2.count = 12;
+    net.layers.push_back(mlp2);
+
+    finalize(net);
+    return net;
+}
+
+Network
+networkByName(const std::string& name)
+{
+    std::string n = toLower(name);
+    if (n == "resnet18" || n == "resnet")
+        return resnet18();
+    if (n == "vit" || n == "vitbase" || n == "vit-base")
+        return vitBase();
+    if (n == "mobilenetv3" || n == "mobilenet")
+        return mobileNetV3();
+    if (n == "gpt2" || n == "gpt-2")
+        return gpt2Small();
+    if (n == "alexnet")
+        return alexNet();
+    if (n == "vgg16" || n == "vgg")
+        return vgg16();
+    if (n == "bert" || n == "bertbase" || n == "bert-base")
+        return bertBase();
+    if (n == "mvm")
+        return maxUtilMvm(256, 256);
+    CIM_FATAL("unknown network '", name, "'");
+}
+
+} // namespace cimloop::workload

@@ -1,0 +1,76 @@
+#include "cimloop/workload/layer.hh"
+
+#include "cimloop/common/error.hh"
+#include "cimloop/yaml/parser.hh"
+
+namespace cimloop::workload {
+
+Layer
+layerFromYaml(const yaml::Node& node)
+{
+    if (!node.isMapping())
+        CIM_FATAL("workload layer must be a YAML mapping");
+    Layer layer;
+    for (const auto& [key, value] : node.items()) {
+        if (key == "name") {
+            layer.name = value.asString();
+        } else if (key == "dims") {
+            if (!value.isMapping())
+                CIM_FATAL("layer '", layer.name,
+                          "': dims must be a mapping");
+            for (const auto& [dk, dv] : value.items()) {
+                Dim d = dimFromString(dk);
+                std::int64_t extent = dv.asInt();
+                if (extent < 1)
+                    CIM_FATAL("layer '", layer.name, "': dimension ", dk,
+                              " must be >= 1, got ", extent);
+                layer.dims[dimIndex(d)] = extent;
+            }
+        } else if (key == "input_bits") {
+            layer.inputBits = static_cast<int>(value.asInt());
+        } else if (key == "weight_bits") {
+            layer.weightBits = static_cast<int>(value.asInt());
+        } else if (key == "output_bits") {
+            layer.outputBits = static_cast<int>(value.asInt());
+        } else if (key == "count") {
+            layer.count = value.asInt();
+            if (layer.count < 1)
+                CIM_FATAL("layer '", layer.name, "': count must be >= 1");
+        } else {
+            CIM_FATAL("layer '", layer.name, "': unknown key '", key, "'");
+        }
+    }
+    if (layer.name.empty())
+        CIM_FATAL("workload layer is missing a name");
+    return layer;
+}
+
+Network
+networkFromYaml(const yaml::Node& doc)
+{
+    if (!doc.isMapping() || !doc.has("layers"))
+        CIM_FATAL("workload document needs a 'layers' list");
+    Network net;
+    net.name = doc.getString("name", "workload");
+    const yaml::Node& layers = doc["layers"];
+    if (!layers.isSequence())
+        CIM_FATAL("workload 'layers' must be a sequence");
+    for (const yaml::Node& entry : layers.elements())
+        net.layers.push_back(layerFromYaml(entry));
+    if (net.layers.empty())
+        CIM_FATAL("workload '", net.name, "' has no layers");
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        net.layers[i].network = net.name;
+        net.layers[i].index = static_cast<int>(i);
+        net.layers[i].networkLayers = static_cast<int>(net.layers.size());
+    }
+    return net;
+}
+
+Network
+networkFromFile(const std::string& path)
+{
+    return networkFromYaml(yaml::parseFile(path));
+}
+
+} // namespace cimloop::workload

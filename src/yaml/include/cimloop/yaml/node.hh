@@ -1,0 +1,137 @@
+/**
+ * @file
+ * YAML document tree for CiMLoop specification files.
+ *
+ * CiMLoop specifications (architecture, workload, components) are YAML
+ * documents in the style of Fig. 5b of the paper. This module implements a
+ * self-contained subset of YAML sufficient for those files:
+ *
+ *  - block mappings and sequences nested by indentation,
+ *  - flow mappings `{a: 1, b: 2}` and sequences `[x, y]`,
+ *  - scalars: null, booleans, integers (dec/hex), floats, quoted and plain
+ *    strings,
+ *  - `#` comments,
+ *  - `!Tag` type tags, including the paper's flat tagged-block style where a
+ *    lone `!Component` / `!Container` line introduces a mapping formed by the
+ *    following `key: value` lines at the same indentation.
+ */
+#ifndef CIMLOOP_YAML_NODE_HH
+#define CIMLOOP_YAML_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cimloop::yaml {
+
+/** Discriminates the payload held by a Node. */
+enum class Kind { Null, Bool, Int, Float, String, Sequence, Mapping };
+
+/** Human-readable name of a Kind (for error messages). */
+const char* kindName(Kind k);
+
+/**
+ * One node in a parsed YAML document. Nodes are value types; sequences and
+ * mappings own their children. Mappings preserve insertion order, which the
+ * spec layer relies on (a container scopes everything declared after it).
+ */
+class Node
+{
+  public:
+    /** Constructs a null node. */
+    Node() = default;
+
+    /** @name Typed constructors @{ */
+    static Node makeNull();
+    static Node makeBool(bool v);
+    static Node makeInt(std::int64_t v);
+    static Node makeFloat(double v);
+    static Node makeString(std::string v);
+    static Node makeSequence();
+    static Node makeMapping();
+    /** @} */
+
+    /** Node kind. */
+    Kind kind() const { return kind_; }
+
+    /** Type tag such as "Component"; empty when untagged. */
+    const std::string& tag() const { return tag_; }
+
+    /** Sets the type tag (without the leading '!'). */
+    void setTag(std::string t) { tag_ = std::move(t); }
+
+    /** @name Kind predicates @{ */
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isScalar() const
+    {
+        return kind_ != Kind::Sequence && kind_ != Kind::Mapping;
+    }
+    bool isSequence() const { return kind_ == Kind::Sequence; }
+    bool isMapping() const { return kind_ == Kind::Mapping; }
+    /** @} */
+
+    /** @name Scalar accessors; fatal on kind mismatch @{ */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Accepts both Int and Float payloads. */
+    double asDouble() const;
+    /** Returns the string payload, or re-renders scalar kinds. */
+    std::string asString() const;
+    /** @} */
+
+    /** Children count for sequences/mappings; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Sequence element access; fatal if out of range or not a sequence. */
+    const Node& operator[](std::size_t i) const;
+
+    /** Mapping lookup; fatal if the key is missing or not a mapping. */
+    const Node& operator[](const std::string& key) const;
+
+    /** True when this mapping contains @p key. */
+    bool has(const std::string& key) const;
+
+    /** Mapping lookup returning nullptr when absent. */
+    const Node* find(const std::string& key) const;
+
+    /** Convenience: value of @p key, or @p fallback when absent. */
+    std::int64_t getInt(const std::string& key, std::int64_t fallback) const;
+    double getDouble(const std::string& key, double fallback) const;
+    std::string getString(const std::string& key,
+                          const std::string& fallback) const;
+    bool getBool(const std::string& key, bool fallback) const;
+
+    /** Appends to a sequence; fatal when not a sequence. */
+    void push(Node child);
+
+    /** Inserts/overwrites a mapping entry; fatal when not a mapping. */
+    void set(const std::string& key, Node value);
+
+    /** Ordered mapping entries. */
+    const std::vector<std::pair<std::string, Node>>& items() const;
+
+    /** Ordered sequence entries. */
+    const std::vector<Node>& elements() const;
+
+    /** Renders this node as single-line flow YAML (for debugging/tests). */
+    std::string toString() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    std::string tag_;
+
+    bool bool_v = false;
+    std::int64_t int_v = 0;
+    double float_v = 0.0;
+    std::string str_v;
+    std::vector<Node> seq_v;
+    std::vector<std::pair<std::string, Node>> map_v;
+
+    void renderTo(std::string& out) const;
+};
+
+} // namespace cimloop::yaml
+
+#endif // CIMLOOP_YAML_NODE_HH

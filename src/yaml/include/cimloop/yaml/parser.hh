@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Parser entry points for the CiMLoop YAML subset (see node.hh).
+ */
+#ifndef CIMLOOP_YAML_PARSER_HH
+#define CIMLOOP_YAML_PARSER_HH
+
+#include <string>
+
+#include "cimloop/yaml/node.hh"
+
+namespace cimloop::yaml {
+
+/** Parses a YAML document from text; fatals on malformed input. */
+Node parse(const std::string& text);
+
+/** Parses a YAML document from a file; fatals if unreadable/malformed. */
+Node parseFile(const std::string& path);
+
+/** Parses a single scalar or flow expression ("{a: 1}", "[1, 2]", "3.5"). */
+Node parseScalar(const std::string& text);
+
+} // namespace cimloop::yaml
+
+#endif // CIMLOOP_YAML_PARSER_HH

@@ -1,0 +1,301 @@
+#include "cimloop/yaml/node.hh"
+
+#include <sstream>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::yaml {
+
+const char*
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Int: return "int";
+      case Kind::Float: return "float";
+      case Kind::String: return "string";
+      case Kind::Sequence: return "sequence";
+      case Kind::Mapping: return "mapping";
+    }
+    return "?";
+}
+
+Node
+Node::makeNull()
+{
+    return Node{};
+}
+
+Node
+Node::makeBool(bool v)
+{
+    Node n;
+    n.kind_ = Kind::Bool;
+    n.bool_v = v;
+    return n;
+}
+
+Node
+Node::makeInt(std::int64_t v)
+{
+    Node n;
+    n.kind_ = Kind::Int;
+    n.int_v = v;
+    return n;
+}
+
+Node
+Node::makeFloat(double v)
+{
+    Node n;
+    n.kind_ = Kind::Float;
+    n.float_v = v;
+    return n;
+}
+
+Node
+Node::makeString(std::string v)
+{
+    Node n;
+    n.kind_ = Kind::String;
+    n.str_v = std::move(v);
+    return n;
+}
+
+Node
+Node::makeSequence()
+{
+    Node n;
+    n.kind_ = Kind::Sequence;
+    return n;
+}
+
+Node
+Node::makeMapping()
+{
+    Node n;
+    n.kind_ = Kind::Mapping;
+    return n;
+}
+
+bool
+Node::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        CIM_FATAL("YAML node is ", kindName(kind_), ", expected bool");
+    return bool_v;
+}
+
+std::int64_t
+Node::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_v;
+    if (kind_ == Kind::Bool)
+        return bool_v ? 1 : 0;
+    CIM_FATAL("YAML node is ", kindName(kind_), ", expected int");
+}
+
+double
+Node::asDouble() const
+{
+    if (kind_ == Kind::Float)
+        return float_v;
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_v);
+    CIM_FATAL("YAML node is ", kindName(kind_), ", expected number");
+}
+
+std::string
+Node::asString() const
+{
+    switch (kind_) {
+      case Kind::String:
+        return str_v;
+      case Kind::Null:
+        return "";
+      case Kind::Bool:
+        return bool_v ? "true" : "false";
+      case Kind::Int: {
+        std::ostringstream oss;
+        oss << int_v;
+        return oss.str();
+      }
+      case Kind::Float: {
+        std::ostringstream oss;
+        oss << float_v;
+        return oss.str();
+      }
+      default:
+        CIM_FATAL("YAML node is ", kindName(kind_), ", expected scalar");
+    }
+}
+
+std::size_t
+Node::size() const
+{
+    if (kind_ == Kind::Sequence)
+        return seq_v.size();
+    if (kind_ == Kind::Mapping)
+        return map_v.size();
+    return 0;
+}
+
+const Node&
+Node::operator[](std::size_t i) const
+{
+    if (kind_ != Kind::Sequence)
+        CIM_FATAL("YAML node is ", kindName(kind_), ", expected sequence");
+    if (i >= seq_v.size())
+        CIM_FATAL("YAML sequence index ", i, " out of range (size ",
+                  seq_v.size(), ")");
+    return seq_v[i];
+}
+
+const Node&
+Node::operator[](const std::string& key) const
+{
+    const Node* n = find(key);
+    if (!n)
+        CIM_FATAL("YAML mapping has no key '", key, "'");
+    return *n;
+}
+
+bool
+Node::has(const std::string& key) const
+{
+    return find(key) != nullptr;
+}
+
+const Node*
+Node::find(const std::string& key) const
+{
+    if (kind_ != Kind::Mapping)
+        return nullptr;
+    for (const auto& [k, v] : map_v) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::int64_t
+Node::getInt(const std::string& key, std::int64_t fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asInt() : fallback;
+}
+
+double
+Node::getDouble(const std::string& key, double fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asDouble() : fallback;
+}
+
+std::string
+Node::getString(const std::string& key, const std::string& fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asString() : fallback;
+}
+
+bool
+Node::getBool(const std::string& key, bool fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asBool() : fallback;
+}
+
+void
+Node::push(Node child)
+{
+    if (kind_ != Kind::Sequence)
+        CIM_FATAL("push on ", kindName(kind_), " YAML node");
+    seq_v.push_back(std::move(child));
+}
+
+void
+Node::set(const std::string& key, Node value)
+{
+    if (kind_ != Kind::Mapping)
+        CIM_FATAL("set on ", kindName(kind_), " YAML node");
+    for (auto& [k, v] : map_v) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    map_v.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, Node>>&
+Node::items() const
+{
+    if (kind_ != Kind::Mapping)
+        CIM_FATAL("items() on ", kindName(kind_), " YAML node");
+    return map_v;
+}
+
+const std::vector<Node>&
+Node::elements() const
+{
+    if (kind_ != Kind::Sequence)
+        CIM_FATAL("elements() on ", kindName(kind_), " YAML node");
+    return seq_v;
+}
+
+std::string
+Node::toString() const
+{
+    std::string out;
+    renderTo(out);
+    return out;
+}
+
+void
+Node::renderTo(std::string& out) const
+{
+    if (!tag_.empty()) {
+        out += "!";
+        out += tag_;
+        out += " ";
+    }
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+      case Kind::Int:
+      case Kind::Float:
+        out += asString();
+        break;
+      case Kind::String:
+        out += "\"" + str_v + "\"";
+        break;
+      case Kind::Sequence: {
+        out += "[";
+        for (std::size_t i = 0; i < seq_v.size(); ++i) {
+            if (i)
+                out += ", ";
+            seq_v[i].renderTo(out);
+        }
+        out += "]";
+        break;
+      }
+      case Kind::Mapping: {
+        out += "{";
+        for (std::size_t i = 0; i < map_v.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += map_v[i].first + ": ";
+            map_v[i].second.renderTo(out);
+        }
+        out += "}";
+        break;
+      }
+    }
+}
+
+} // namespace cimloop::yaml

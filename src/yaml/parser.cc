@@ -1,0 +1,508 @@
+#include "cimloop/yaml/parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/util.hh"
+
+namespace cimloop::yaml {
+
+namespace {
+
+/** One significant source line (blank lines and pure comments removed). */
+struct Line
+{
+    int indent = 0;
+    std::string text;   //!< content with indentation and comments stripped
+    int number = 0;     //!< 1-based source line for error messages
+};
+
+/** Strips a trailing '# comment', respecting quotes. Returns the prefix. */
+std::string
+stripComment(const std::string& s)
+{
+    char quote = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (quote) {
+            if (c == quote)
+                quote = 0;
+        } else if (c == '"' || c == '\'') {
+            quote = c;
+        } else if (c == '#' &&
+                   (i == 0 ||
+                    std::isspace(static_cast<unsigned char>(s[i - 1])))) {
+            return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+std::vector<Line>
+splitLines(const std::string& text)
+{
+    std::vector<Line> out;
+    int number = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        ++number;
+        std::string raw = text.substr(start, end - start);
+        start = end + 1;
+        if (!raw.empty() && raw.back() == '\r')
+            raw.pop_back();
+        std::string content = stripComment(raw);
+        int indent = 0;
+        while (indent < static_cast<int>(content.size()) &&
+               content[indent] == ' ') {
+            ++indent;
+        }
+        std::string body = trim(content);
+        if (body.empty() || body == "---")
+            continue;
+        if (content.find('\t') != std::string::npos)
+            CIM_FATAL("YAML line ", number, ": tabs are not allowed");
+        out.push_back(Line{indent, body, number});
+        if (end == text.size())
+            break;
+    }
+    return out;
+}
+
+/** Scalar/flow parser over a single string. */
+class FlowParser
+{
+  public:
+    FlowParser(const std::string& s, int line) : src(s), line_no(line) {}
+
+    Node
+    parseAll()
+    {
+        Node n = parseValue();
+        skipWs();
+        if (pos != src.size())
+            fail("trailing characters after value");
+        return n;
+    }
+
+  private:
+    const std::string& src;
+    std::size_t pos = 0;
+    int line_no;
+
+    [[noreturn]] void
+    fail(const std::string& msg)
+    {
+        CIM_FATAL("YAML line ", line_no, ": ", msg, " in '", src, "'");
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        return pos < src.size() ? src[pos] : '\0';
+    }
+
+    Node
+    parseValue()
+    {
+        skipWs();
+        std::string tag;
+        if (peek() == '!') {
+            ++pos;
+            while (pos < src.size() &&
+                   !std::isspace(static_cast<unsigned char>(src[pos]))) {
+                tag += src[pos++];
+            }
+            skipWs();
+            if (pos == src.size()) {
+                Node n = Node::makeMapping();
+                n.setTag(tag);
+                return n;
+            }
+        }
+        Node n;
+        switch (peek()) {
+          case '{':
+            n = parseFlowMapping();
+            break;
+          case '[':
+            n = parseFlowSequence();
+            break;
+          case '"':
+          case '\'':
+            n = Node::makeString(parseQuoted());
+            break;
+          default:
+            n = parsePlain();
+            break;
+        }
+        if (!tag.empty())
+            n.setTag(tag);
+        return n;
+    }
+
+    Node
+    parseFlowMapping()
+    {
+        ++pos; // consume '{'
+        Node n = Node::makeMapping();
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return n;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (peek() == '"' || peek() == '\'') {
+                key = parseQuoted();
+            } else {
+                while (pos < src.size() && src[pos] != ':')
+                    key += src[pos++];
+                key = trim(key);
+            }
+            skipWs();
+            if (peek() != ':')
+                fail("expected ':' in flow mapping");
+            ++pos;
+            n.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return n;
+            }
+            fail("expected ',' or '}' in flow mapping");
+        }
+    }
+
+    Node
+    parseFlowSequence()
+    {
+        ++pos; // consume '['
+        Node n = Node::makeSequence();
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return n;
+        }
+        while (true) {
+            n.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                skipWs();
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return n;
+            }
+            fail("expected ',' or ']' in flow sequence");
+        }
+    }
+
+    std::string
+    parseQuoted()
+    {
+        char quote = src[pos++];
+        std::string out;
+        while (pos < src.size() && src[pos] != quote) {
+            if (quote == '"' && src[pos] == '\\' && pos + 1 < src.size()) {
+                ++pos;
+                switch (src[pos]) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += src[pos]; break;
+                }
+                ++pos;
+            } else {
+                out += src[pos++];
+            }
+        }
+        if (pos == src.size())
+            fail("unterminated quoted string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    Node
+    parsePlain()
+    {
+        std::string token;
+        while (pos < src.size() && src[pos] != ',' && src[pos] != '}' &&
+               src[pos] != ']') {
+            token += src[pos++];
+        }
+        return scalarFromToken(trim(token));
+    }
+
+  public:
+    /** Interprets a plain token as null/bool/int/float/string. */
+    static Node
+    scalarFromToken(const std::string& token)
+    {
+        if (token.empty() || token == "~" || token == "null" ||
+            token == "Null" || token == "NULL") {
+            return Node::makeNull();
+        }
+        if (token == "true" || token == "True" || token == "TRUE")
+            return Node::makeBool(true);
+        if (token == "false" || token == "False" || token == "FALSE")
+            return Node::makeBool(false);
+
+        // Integer?
+        {
+            const char* begin = token.c_str();
+            char* end = nullptr;
+            errno = 0;
+            long long v = std::strtoll(begin, &end, 0);
+            if (errno == 0 && end && *end == '\0' &&
+                end != begin) {
+                return Node::makeInt(v);
+            }
+        }
+        // Float?
+        {
+            const char* begin = token.c_str();
+            char* end = nullptr;
+            errno = 0;
+            double v = std::strtod(begin, &end);
+            if (errno == 0 && end && *end == '\0' && end != begin)
+                return Node::makeFloat(v);
+        }
+        return Node::makeString(token);
+    }
+};
+
+/** Block-structure parser over significant lines. */
+class BlockParser
+{
+  public:
+    explicit BlockParser(std::vector<Line> ls) : lines(std::move(ls)) {}
+
+    Node
+    parseDocument()
+    {
+        if (lines.empty())
+            return Node::makeNull();
+        Node n = parseBlock(lines[0].indent);
+        if (pos != lines.size()) {
+            CIM_FATAL("YAML line ", lines[pos].number,
+                      ": unexpected content after document");
+        }
+        return n;
+    }
+
+  private:
+    std::vector<Line> lines;
+    std::size_t pos = 0;
+
+    bool
+    done() const
+    {
+        return pos >= lines.size();
+    }
+
+    const Line&
+    cur() const
+    {
+        return lines[pos];
+    }
+
+    /** True when @p text is just a '!Tag' with nothing after it. */
+    static bool
+    isLoneTag(const std::string& text)
+    {
+        if (text.empty() || text[0] != '!')
+            return false;
+        for (char c : text) {
+            if (std::isspace(static_cast<unsigned char>(c)))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Finds a top-level "key:" split. Returns npos when the line is not a
+     * mapping entry. The colon must be outside quotes/brackets and followed
+     * by a space or end of line.
+     */
+    static std::size_t
+    findKeySplit(const std::string& s)
+    {
+        char quote = 0;
+        int depth = 0;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            char c = s[i];
+            if (quote) {
+                if (c == quote)
+                    quote = 0;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                quote = c;
+            } else if (c == '{' || c == '[') {
+                ++depth;
+            } else if (c == '}' || c == ']') {
+                --depth;
+            } else if (c == ':' && depth == 0) {
+                if (i + 1 == s.size() || s[i + 1] == ' ')
+                    return i;
+            }
+        }
+        return std::string::npos;
+    }
+
+    Node
+    parseBlock(int indent)
+    {
+        CIM_ASSERT(!done(), "parseBlock past end of input");
+        const Line& first = cur();
+        if (first.text[0] == '-' &&
+            (first.text.size() == 1 || first.text[1] == ' ')) {
+            return parseBlockSequence(indent);
+        }
+        if (isLoneTag(first.text))
+            return parseTaggedBlocks(indent);
+        if (findKeySplit(first.text) != std::string::npos)
+            return parseBlockMapping(indent);
+        // Single scalar / flow line.
+        Node n = FlowParser(first.text, first.number).parseAll();
+        ++pos;
+        return n;
+    }
+
+    Node
+    parseBlockSequence(int indent)
+    {
+        Node seq = Node::makeSequence();
+        while (!done() && cur().indent == indent && cur().text[0] == '-' &&
+               (cur().text.size() == 1 || cur().text[1] == ' ')) {
+            Line item = cur();
+            std::string rest = trim(item.text.substr(1));
+            if (rest.empty()) {
+                ++pos;
+                if (!done() && cur().indent > indent) {
+                    seq.push(parseBlock(cur().indent));
+                } else {
+                    seq.push(Node::makeNull());
+                }
+            } else {
+                // Re-interpret the remainder as a line indented past the
+                // dash (classic trick so '- key: value' nests correctly).
+                int inner_indent =
+                    indent + static_cast<int>(item.text.size() - rest.size());
+                lines[pos] = Line{inner_indent, rest, item.number};
+                seq.push(parseBlock(inner_indent));
+            }
+        }
+        return seq;
+    }
+
+    /**
+     * The paper's flat style: a document (or nested block) written as a
+     * series of '!Component' / '!Container' lines, each followed by
+     * key: value lines at the same indentation. Parsed as a sequence of
+     * tagged mappings.
+     */
+    Node
+    parseTaggedBlocks(int indent)
+    {
+        Node seq = Node::makeSequence();
+        while (!done() && cur().indent == indent && isLoneTag(cur().text)) {
+            std::string tag = cur().text.substr(1);
+            ++pos;
+            Node body = Node::makeMapping();
+            if (!done() && cur().indent >= indent &&
+                !isLoneTag(cur().text) &&
+                findKeySplit(cur().text) != std::string::npos) {
+                body = parseBlockMapping(cur().indent);
+            }
+            body.setTag(tag);
+            seq.push(std::move(body));
+        }
+        return seq;
+    }
+
+    Node
+    parseBlockMapping(int indent)
+    {
+        Node map = Node::makeMapping();
+        while (!done() && cur().indent == indent &&
+               !isLoneTag(cur().text) &&
+               findKeySplit(cur().text) != std::string::npos) {
+            Line entry = cur();
+            std::size_t colon = findKeySplit(entry.text);
+            std::string key = trim(entry.text.substr(0, colon));
+            if (key.size() >= 2 &&
+                ((key.front() == '"' && key.back() == '"') ||
+                 (key.front() == '\'' && key.back() == '\''))) {
+                key = key.substr(1, key.size() - 2);
+            }
+            std::string rest = trim(entry.text.substr(colon + 1));
+            ++pos;
+            if (rest.empty()) {
+                if (!done() && cur().indent > indent) {
+                    map.set(key, parseBlock(cur().indent));
+                } else {
+                    map.set(key, Node::makeNull());
+                }
+            } else if (rest[0] == '!' && isLoneTag(rest)) {
+                // 'key: !Tag' with a nested block (or empty mapping) below.
+                Node child = Node::makeMapping();
+                if (!done() && cur().indent > indent)
+                    child = parseBlock(cur().indent);
+                child.setTag(rest.substr(1));
+                map.set(key, std::move(child));
+            } else {
+                map.set(key, FlowParser(rest, entry.number).parseAll());
+            }
+        }
+        return map;
+    }
+};
+
+} // namespace
+
+Node
+parse(const std::string& text)
+{
+    return BlockParser(splitLines(text)).parseDocument();
+}
+
+Node
+parseFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        CIM_FATAL("cannot open YAML file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parse(oss.str());
+}
+
+Node
+parseScalar(const std::string& text)
+{
+    return FlowParser(text, 0).parseAll();
+}
+
+} // namespace cimloop::yaml

@@ -1,0 +1,245 @@
+#include "cimloop/cli/cli.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::cli {
+namespace {
+
+CliOptions
+parse(std::initializer_list<const char*> args)
+{
+    return parseArgs(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(Parse, FullFlagSet)
+{
+    CliOptions o = parse({"--macro", "B", "--network", "mvm",
+                          "--mappings", "64", "--seed", "9",
+                          "--threads", "2", "--objective", "edp",
+                          "--tech", "7", "--voltage", "0.65",
+                          "--dac-bits", "2", "--cell-bits", "1",
+                          "--input-bits", "4", "--weight-bits", "4",
+                          "--csv", "/tmp/x.csv", "--report"});
+    EXPECT_EQ(o.macroName, "B");
+    EXPECT_EQ(o.networkName, "mvm");
+    EXPECT_EQ(o.mappings, 64);
+    EXPECT_EQ(o.seed, 9u);
+    EXPECT_EQ(o.threads, 2);
+    EXPECT_EQ(o.objective, "edp");
+    EXPECT_DOUBLE_EQ(o.technologyNm, 7.0);
+    EXPECT_DOUBLE_EQ(o.voltage, 0.65);
+    EXPECT_EQ(o.dacBits, 2);
+    EXPECT_EQ(o.inputBits, 4);
+    EXPECT_EQ(o.csvPath, "/tmp/x.csv");
+    EXPECT_TRUE(o.report);
+}
+
+TEST(Parse, Errors)
+{
+    EXPECT_THROW(parse({"--bogus"}), FatalError);
+    EXPECT_THROW(parse({"--macro"}), FatalError); // missing value
+    EXPECT_THROW(parse({"--macro", "B"}), FatalError); // no workload
+    EXPECT_THROW(parse({"--network", "mvm"}), FatalError); // no arch
+    EXPECT_THROW(parse({"--macro", "B", "--arch", "f.yaml", "--network",
+                        "mvm"}),
+                 FatalError); // both arch forms
+    EXPECT_THROW(parse({"--macro", "B", "--network", "mvm", "--mappings",
+                        "0"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "B", "--network", "mvm", "--mappings",
+                        "ten"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "B", "--network", "mvm",
+                        "--objective", "fastest"}),
+                 FatalError);
+}
+
+TEST(Run, HelpExitsZero)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--help"}, out, err), 0);
+    EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(Run, BadFlagsExitTwoWithUsage)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--nope"}, out, err), 2);
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(Run, BuiltinMacroAndNetwork)
+{
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "20"},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    std::string text = out.str();
+    EXPECT_NE(text.find("total energy"), std::string::npos);
+    EXPECT_NE(text.find("TOPS/W"), std::string::npos);
+}
+
+TEST(Run, YamlArchAndWorkloadWithCsv)
+{
+    const char* arch_path = "/tmp/cimloop_cli_arch.yaml";
+    const char* net_path = "/tmp/cimloop_cli_net.yaml";
+    const char* csv_path = "/tmp/cimloop_cli_out.csv";
+    {
+        std::ofstream a(arch_path);
+        a << "!Component\n"
+             "name: buffer\n"
+             "class: SRAM\n"
+             "temporal_reuse: [Inputs, Outputs]\n"
+             "entries: 8192\n"
+             "!Component\n"
+             "name: dac\n"
+             "class: DAC\n"
+             "no_coalesce: [Inputs]\n"
+             "resolution: 1\n"
+             "!Container\n"
+             "name: col\n"
+             "spatial: {meshX: 16}\n"
+             "spatial_reuse: [Inputs]\n"
+             "spatial_dims: [K, WB]\n"
+             "!Component\n"
+             "name: adc\n"
+             "class: ADC\n"
+             "no_coalesce: [Outputs]\n"
+             "resolution: 4\n"
+             "!Component\n"
+             "name: cells\n"
+             "class: ReRAMCell\n"
+             "spatial: {meshY: 16}\n"
+             "temporal_reuse: [Weights]\n"
+             "spatial_reuse: [Outputs]\n"
+             "spatial_dims: [C, R, S]\n";
+        std::ofstream n(net_path);
+        n << "name: tiny\n"
+             "layers:\n"
+             "  - {name: l0, dims: {C: 16, K: 16, P: 32}}\n";
+    }
+    std::ostringstream out, err;
+    int rc = run({"--arch", arch_path, "--workload", net_path,
+                  "--dac-bits", "1", "--mappings", "30", "--csv",
+                  csv_path, "--report"},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("l0"), std::string::npos);
+    EXPECT_NE(out.str().find("cells"), std::string::npos);
+
+    std::ifstream csv(csv_path);
+    ASSERT_TRUE(csv.good());
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_NE(header.find("energy_pj"), std::string::npos);
+    std::string row;
+    std::getline(csv, row);
+    EXPECT_EQ(row.substr(0, 3), "l0,");
+}
+
+TEST(Run, MissingFileExitsOne)
+{
+    std::ostringstream out, err;
+    int rc = run({"--arch", "/nonexistent/a.yaml", "--network", "mvm"},
+                 out, err);
+    EXPECT_EQ(rc, 1);
+    EXPECT_NE(err.str().find("fatal"), std::string::npos);
+}
+
+TEST(Run, ErtDump)
+{
+    const char* ert_path = "/tmp/cimloop_cli_ert.yaml";
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "10", "--ert", ert_path},
+                 out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    std::ifstream ert(ert_path);
+    ASSERT_TRUE(ert.good());
+    std::string all((std::istreambuf_iterator<char>(ert)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("ert:"), std::string::npos);
+    EXPECT_NE(all.find("node: adc"), std::string::npos);
+    EXPECT_NE(all.find("action_outputs_pj"), std::string::npos);
+}
+
+TEST(Run, FixedMappingReplay)
+{
+    const char* map_path = "/tmp/cimloop_cli_map.yaml";
+    {
+        std::ofstream m(map_path);
+        m << "mapping:\n"
+             "  - node: cells\n"
+             "    spatial: {C: 128}\n"
+             "  - node: column\n"
+             "    spatial: {K: 16, WB: 8}\n"
+             "  - node: buffer\n"
+             "    temporal: {P: 1024, IB: 8, K: 16}\n"
+             "    order: [K, P, IB]\n";
+        std::ofstream n("/tmp/cimloop_cli_fixnet.yaml");
+        n << "name: fix\nlayers:\n"
+             "  - {name: l0, dims: {C: 128, K: 256, P: 1024}}\n";
+    }
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--workload",
+                  "/tmp/cimloop_cli_fixnet.yaml", "--mapping", map_path},
+                 out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("replaying fixed mapping"),
+              std::string::npos);
+
+    // A mapping that does not cover the layer fails loudly.
+    {
+        std::ofstream m(map_path);
+        m << "mapping:\n  - node: cells\n    spatial: {C: 2}\n";
+    }
+    std::ostringstream out2, err2;
+    EXPECT_EQ(run({"--macro", "base", "--workload",
+                   "/tmp/cimloop_cli_fixnet.yaml", "--mapping", map_path},
+                  out2, err2),
+              1);
+    EXPECT_NE(err2.str().find("invalid"), std::string::npos);
+}
+
+TEST(Run, DevicePresetFlag)
+{
+    std::ostringstream reram_out, pcm_out, err;
+    ASSERT_EQ(run({"--macro", "C", "--network", "mvm", "--mappings",
+                   "15", "--device", "reram"},
+                  reram_out, err),
+              0);
+    ASSERT_EQ(run({"--macro", "C", "--network", "mvm", "--mappings",
+                   "15", "--device", "pcm"},
+                  pcm_out, err),
+              0);
+    // Different devices, different totals.
+    EXPECT_NE(reram_out.str(), pcm_out.str());
+    std::ostringstream out3, err3;
+    EXPECT_EQ(run({"--macro", "C", "--network", "mvm", "--device",
+                   "floppy"},
+                  out3, err3),
+              1);
+}
+
+TEST(Run, ThreadsMatchSingle)
+{
+    std::ostringstream out1, out4, err;
+    ASSERT_EQ(run({"--macro", "base", "--network", "mvm", "--mappings",
+                   "20", "--seed", "5"},
+                  out1, err),
+              0);
+    ASSERT_EQ(run({"--macro", "base", "--network", "mvm", "--mappings",
+                   "20", "--seed", "5", "--threads", "4"},
+                  out4, err),
+              0);
+    EXPECT_EQ(out1.str(), out4.str());
+}
+
+} // namespace
+} // namespace cimloop::cli

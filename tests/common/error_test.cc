@@ -1,0 +1,63 @@
+#include "cimloop/common/error.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/log.hh"
+
+namespace cimloop {
+namespace {
+
+TEST(Errors, FatalThrowsWithMessage)
+{
+    try {
+        CIM_FATAL("bad value ", 42, " for knob '", "x", "'");
+        FAIL() << "CIM_FATAL did not throw";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "fatal: bad value 42 for knob 'x'");
+    }
+}
+
+TEST(Errors, PanicIncludesLocation)
+{
+    try {
+        CIM_PANIC("impossible state");
+        FAIL() << "CIM_PANIC did not throw";
+    } catch (const PanicError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("impossible state"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+    }
+}
+
+TEST(Errors, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(CIM_ASSERT(1 + 1 == 2, "math works"));
+    EXPECT_THROW(CIM_ASSERT(1 + 1 == 3, "math broke"), PanicError);
+}
+
+TEST(Errors, FatalIsNotPanic)
+{
+    EXPECT_THROW(CIM_FATAL("user error"), FatalError);
+    // FatalError must not be catchable as PanicError and vice versa.
+    bool caught_as_panic = false;
+    try {
+        CIM_FATAL("user error");
+    } catch (const PanicError&) {
+        caught_as_panic = true;
+    } catch (const FatalError&) {
+    }
+    EXPECT_FALSE(caught_as_panic);
+}
+
+TEST(Log, LevelsControlOutput)
+{
+    int old = logLevel();
+    setLogLevel(0);
+    // Should be silent; just exercise the path.
+    inform("invisible ", 1);
+    warn("invisible ", 2);
+    setLogLevel(old);
+}
+
+} // namespace
+} // namespace cimloop

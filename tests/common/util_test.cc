@@ -1,0 +1,133 @@
+#include "cimloop/common/util.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop {
+namespace {
+
+TEST(CeilDiv, Basics)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 7), 1);
+    EXPECT_EQ(ceilDiv(0, 7), 0);
+}
+
+TEST(PowerOfTwo, Predicate)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+}
+
+TEST(PowerOfTwo, Next)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1);
+    EXPECT_EQ(nextPowerOfTwo(3), 4);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024);
+}
+
+TEST(Log2Exact, ValidAndInvalid)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(256), 8);
+    EXPECT_THROW(log2Exact(3), FatalError);
+}
+
+TEST(BitsForCount, Basics)
+{
+    EXPECT_EQ(bitsForCount(1), 1);
+    EXPECT_EQ(bitsForCount(2), 1);
+    EXPECT_EQ(bitsForCount(3), 2);
+    EXPECT_EQ(bitsForCount(256), 8);
+    EXPECT_EQ(bitsForCount(257), 9);
+}
+
+TEST(Divisors, Exhaustive)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<std::int64_t>{1}));
+    EXPECT_EQ(divisorsOf(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(13), (std::vector<std::int64_t>{1, 13}));
+}
+
+class DivisorsProperty : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(DivisorsProperty, EveryDivisorDivides)
+{
+    std::int64_t n = GetParam();
+    auto divs = divisorsOf(n);
+    EXPECT_EQ(divs.front(), 1);
+    EXPECT_EQ(divs.back(), n);
+    for (std::int64_t d : divs)
+        EXPECT_EQ(n % d, 0) << "divisor " << d << " of " << n;
+    // Sorted, unique.
+    for (std::size_t i = 1; i < divs.size(); ++i)
+        EXPECT_LT(divs[i - 1], divs[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivisorsProperty,
+                         ::testing::Values(1, 2, 7, 36, 64, 97, 360, 1024,
+                                           50257));
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtils, StartsWithAndLower)
+{
+    EXPECT_TRUE(startsWith("abcdef", "abc"));
+    EXPECT_FALSE(startsWith("ab", "abc"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(3);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace cimloop

@@ -1,0 +1,155 @@
+#include "cimloop/dist/pmf.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::dist {
+namespace {
+
+double
+totalProb(const Pmf& p)
+{
+    double t = 0.0;
+    for (const auto& pt : p.points())
+        t += pt.prob;
+    return t;
+}
+
+TEST(Delta, Moments)
+{
+    Pmf p = Pmf::delta(3.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(p.meanSquare(), 9.0);
+    EXPECT_DOUBLE_EQ(p.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(p.probOf(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.probOf(4.0), 0.0);
+}
+
+TEST(UniformInt, Moments)
+{
+    Pmf p = Pmf::uniformInt(0, 9);
+    EXPECT_EQ(p.size(), 10u);
+    EXPECT_NEAR(p.mean(), 4.5, 1e-12);
+    EXPECT_NEAR(p.variance(), 8.25, 1e-12);
+    EXPECT_NEAR(totalProb(p), 1.0, 1e-12);
+}
+
+TEST(FromPoints, MergesDuplicatesAndNormalizes)
+{
+    Pmf p = Pmf::fromPoints({{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}});
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p.probOf(1.0), 0.5, 1e-12);
+    EXPECT_NEAR(p.probOf(2.0), 0.5, 1e-12);
+}
+
+TEST(FromSamples, Empirical)
+{
+    Pmf p = Pmf::fromSamples({1, 1, 2, 4});
+    EXPECT_NEAR(p.probOf(1.0), 0.5, 1e-12);
+    EXPECT_NEAR(p.mean(), 2.0, 1e-12);
+}
+
+TEST(QuantizedGaussian, CapturesMoments)
+{
+    Pmf p = Pmf::quantizedGaussian(0.0, 20.0, -128, 127);
+    EXPECT_NEAR(p.mean(), 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(p.variance()), 20.0, 0.5);
+    EXPECT_NEAR(totalProb(p), 1.0, 1e-9);
+}
+
+TEST(QuantizedGaussian, ClampsToRange)
+{
+    // Mean far outside the range: everything piles at the boundary.
+    Pmf p = Pmf::quantizedGaussian(1000.0, 5.0, -128, 127);
+    EXPECT_NEAR(p.probOf(127.0), 1.0, 1e-9);
+}
+
+TEST(ReluGaussian, HalfMassAtZero)
+{
+    Pmf p = Pmf::reluGaussian(0.0, 30.0, 127);
+    // Half of a zero-mean Gaussian collapses onto zero after ReLU.
+    EXPECT_NEAR(p.probOf(0.0), 0.5, 0.02);
+    EXPECT_GE(p.minValue(), 0.0);
+}
+
+TEST(Mapped, MergesCollisions)
+{
+    Pmf p = Pmf::uniformInt(-2, 2).mapped([](double v) {
+        return std::abs(v);
+    });
+    EXPECT_NEAR(p.probOf(0.0), 0.2, 1e-12);
+    EXPECT_NEAR(p.probOf(1.0), 0.4, 1e-12);
+    EXPECT_NEAR(p.probOf(2.0), 0.4, 1e-12);
+}
+
+TEST(Convolve, SumOfUniformDice)
+{
+    Pmf die = Pmf::uniformInt(1, 6);
+    Pmf two = die.convolveWith(die);
+    EXPECT_NEAR(two.probOf(7.0), 6.0 / 36.0, 1e-12);
+    EXPECT_NEAR(two.probOf(2.0), 1.0 / 36.0, 1e-12);
+    EXPECT_NEAR(two.mean(), 7.0, 1e-12);
+}
+
+TEST(Convolve, MeanIsExactEvenWhenCapped)
+{
+    Pmf wide = Pmf::uniformInt(0, 999);
+    Pmf sum = wide.convolveWith(wide, 64); // heavy merging
+    // Merging is probability-weighted, so the mean is preserved.
+    EXPECT_NEAR(sum.mean(), 999.0, 1e-6);
+    EXPECT_LE(sum.size(), 64u);
+}
+
+TEST(Mixture, Weights)
+{
+    Pmf p = Pmf::delta(0.0).mixedWith(Pmf::delta(10.0), 0.25);
+    EXPECT_NEAR(p.probOf(0.0), 0.25, 1e-12);
+    EXPECT_NEAR(p.probOf(10.0), 0.75, 1e-12);
+    EXPECT_NEAR(p.mean(), 7.5, 1e-12);
+}
+
+TEST(Expectation, ArbitraryFunction)
+{
+    Pmf p = Pmf::uniformInt(1, 4);
+    double e = p.expectation([](double v) { return v * v * v; });
+    EXPECT_NEAR(e, (1 + 8 + 27 + 64) / 4.0, 1e-12);
+}
+
+TEST(Sample, InverseCdf)
+{
+    Pmf p = Pmf::fromPoints({{1.0, 0.5}, {2.0, 0.3}, {3.0, 0.2}});
+    EXPECT_DOUBLE_EQ(p.sample(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.sample(0.49), 1.0);
+    EXPECT_DOUBLE_EQ(p.sample(0.51), 2.0);
+    EXPECT_DOUBLE_EQ(p.sample(0.85), 3.0);
+    EXPECT_DOUBLE_EQ(p.sample(0.999999), 3.0);
+}
+
+TEST(Errors, EmptyAndInvalid)
+{
+    Pmf empty;
+    EXPECT_THROW(empty.minValue(), PanicError);
+    EXPECT_THROW(Pmf::fromPoints({{1.0, 0.0}}), FatalError); // zero mass
+}
+
+class MomentProperty : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(MomentProperty, VarianceNonNegative)
+{
+    double sigma = GetParam();
+    Pmf p = Pmf::quantizedGaussian(3.0, sigma, -64, 63);
+    EXPECT_GE(p.variance(), -1e-9);
+    EXPECT_NEAR(totalProb(p), 1.0, 1e-9);
+    // Jensen: E[X^2] >= E[X]^2.
+    EXPECT_GE(p.meanSquare() + 1e-12, p.mean() * p.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, MomentProperty,
+                         ::testing::Values(0.5, 1.0, 5.0, 20.0, 100.0));
+
+} // namespace
+} // namespace cimloop::dist

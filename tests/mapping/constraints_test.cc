@@ -1,0 +1,122 @@
+/** Per-node mapping constraints: temporal_dims (spec-attached search
+ *  constraints, paper Sec. III-B2 "optional constraints ... for the
+ *  mapping search"). */
+#include "cimloop/mapping/mapper.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/mapping/nest.hh"
+#include "cimloop/spec/builder.hh"
+#include "cimloop/spec/hierarchy.hh"
+#include "cimloop/workload/layer.hh"
+
+namespace cimloop::mapping {
+namespace {
+
+using spec::Hierarchy;
+using spec::HierarchyBuilder;
+using workload::dimIndex;
+using workload::matmulLayer;
+
+Hierarchy
+constrainedHierarchy()
+{
+    // The inner buffer may only host the IB loop (a bit-serial sequencer
+    // register); everything else must stay at dram.
+    return HierarchyBuilder("constrained")
+        .component("dram", "DRAM")
+            .temporalReuse({TensorKind::Input, TensorKind::Weight,
+                            TensorKind::Output})
+        .component("seq", "SRAM")
+            .temporalReuse({TensorKind::Output})
+            .temporalDims({Dim::IB})
+        .component("pe", "DigitalMac")
+            .temporalReuse({TensorKind::Weight})
+        .build();
+}
+
+TEST(TemporalDims, CheckRejectsForbiddenLoops)
+{
+    Hierarchy h = constrainedHierarchy();
+    Layer layer = matmulLayer("mm", 4, 4, 4);
+    Mapping m = Mapping::identity(h);
+    m.levels[1].temporal[dimIndex(Dim::C)] = 4; // not in {IB}
+    m.levels[0].temporal[dimIndex(Dim::P)] = 4;
+    m.levels[0].temporal[dimIndex(Dim::K)] = 4;
+    std::string problem = m.check(h, layer);
+    EXPECT_NE(problem.find("temporal_dims"), std::string::npos)
+        << problem;
+
+    // Moving the loop to dram fixes it.
+    m.levels[1].temporal[dimIndex(Dim::C)] = 1;
+    m.levels[0].temporal[dimIndex(Dim::C)] = 4;
+    EXPECT_TRUE(m.check(h, layer).empty()) << m.check(h, layer);
+}
+
+TEST(TemporalDims, AllowedLoopAccepted)
+{
+    Hierarchy h = constrainedHierarchy();
+    Layer layer = matmulLayer("mm", 2, 2, 2);
+    layer.dims[dimIndex(Dim::IB)] = 4;
+    Mapping m = Mapping::identity(h);
+    m.levels[1].temporal[dimIndex(Dim::IB)] = 4;
+    m.levels[0].temporal[dimIndex(Dim::P)] = 2;
+    m.levels[0].temporal[dimIndex(Dim::C)] = 2;
+    m.levels[0].temporal[dimIndex(Dim::K)] = 2;
+    EXPECT_TRUE(m.check(h, layer).empty()) << m.check(h, layer);
+}
+
+TEST(TemporalDims, GreedyAndRandomHonorConstraint)
+{
+    Hierarchy h = constrainedHierarchy();
+    Layer layer = matmulLayer("mm", 6, 10, 14);
+    layer.dims[dimIndex(Dim::IB)] = 8;
+    Mapper mapper(h, layer, {.seed = 4});
+
+    Mapping greedy = mapper.greedy();
+    EXPECT_TRUE(greedy.check(h, layer).empty())
+        << greedy.check(h, layer);
+    for (Dim d : workload::kAllDims) {
+        if (d != Dim::IB) {
+            EXPECT_EQ(greedy.levels[1].temporal[dimIndex(d)], 1);
+        }
+    }
+
+    for (int i = 0; i < 20; ++i) {
+        auto m = mapper.next();
+        ASSERT_TRUE(m.has_value());
+        EXPECT_TRUE(m->check(h, layer).empty()) << m->toString(h);
+    }
+}
+
+TEST(TemporalDims, ParsesFromYaml)
+{
+    Hierarchy h = Hierarchy::fromText(R"(
+!Component
+name: a
+temporal_reuse: [Inputs, Weights, Outputs]
+temporal_dims: [P, Q, IB]
+)");
+    ASSERT_EQ(h.node("a").temporalDims.size(), 3u);
+    EXPECT_EQ(h.node("a").temporalDims[2], Dim::IB);
+}
+
+TEST(TemporalDims, UnmappableDimIsFatalInGreedy)
+{
+    // No storage node permits a C loop: greedy must fail loudly.
+    Hierarchy h = HierarchyBuilder("broken")
+        .component("dram", "DRAM")
+            .temporalReuse({TensorKind::Input, TensorKind::Weight,
+                            TensorKind::Output})
+            .temporalDims({Dim::P})
+        .component("pe", "DigitalMac")
+            .temporalReuse({TensorKind::Weight})
+            .temporalDims({Dim::P})
+        .build();
+    Layer layer = matmulLayer("mm", 2, 8, 1);
+    EXPECT_THROW(Mapper(h, layer).greedy(), cimloop::FatalError);
+}
+
+} // namespace
+} // namespace cimloop::mapping

@@ -1,0 +1,141 @@
+/** Exhaustive mapspace enumeration and search-quality bounds. */
+#include "cimloop/mapping/mapper.hh"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/mapping/nest.hh"
+#include "cimloop/spec/builder.hh"
+
+namespace cimloop::mapping {
+namespace {
+
+using spec::Hierarchy;
+using spec::HierarchyBuilder;
+using workload::matmulLayer;
+
+Hierarchy
+tinyMacro()
+{
+    return HierarchyBuilder("tiny")
+        .component("buffer", "SRAM")
+            .temporalReuse({TensorKind::Input, TensorKind::Output})
+        .component("dac", "DAC")
+            .noCoalesce({TensorKind::Input})
+        .container("col")
+            .spatial(2, 1)
+            .spatialReuse({TensorKind::Input})
+            .spatialDims({Dim::K, Dim::WB})
+        .component("adc", "ADC")
+            .noCoalesce({TensorKind::Output})
+        .component("cells", "ReRAMCell")
+            .spatial(1, 2)
+            .temporalReuse({TensorKind::Weight})
+            .spatialReuse({TensorKind::Output})
+            .spatialDims({Dim::C})
+        .build();
+}
+
+TEST(Exhaustive, AllEnumeratedMappingsAreValidAndDistinct)
+{
+    Hierarchy h = tinyMacro();
+    Layer layer = matmulLayer("mm", 2, 4, 2);
+    Mapper mapper(h, layer);
+    std::vector<Mapping> space = mapper.exhaustive();
+    ASSERT_FALSE(space.empty());
+    std::set<std::string> seen;
+    for (const Mapping& m : space) {
+        EXPECT_TRUE(m.check(h, layer).empty()) << m.toString(h);
+        EXPECT_TRUE(seen.insert(m.toString(h)).second)
+            << "duplicate: " << m.toString(h);
+    }
+    // The space must include both array-filling and serial mappings.
+    bool saw_parallel = false, saw_serial = false;
+    for (const Mapping& m : space) {
+        NestResult r = analyzeNest(h, m, layer);
+        if (!r.valid)
+            continue;
+        saw_parallel |= (r.innermostParallelism == 4);
+        saw_serial |= (r.innermostParallelism == 1);
+    }
+    EXPECT_TRUE(saw_parallel);
+    EXPECT_TRUE(saw_serial);
+}
+
+TEST(Exhaustive, GreedyAndRandomNeverBeatTheOptimum)
+{
+    // Evaluate the complete space with real energies and check that no
+    // search strategy reports anything below the exhaustive optimum.
+    macros::MacroParams p = macros::baseDefaults();
+    p.rows = 4;
+    p.cols = 4;
+    p.inputBits = 2;
+    p.weightBits = 2;
+    engine::Arch arch = macros::baseMacro(p);
+    workload::Layer layer = matmulLayer("mm", 2, 4, 2);
+    layer.network = "mvm";
+
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    Mapper mapper(arch.hierarchy, table.extLayer, {.seed = 3});
+
+    double best = 1e300;
+    int valid = 0;
+    for (const Mapping& m : mapper.exhaustive(1000000)) {
+        engine::Evaluation ev = engine::evaluate(arch, table, m);
+        if (ev.valid) {
+            ++valid;
+            best = std::min(best, ev.energyPj);
+        }
+    }
+    ASSERT_GT(valid, 10);
+
+    engine::Evaluation greedy =
+        engine::evaluate(arch, table, mapper.greedy());
+    ASSERT_TRUE(greedy.valid);
+    EXPECT_GE(greedy.energyPj, best * (1.0 - 1e-9));
+
+    engine::SearchResult random =
+        engine::searchMappings(arch, layer, 300, 11);
+    EXPECT_GE(random.best.energyPj, best * (1.0 - 1e-9));
+    // And with enough samples, random search should get close (2x).
+    EXPECT_LE(random.best.energyPj, 2.0 * best);
+}
+
+TEST(Exhaustive, HonorsTemporalDims)
+{
+    Hierarchy h = HierarchyBuilder("constrained")
+        .component("dram", "DRAM")
+            .temporalReuse({TensorKind::Input, TensorKind::Weight,
+                            TensorKind::Output})
+        .component("reg", "SRAM")
+            .temporalReuse({TensorKind::Output})
+            .temporalDims({Dim::IB})
+        .component("pe", "DigitalMac")
+            .temporalReuse({TensorKind::Weight})
+        .build();
+    Layer layer = matmulLayer("mm", 2, 2, 2);
+    layer.dims[workload::dimIndex(Dim::IB)] = 2;
+    for (const Mapping& m : Mapper(h, layer).exhaustive()) {
+        for (Dim d : workload::kAllDims) {
+            if (d != Dim::IB) {
+                EXPECT_EQ(m.levels[1].temporal[workload::dimIndex(d)], 1)
+                    << m.toString(h);
+            }
+        }
+    }
+}
+
+TEST(Exhaustive, LimitGuardsAgainstBlowup)
+{
+    Hierarchy h = tinyMacro();
+    Layer layer = matmulLayer("mm", 64, 64, 64);
+    Mapper mapper(h, layer);
+    EXPECT_THROW(mapper.exhaustive(50), cimloop::FatalError);
+}
+
+} // namespace
+} // namespace cimloop::mapping

@@ -1,0 +1,183 @@
+#include "cimloop/mapping/mapper.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/mapping/nest.hh"
+#include "cimloop/spec/builder.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::mapping {
+namespace {
+
+using spec::Hierarchy;
+using spec::HierarchyBuilder;
+using workload::dimIndex;
+using workload::matmulLayer;
+
+Hierarchy
+testMacro(std::int64_t cols = 8, std::int64_t rows = 8)
+{
+    return HierarchyBuilder("macro")
+        .component("buffer")
+            .temporalReuse({TensorKind::Input, TensorKind::Output})
+        .component("DAC")
+            .noCoalesce({TensorKind::Input})
+        .container("column")
+            .spatial(cols, 1)
+            .spatialReuse({TensorKind::Input})
+        .component("ADC")
+            .noCoalesce({TensorKind::Output})
+        .component("cell")
+            .spatial(1, rows)
+            .temporalReuse({TensorKind::Weight})
+            .spatialReuse({TensorKind::Output})
+        .build();
+}
+
+TEST(Greedy, FillsMatchedArrayCompletely)
+{
+    Hierarchy h = testMacro(8, 8);
+    Layer layer = matmulLayer("mvm", 16, 8, 8);
+    Mapping m = Mapper(h, layer).greedy();
+    NestResult r = analyzeNest(h, m, layer);
+    ASSERT_TRUE(r.valid) << r.invalidReason;
+    EXPECT_EQ(r.innermostParallelism, 64);
+    EXPECT_DOUBLE_EQ(r.nodes[4].utilization, 1.0);
+}
+
+TEST(Greedy, RespectsWireSharing)
+{
+    // K cannot go across rows (output wire), C cannot go across columns
+    // (input wire); greedy must still produce a valid mapping.
+    Hierarchy h = testMacro(4, 4);
+    Layer layer = matmulLayer("mvm", 2, 16, 16);
+    Mapping m = Mapper(h, layer).greedy();
+    EXPECT_TRUE(m.check(h, layer).empty()) << m.check(h, layer);
+    // Columns may only carry K (and other output-relevant dims).
+    EXPECT_EQ(m.levels[2].spatial[dimIndex(Dim::C)], 1);
+    // Cells may only carry reduction dims.
+    EXPECT_EQ(m.levels[4].spatial[dimIndex(Dim::K)], 1);
+}
+
+TEST(Greedy, HonorsSpatialDimsConstraint)
+{
+    Hierarchy h = HierarchyBuilder("constrained")
+        .component("buffer")
+            .temporalReuse({TensorKind::Input, TensorKind::Output})
+        .container("col")
+            .spatial(4, 1)
+            .spatialDims({Dim::WB})
+        .component("cell")
+            .spatial(1, 4)
+            .temporalReuse({TensorKind::Weight})
+            .spatialReuse({TensorKind::Output})
+        .build();
+    Layer layer = matmulLayer("mvm", 4, 4, 4);
+    layer.dims[dimIndex(Dim::WB)] = 4;
+    Mapping m = Mapper(h, layer).greedy();
+    ASSERT_TRUE(m.check(h, layer).empty()) << m.check(h, layer);
+    EXPECT_EQ(m.levels[1].spatial[dimIndex(Dim::WB)], 4);
+    EXPECT_EQ(m.levels[1].spatial[dimIndex(Dim::K)], 1);
+}
+
+TEST(Random, GeneratesManyValidMappings)
+{
+    Hierarchy h = testMacro(8, 8);
+    Layer layer = matmulLayer("mvm", 12, 24, 10);
+    Mapper mapper(h, layer, {.seed = 7, .maxAttempts = 64});
+    int distinct_parallelism = 0;
+    std::set<std::int64_t> parallelisms;
+    for (int i = 0; i < 50; ++i) {
+        auto m = mapper.next();
+        ASSERT_TRUE(m.has_value()) << "sample " << i;
+        NestResult r = analyzeNest(h, *m, layer);
+        ASSERT_TRUE(r.valid) << r.invalidReason;
+        parallelisms.insert(r.innermostParallelism);
+    }
+    distinct_parallelism = static_cast<int>(parallelisms.size());
+    // The random mapper must actually explore the space.
+    EXPECT_GE(distinct_parallelism, 2);
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    Hierarchy h = testMacro(4, 4);
+    Layer layer = matmulLayer("mvm", 8, 8, 8);
+    Mapper a(h, layer, {.seed = 99});
+    Mapper b(h, layer, {.seed = 99});
+    for (int i = 0; i < 10; ++i) {
+        auto ma = a.next();
+        auto mb = b.next();
+        ASSERT_TRUE(ma && mb);
+        EXPECT_EQ(ma->toString(h), mb->toString(h)) << "sample " << i;
+    }
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Hierarchy h = testMacro(4, 4);
+    Layer layer = matmulLayer("mvm", 8, 8, 8);
+    Mapper a(h, layer, {.seed = 1});
+    Mapper b(h, layer, {.seed = 2});
+    int differing = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto ma = a.next();
+        auto mb = b.next();
+        ASSERT_TRUE(ma && mb);
+        if (ma->toString(h) != mb->toString(h))
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Random, WorksOnRealLayers)
+{
+    Hierarchy h = testMacro(16, 16);
+    workload::Network net = workload::resnet18();
+    for (const workload::Layer& layer :
+         {net.layers[0], net.layers[5], net.layers[20]}) {
+        Mapper mapper(h, layer, {.seed = 3});
+        auto m = mapper.next();
+        ASSERT_TRUE(m.has_value()) << layer.name;
+        NestResult r = analyzeNest(h, *m, layer);
+        EXPECT_TRUE(r.valid) << layer.name << ": " << r.invalidReason;
+    }
+}
+
+TEST(Identity, TrivialLayerMapsTrivially)
+{
+    Hierarchy h = testMacro(2, 2);
+    Layer layer = matmulLayer("one", 1, 1, 1);
+    Mapping m = Mapping::identity(h);
+    EXPECT_TRUE(m.check(h, layer).empty());
+    NestResult r = analyzeNest(h, m, layer);
+    ASSERT_TRUE(r.valid);
+    EXPECT_DOUBLE_EQ(r.totalOps, 1.0);
+    EXPECT_EQ(r.innermostParallelism, 1);
+}
+
+class GreedySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(GreedySweep, AlwaysValid)
+{
+    auto [m_dim, c_dim, k_dim] = GetParam();
+    Hierarchy h = testMacro(8, 8);
+    Layer layer = matmulLayer("mvm", m_dim, c_dim, k_dim);
+    Mapping m = Mapper(h, layer).greedy();
+    NestResult r = analyzeNest(h, m, layer);
+    EXPECT_TRUE(r.valid) << r.invalidReason;
+    // Everything must be computed exactly once.
+    EXPECT_DOUBLE_EQ(r.totalOps,
+                     static_cast<double>(layer.macs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GreedySweep,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 64, 64},
+                      std::tuple{7, 3, 1000}, std::tuple{128, 8, 8},
+                      std::tuple{13, 17, 19}, std::tuple{1024, 768, 768}));
+
+} // namespace
+} // namespace cimloop::mapping

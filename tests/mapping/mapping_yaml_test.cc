@@ -1,0 +1,96 @@
+/** Fixed-mapping YAML round-trip (Timeloop-style pinned mappings). */
+#include "cimloop/mapping/mapping.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/mapping/mapper.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::mapping {
+namespace {
+
+TEST(MappingYaml, RoundTripPreservesEvaluation)
+{
+    engine::Arch arch = macros::baseMacro();
+    workload::Layer layer = workload::resnet18().layers[6];
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    Mapper mapper(arch.hierarchy, table.extLayer, {.seed = 5});
+
+    for (int i = 0; i < 10; ++i) {
+        auto m = mapper.next();
+        ASSERT_TRUE(m.has_value());
+        std::string text = m->toYamlText(arch.hierarchy);
+        Mapping replay = Mapping::fromText(arch.hierarchy, text);
+        EXPECT_TRUE(replay.check(arch.hierarchy, table.extLayer).empty())
+            << text;
+        engine::Evaluation a = engine::evaluate(arch, table, *m);
+        engine::Evaluation b = engine::evaluate(arch, table, replay);
+        // Capacity-rejected samples must round-trip to the same verdict.
+        EXPECT_EQ(a.valid, b.valid) << text;
+        if (!a.valid)
+            continue;
+        EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj) << text;
+        EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs) << text;
+    }
+}
+
+TEST(MappingYaml, HandWrittenMapping)
+{
+    engine::Arch arch = macros::baseMacro();
+    spec::Hierarchy& h = arch.hierarchy;
+    Mapping m = Mapping::fromText(h, R"(
+mapping:
+  - node: cells
+    spatial: {C: 128}
+  - node: column
+    spatial: {K: 16, WB: 8}
+  - node: buffer
+    temporal: {P: 32, IB: 8}
+    order: [P, IB]
+)");
+    workload::Layer layer = workload::matmulLayer("mvm", 32, 128, 16);
+    layer.network = "mvm";
+    engine::Arch a2 = arch;
+    workload::Layer ext = a2.extendLayer(layer);
+    EXPECT_TRUE(m.check(h, ext).empty()) << m.check(h, ext);
+    EXPECT_EQ(m.levels[h.indexOf("buffer")].order.size(), 2u);
+}
+
+TEST(MappingYaml, Errors)
+{
+    engine::Arch arch = macros::baseMacro();
+    const spec::Hierarchy& h = arch.hierarchy;
+    EXPECT_THROW(Mapping::fromText(h, "mapping:\n  - temporal: {C: 2}\n"),
+                 cimloop::FatalError); // no node
+    EXPECT_THROW(
+        Mapping::fromText(h, "mapping:\n  - node: ghost\n"),
+        cimloop::FatalError);
+    EXPECT_THROW(
+        Mapping::fromText(h,
+                          "mapping:\n  - node: buffer\n    temporal: "
+                          "{Z: 2}\n"),
+        cimloop::FatalError); // unknown dim
+    EXPECT_THROW(
+        Mapping::fromText(h,
+                          "mapping:\n  - node: buffer\n    stride: 2\n"),
+        cimloop::FatalError); // unknown key
+    EXPECT_THROW(
+        Mapping::fromText(h,
+                          "mapping:\n  - node: buffer\n    temporal: "
+                          "{C: 0}\n"),
+        cimloop::FatalError);
+}
+
+TEST(MappingYaml, OmitsIdentityNodes)
+{
+    engine::Arch arch = macros::baseMacro();
+    Mapping m = Mapping::identity(arch.hierarchy);
+    std::string text = m.toYamlText(arch.hierarchy);
+    EXPECT_EQ(text, "mapping:\n"); // nothing to say
+}
+
+} // namespace
+} // namespace cimloop::mapping

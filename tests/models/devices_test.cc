@@ -1,0 +1,170 @@
+#include "cimloop/models/devices.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::models {
+namespace {
+
+TEST(Presets, AllNamedAndDistinct)
+{
+    std::vector<std::string> names = devicePresetNames();
+    ASSERT_EQ(names.size(), 5u);
+    for (const std::string& n : names) {
+        const DevicePreset& p = devicePreset(n);
+        EXPECT_EQ(p.name, n);
+        EXPECT_FALSE(p.cellClass.empty());
+        EXPECT_GE(p.maxBitsPerCell, 1);
+    }
+    EXPECT_THROW(devicePreset("DRAM-cell"), FatalError);
+}
+
+TEST(Presets, CaseInsensitiveLookup)
+{
+    EXPECT_EQ(devicePreset("reram").name, "ReRAM");
+    EXPECT_EQ(devicePreset("stt-mram").name, "STT-MRAM");
+}
+
+TEST(Presets, TechnologyCharacter)
+{
+    // STT-MRAM is binary-only with a low on/off ratio.
+    const DevicePreset& stt = devicePreset("STT-MRAM");
+    EXPECT_EQ(stt.maxBitsPerCell, 1);
+    double ratio = stt.attributes.at("g_on_us").asDouble() /
+                   stt.attributes.at("g_off_us").asDouble();
+    EXPECT_LT(ratio, 5.0);
+
+    // ReRAM stores analog multi-level weights with a high ratio.
+    const DevicePreset& reram = devicePreset("ReRAM");
+    EXPECT_GE(reram.maxBitsPerCell, 2);
+    EXPECT_GT(reram.attributes.at("g_on_us").asDouble() /
+                  reram.attributes.at("g_off_us").asDouble(),
+              10.0);
+
+    // PCM programming (melt-quench) costs more than FeFET.
+    EXPECT_GT(devicePreset("PCM").attributes.at("write_energy_pj")
+                  .asDouble(),
+              devicePreset("FeFET").attributes.at("write_energy_pj")
+                  .asDouble());
+
+    // SRAM is volatile.
+    EXPECT_FALSE(devicePreset("SRAM").nonVolatile);
+    EXPECT_TRUE(devicePreset("PCM").nonVolatile);
+}
+
+TEST(Apply, RetargetsCellNode)
+{
+    engine::Arch arch = macros::macroC();
+    EXPECT_EQ(arch.hierarchy.node("cells").klass, "ReRAMCell");
+    applyDevicePreset(arch.hierarchy, "cells", devicePreset("SRAM"));
+    EXPECT_EQ(arch.hierarchy.node("cells").klass, "SRAMCell");
+    EXPECT_DOUBLE_EQ(arch.hierarchy.node("cells").attrDouble(
+                         "mac_energy_fj", 0.0),
+                     1.8);
+    // Directives are untouched: still the weight store.
+    EXPECT_TRUE(arch.hierarchy.node("cells").stores(
+        workload::TensorKind::Weight));
+}
+
+TEST(Apply, KeepsUnrelatedAttributes)
+{
+    engine::Arch arch = macros::macroC();
+    double idle_before =
+        arch.hierarchy.node("cells").attrDouble("idle_fraction", -1.0);
+    applyDevicePreset(arch.hierarchy, "cells", devicePreset("PCM"));
+    EXPECT_DOUBLE_EQ(arch.hierarchy.node("cells").attrDouble(
+                         "idle_fraction", -1.0),
+                     idle_before);
+}
+
+TEST(Apply, UnknownNodeFatal)
+{
+    engine::Arch arch = macros::macroC();
+    EXPECT_THROW(
+        applyDevicePreset(arch.hierarchy, "bitcells",
+                          devicePreset("ReRAM")),
+        FatalError);
+}
+
+TEST(Apply, EveryPresetEvaluates)
+{
+    workload::Layer layer = workload::matmulLayer("mvm", 256, 256, 64);
+    layer.network = "mvm";
+    for (const std::string& name : devicePresetNames()) {
+        const DevicePreset& preset = devicePreset(name);
+        macros::MacroParams p = macros::macroCDefaults();
+        p.cellBits = std::min(p.cellBits, preset.maxBitsPerCell);
+        engine::Arch arch = macros::macroC(p);
+        applyDevicePreset(arch.hierarchy, "cells", preset);
+        arch.rep.cellBits = p.cellBits;
+        engine::SearchResult sr =
+            engine::searchMappings(arch, layer, 30, 1);
+        EXPECT_TRUE(sr.best.valid) << name;
+        EXPECT_GT(sr.best.energyPj, 0.0) << name;
+    }
+}
+
+TEST(Apply, WriteCostShowsUpInCellFills)
+{
+    // PCM's expensive programming must surface in the cells' energy on a
+    // workload where weights are written once and read few times.
+    workload::Layer layer = workload::matmulLayer("mvm", 2, 256, 64);
+    layer.network = "mvm";
+    auto cellEnergy = [&](const char* device) {
+        const DevicePreset& preset = devicePreset(device);
+        macros::MacroParams p = macros::macroCDefaults();
+        p.cellBits = std::min(p.cellBits, preset.maxBitsPerCell);
+        engine::Arch arch = macros::macroC(p);
+        applyDevicePreset(arch.hierarchy, "cells", preset);
+        arch.rep.cellBits = p.cellBits;
+        engine::PerActionTable table = engine::precompute(arch, layer);
+        mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+        engine::Evaluation ev =
+            engine::evaluate(arch, table, mapper.greedy());
+        return ev.nodeEnergyPj[arch.hierarchy.indexOf("cells")];
+    };
+    EXPECT_GT(cellEnergy("PCM"), 2.0 * cellEnergy("FeFET"));
+}
+
+TEST(Leakage, StaticPowerReported)
+{
+    PluginRegistry& reg = PluginRegistry::instance();
+    spec::SpecNode node;
+    node.name = "dut";
+    ComponentContext ctx;
+    ctx.node = &node;
+    ctx.technologyNm = 65.0;
+
+    // Volatile storage leaks; the ReRAM read path reports none.
+    EXPECT_GT(reg.require("SRAM").estimate(ctx).staticPowerUw, 0.0);
+    EXPECT_GT(reg.require("SRAMCell").estimate(ctx).staticPowerUw, 0.0);
+    EXPECT_DOUBLE_EQ(reg.require("ReRAMCell").estimate(ctx).staticPowerUw,
+                     0.0);
+    // ADCs fold bias into per-convert energy (power-gated between uses).
+    node.attributes["resolution"] = yaml::Node::makeInt(6);
+    EXPECT_DOUBLE_EQ(reg.require("ADC").estimate(ctx).staticPowerUw, 0.0);
+}
+
+TEST(Leakage, EngineChargesAndCanDisable)
+{
+    macros::MacroParams p = macros::macroADefaults(); // SRAM cells leak
+    engine::Arch arch = macros::macroA(p);
+    workload::Layer layer = workload::matmulLayer("mvm", 64, 768, 32);
+    layer.network = "mvm";
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+    mapping::Mapping m = mapper.greedy();
+
+    engine::Evaluation with_leak = engine::evaluate(arch, table, m);
+    arch.includeLeakage = false;
+    engine::Evaluation without = engine::evaluate(arch, table, m);
+    EXPECT_GT(with_leak.energyPj, without.energyPj);
+    EXPECT_DOUBLE_EQ(with_leak.latencyNs, without.latencyNs);
+}
+
+} // namespace
+} // namespace cimloop::models

@@ -1,0 +1,303 @@
+#include "cimloop/models/component.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/dist/operands.hh"
+
+namespace cimloop::models {
+namespace {
+
+using dist::EncodedTensor;
+using dist::Encoding;
+using dist::Pmf;
+using spec::tensorIndex;
+
+constexpr int kI = tensorIndex(TensorKind::Input);
+constexpr int kW = tensorIndex(TensorKind::Weight);
+constexpr int kO = tensorIndex(TensorKind::Output);
+
+/** Context with a node owning the given attributes. */
+struct CtxFixture
+{
+    spec::SpecNode node;
+    ComponentContext ctx;
+
+    explicit CtxFixture(double nm = 65.0)
+    {
+        node.name = "dut";
+        ctx.node = &node;
+        ctx.technologyNm = nm;
+        // Mid-scale operand representations by default.
+        ctx.tensors[kI] = dist::encodeOperands(
+            Pmf::quantizedGaussian(40.0, 20.0, 0, 255), Encoding::Unsigned,
+            8);
+        ctx.tensors[kW] = dist::encodeOperands(
+            Pmf::quantizedGaussian(0.0, 20.0, -128, 127), Encoding::Offset,
+            8);
+        ctx.tensors[kO] = dist::encodeOperands(
+            Pmf::quantizedGaussian(0.0, 30.0, -128, 127),
+            Encoding::TwosComplement, 16);
+    }
+
+    void
+    setAttr(const std::string& key, double v)
+    {
+        node.attributes[key] = yaml::Node::makeFloat(v);
+    }
+
+    void
+    setAttr(const std::string& key, std::int64_t v)
+    {
+        node.attributes[key] = yaml::Node::makeInt(v);
+    }
+};
+
+TEST(Registry, BuiltinsPresent)
+{
+    PluginRegistry& reg = PluginRegistry::instance();
+    for (const char* name :
+         {"ADC", "DAC", "SRAMCell", "ReRAMCell", "AnalogAdder",
+          "AnalogAccumulator", "CapacitorMac", "DigitalAdder", "ShiftAdd",
+          "DigitalMac", "SRAM", "DRAM", "Router", "LineDriver", "Wire"}) {
+        EXPECT_NE(reg.find(name), nullptr) << name;
+    }
+    EXPECT_EQ(reg.find("Bogus"), nullptr);
+    EXPECT_THROW(reg.require("Bogus"), FatalError);
+    // Case-insensitive lookup.
+    EXPECT_NE(reg.find("adc"), nullptr);
+}
+
+TEST(Registry, UserPluginOverridesAndExtends)
+{
+    class MyModel : public ComponentModel
+    {
+      public:
+        std::string className() const override { return "MyPhotonicMzi"; }
+        std::string description() const override { return "test"; }
+        ComponentEstimate
+        estimate(const ComponentContext&) const override
+        {
+            ComponentEstimate e;
+            e.areaUm2 = 42.0;
+            return e;
+        }
+    };
+    PluginRegistry& reg = PluginRegistry::instance();
+    reg.add(std::make_unique<MyModel>());
+    CtxFixture f;
+    EXPECT_DOUBLE_EQ(reg.require("myphotonicmzi").estimate(f.ctx).areaUm2,
+                     42.0);
+}
+
+TEST(Adc, EnergyGrowsExponentiallyWithBits)
+{
+    CtxFixture f;
+    const ComponentModel& adc = PluginRegistry::instance().require("ADC");
+    f.setAttr("resolution", std::int64_t{4});
+    double e4 = adc.estimate(f.ctx).actionEnergyPj[kO];
+    f.setAttr("resolution", std::int64_t{8});
+    double e8 = adc.estimate(f.ctx).actionEnergyPj[kO];
+    f.setAttr("resolution", std::int64_t{12});
+    double e12 = adc.estimate(f.ctx).actionEnergyPj[kO];
+    // Walden regime at moderate resolution: ~2x per bit...
+    EXPECT_GT(e8 / e4, 16.0);
+    EXPECT_LT(e8 / e4, 32.0);
+    // ...thermal-noise regime at high resolution: ~4x per bit.
+    EXPECT_GT(e12 / e8, 32.0);
+    EXPECT_GT(e4, 0.0);
+}
+
+TEST(Adc, ValueAwareSpendsLessOnSmallValues)
+{
+    CtxFixture f;
+    f.setAttr("value_aware", std::int64_t{1});
+    const ComponentModel& adc = PluginRegistry::instance().require("ADC");
+    f.ctx.tensors[kO] = dist::encodeOperands(Pmf::delta(2.0),
+                                             Encoding::Unsigned, 8);
+    double small = adc.estimate(f.ctx).actionEnergyPj[kO];
+    f.ctx.tensors[kO] = dist::encodeOperands(Pmf::delta(250.0),
+                                             Encoding::Unsigned, 8);
+    double large = adc.estimate(f.ctx).actionEnergyPj[kO];
+    EXPECT_LT(small, large);
+}
+
+TEST(Dac, EnergyTracksInputValue)
+{
+    CtxFixture f;
+    const ComponentModel& dac = PluginRegistry::instance().require("DAC");
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(10.0),
+                                             Encoding::Unsigned, 8);
+    double small = dac.estimate(f.ctx).actionEnergyPj[kI];
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(240.0),
+                                             Encoding::Unsigned, 8);
+    double large = dac.estimate(f.ctx).actionEnergyPj[kI];
+    // Paper Fig. 4: data-value-dependence swings DAC energy > 2.5x.
+    EXPECT_GT(large / small, 2.5);
+}
+
+TEST(ReramCell, FollowsGV2T)
+{
+    CtxFixture f;
+    const ComponentModel& cell =
+        PluginRegistry::instance().require("ReRAMCell");
+    // Doubling read time doubles energy.
+    f.setAttr("t_read_ns", 10.0);
+    double e1 = cell.estimate(f.ctx).readEnergyPj[kW];
+    f.setAttr("t_read_ns", 20.0);
+    double e2 = cell.estimate(f.ctx).readEnergyPj[kW];
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+
+    // Larger input values -> larger V^2 -> more energy.
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(255.0),
+                                             Encoding::Unsigned, 8);
+    double big_in = cell.estimate(f.ctx).readEnergyPj[kW];
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(32.0),
+                                             Encoding::Unsigned, 8);
+    double small_in = cell.estimate(f.ctx).readEnergyPj[kW];
+    EXPECT_GT(big_in, small_in);
+}
+
+TEST(Sram, EnergyGrowsWithCapacity)
+{
+    CtxFixture f;
+    const ComponentModel& sram = PluginRegistry::instance().require("SRAM");
+    f.setAttr("entries", std::int64_t{1024});
+    f.setAttr("width", std::int64_t{64});
+    double small = sram.estimate(f.ctx).readEnergyPj[kI];
+    f.setAttr("entries", std::int64_t{65536});
+    double large = sram.estimate(f.ctx).readEnergyPj[kI];
+    EXPECT_GT(large, small);
+    // Area scales roughly with bits.
+    f.setAttr("entries", std::int64_t{1024});
+    double a1 = sram.estimate(f.ctx).areaUm2;
+    f.setAttr("entries", std::int64_t{4096});
+    double a4 = sram.estimate(f.ctx).areaUm2;
+    EXPECT_NEAR(a4 / a1, 4.0, 0.5);
+}
+
+TEST(Dram, CostsMoreThanSram)
+{
+    CtxFixture f;
+    double dram =
+        PluginRegistry::instance().require("DRAM").estimate(f.ctx)
+            .readEnergyPj[kI];
+    f.setAttr("entries", std::int64_t{8192});
+    f.setAttr("width", std::int64_t{64});
+    double sram =
+        PluginRegistry::instance().require("SRAM").estimate(f.ctx)
+            .readEnergyPj[kI];
+    EXPECT_GT(dram, 5.0 * sram); // off-chip >> on-chip
+}
+
+TEST(Tech, ScalingMonotone)
+{
+    // Smaller nodes: less energy, less area, faster.
+    EXPECT_LT(energyScale(65.0, 7.0), 1.0);
+    EXPECT_LT(areaScale(65.0, 7.0), 1.0);
+    EXPECT_LT(delayScale(65.0, 7.0), 1.0);
+    EXPECT_GT(energyScale(65.0, 130.0), 1.0);
+    // Identity.
+    EXPECT_NEAR(energyScale(65.0, 65.0), 1.0, 1e-12);
+    // Interpolated nodes are bracketed.
+    double e22 = techParams(22.0).energyFactor;
+    double e28 = techParams(28.0).energyFactor;
+    double e25 = techParams(25.0).energyFactor;
+    EXPECT_GT(e25, e22);
+    EXPECT_LT(e25, e28);
+    EXPECT_THROW(techParams(-1.0), FatalError);
+}
+
+TEST(Voltage, EnergyQuadraticFrequencyAlphaPower)
+{
+    TechParams t = techParams(65.0);
+    VoltageModel vm(t);
+    EXPECT_NEAR(vm.energyFactor(t.vNominal), 1.0, 1e-12);
+    EXPECT_NEAR(vm.energyFactor(t.vNominal / 2.0), 0.25, 1e-12);
+    EXPECT_NEAR(vm.frequencyFactor(t.vNominal), 1.0, 1e-12);
+    EXPECT_LT(vm.frequencyFactor(t.vNominal * 0.7), 1.0);
+    EXPECT_GT(vm.frequencyFactor(t.vNominal * 1.2), 1.0);
+    EXPECT_THROW(vm.frequencyFactor(t.vThreshold), FatalError);
+    EXPECT_THROW(vm.energyFactor(0.0), FatalError);
+}
+
+TEST(Voltage, ComponentEnergyScalesWithSupply)
+{
+    CtxFixture f;
+    const ComponentModel& dac = PluginRegistry::instance().require("DAC");
+    double nominal = dac.estimate(f.ctx).actionEnergyPj[kI];
+    f.ctx.supplyVoltage = techParams(65.0).vNominal * 0.8;
+    double low = dac.estimate(f.ctx).actionEnergyPj[kI];
+    EXPECT_NEAR(low / nominal, 0.64, 1e-6);
+    // Lower voltage also slows the component down.
+    EXPECT_GT(dac.estimate(f.ctx).latencyNs, 0.0);
+}
+
+TEST(DigitalMac, ScalesWithBitProduct)
+{
+    CtxFixture f;
+    const ComponentModel& mac =
+        PluginRegistry::instance().require("DigitalMac");
+    double e8x8 = mac.estimate(f.ctx).actionEnergyPj[kO];
+    f.ctx.tensors[kI] = dist::encodeOperands(
+        Pmf::quantizedGaussian(8.0, 4.0, 0, 15), Encoding::Unsigned, 4);
+    double e4x8 = mac.estimate(f.ctx).actionEnergyPj[kO];
+    EXPECT_NEAR(e8x8 / e4x8, 2.0, 1e-6);
+}
+
+TEST(AnalogAdder, DataValueDependent)
+{
+    CtxFixture f;
+    const ComponentModel& adder =
+        PluginRegistry::instance().require("AnalogAdder");
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(250.0),
+                                             Encoding::Unsigned, 8);
+    f.ctx.tensors[kW] = dist::encodeOperands(Pmf::delta(120.0),
+                                             Encoding::MagnitudeOnly, 8);
+    double big = adder.estimate(f.ctx).actionEnergyPj[kO];
+    f.ctx.tensors[kI] = dist::encodeOperands(Pmf::delta(8.0),
+                                             Encoding::Unsigned, 8);
+    double small = adder.estimate(f.ctx).actionEnergyPj[kO];
+    // Paper Fig. 11: Macro B data-value effects reach ~2.3x.
+    EXPECT_GT(big / small, 2.0);
+}
+
+TEST(Wire, IsFree)
+{
+    CtxFixture f;
+    ComponentEstimate e =
+        PluginRegistry::instance().require("Wire").estimate(f.ctx);
+    EXPECT_DOUBLE_EQ(e.areaUm2, 0.0);
+    for (int ti = 0; ti < workload::kNumTensors; ++ti) {
+        EXPECT_DOUBLE_EQ(e.readEnergyPj[ti], 0.0);
+        EXPECT_DOUBLE_EQ(e.actionEnergyPj[ti], 0.0);
+    }
+}
+
+class NodeSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(NodeSweep, AllModelsProduceFiniteNonNegativeEstimates)
+{
+    CtxFixture f(GetParam());
+    PluginRegistry& reg = PluginRegistry::instance();
+    for (const std::string& name : reg.classNames()) {
+        ComponentEstimate e = reg.require(name).estimate(f.ctx);
+        EXPECT_GE(e.areaUm2, 0.0) << name;
+        EXPECT_GE(e.latencyNs, 0.0) << name;
+        for (int ti = 0; ti < workload::kNumTensors; ++ti) {
+            EXPECT_GE(e.readEnergyPj[ti], 0.0) << name;
+            EXPECT_GE(e.fillEnergyPj[ti], 0.0) << name;
+            EXPECT_GE(e.actionEnergyPj[ti], 0.0) << name;
+            EXPECT_TRUE(std::isfinite(e.readEnergyPj[ti])) << name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeSweep,
+                         ::testing::Values(7.0, 22.0, 40.0, 65.0, 130.0));
+
+} // namespace
+} // namespace cimloop::models

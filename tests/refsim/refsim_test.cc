@@ -1,0 +1,222 @@
+#include "cimloop/refsim/refsim.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::refsim {
+namespace {
+
+using workload::matmulLayer;
+
+RefSimConfig
+smallConfig()
+{
+    RefSimConfig c;
+    c.rows = 32;
+    c.cols = 32;
+    c.inputBits = 8;
+    c.weightBits = 8;
+    c.dacBits = 1;
+    c.cellBits = 1;
+    c.adcBits = 5;
+    c.maxVectors = 16;
+    return c;
+}
+
+workload::Layer
+testLayer(int index = 3)
+{
+    workload::Network net = workload::resnet18();
+    workload::Layer l = net.layers[index];
+    // Shrink spatial extents so value-level simulation stays fast.
+    l.dims[workload::dimIndex(workload::Dim::P)] = 4;
+    l.dims[workload::dimIndex(workload::Dim::Q)] = 4;
+    return l;
+}
+
+TEST(ValueLevel, DeterministicForSeed)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    RefSimResult a = simulateValueLevel(c, l);
+    RefSimResult b = simulateValueLevel(c, l);
+    EXPECT_DOUBLE_EQ(a.totalPj(), b.totalPj());
+    EXPECT_EQ(a.valuesSimulated, b.valuesSimulated);
+}
+
+TEST(ValueLevel, DifferentSeedsCloseButNotEqual)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    RefSimResult a = simulateValueLevel(c, l);
+    c.seed = 77;
+    RefSimResult b = simulateValueLevel(c, l);
+    EXPECT_NE(a.totalPj(), b.totalPj());
+    // Same distributional parameters: totals within sampling noise.
+    EXPECT_NEAR(a.totalPj() / b.totalPj(), 1.0, 0.35);
+}
+
+TEST(ValueLevel, BreakdownComponentsAllPositive)
+{
+    RefSimResult r = simulateValueLevel(smallConfig(), testLayer());
+    EXPECT_GT(r.dacPj, 0.0);
+    EXPECT_GT(r.cellPj, 0.0);
+    EXPECT_GT(r.adcPj, 0.0);
+    EXPECT_GT(r.digitalPj, 0.0);
+    EXPECT_GT(r.bufferPj, 0.0);
+    EXPECT_GT(r.valuesSimulated, 1000);
+}
+
+TEST(ValueLevel, SamplingScalesToFullLayer)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    c.maxVectors = 8;
+    RefSimResult partial = simulateValueLevel(c, l);
+    c.maxVectors = 16;
+    RefSimResult more = simulateValueLevel(c, l);
+    // Both estimates target the same whole-layer energy.
+    EXPECT_NEAR(partial.totalPj() / more.totalPj(), 1.0, 0.3);
+    EXPECT_DOUBLE_EQ(partial.ops, more.ops);
+}
+
+TEST(ValueLevel, RecordsProfile)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    dist::OperandProfile prof;
+    simulateValueLevel(c, l, &prof);
+    EXPECT_GT(prof.inputs.size(), 4u);
+    EXPECT_GT(prof.weights.size(), 8u);
+    EXPECT_GE(prof.inputs.minValue(), 0.0); // post-ReLU layer
+    EXPECT_LT(prof.weights.minValue(), 0.0);
+    EXPECT_GT(prof.inputSparsity, 0.05);
+}
+
+TEST(ValueLevel, RejectsHugeLayers)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = matmulLayer("huge", 1, 50000, 50000);
+    EXPECT_THROW(simulateValueLevel(c, l), FatalError);
+}
+
+// The paper's Fig. 6 relationship: the statistical model tracks the
+// value-level ground truth closely; a fixed-energy model frozen at
+// network-average distributions errs much more and differently per layer.
+TEST(Accuracy, StatisticalBeatsFixedEnergy)
+{
+    RefSimConfig c = smallConfig();
+    c.maxVectors = 24;
+
+    // Record per-layer profiles + ground truth for several layers.
+    std::vector<workload::Layer> layers;
+    for (int idx : {2, 5, 9, 14, 18})
+        layers.push_back(testLayer(idx));
+
+    std::vector<RefSimResult> truth;
+    std::vector<dist::OperandProfile> profiles;
+    for (const workload::Layer& l : layers) {
+        dist::OperandProfile prof;
+        truth.push_back(simulateValueLevel(c, l, &prof));
+        profiles.push_back(prof);
+    }
+    dist::OperandProfile avg = averageProfiles(profiles);
+
+    double stat_err_sum = 0.0, fixed_err_sum = 0.0;
+    double stat_err_max = 0.0, fixed_err_max = 0.0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        double t = truth[i].totalPj();
+        double s = estimateStatistical(c, layers[i], profiles[i]).totalPj();
+        double f = estimateFixedEnergy(c, layers[i], avg).totalPj();
+        double se = std::abs(s - t) / t;
+        double fe = std::abs(f - t) / t;
+        stat_err_sum += se;
+        fixed_err_sum += fe;
+        stat_err_max = std::max(stat_err_max, se);
+        fixed_err_max = std::max(fixed_err_max, fe);
+    }
+    double stat_avg = stat_err_sum / layers.size();
+    double fixed_avg = fixed_err_sum / layers.size();
+
+    // Shape of paper Fig. 6: avg 3% vs 28%. We require the qualitative
+    // relationship with margin for the synthetic substrate.
+    EXPECT_LT(stat_avg, 0.15);
+    EXPECT_GT(fixed_avg, 1.5 * stat_avg);
+    EXPECT_LT(stat_err_max, 0.30);
+}
+
+TEST(Statistical, ExactCountsMatchValueLevel)
+{
+    // Both paths must agree on the action counts (ops field).
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    dist::OperandProfile prof;
+    RefSimResult truth = simulateValueLevel(c, l, &prof);
+    RefSimResult stat = estimateStatistical(c, l, prof);
+    EXPECT_DOUBLE_EQ(truth.ops, stat.ops);
+}
+
+TEST(Statistical, BufferEnergyIdentical)
+{
+    // Buffer traffic is value-independent, so the two estimators must
+    // agree exactly on it.
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    dist::OperandProfile prof;
+    RefSimResult truth = simulateValueLevel(c, l, &prof);
+    RefSimResult stat = estimateStatistical(c, l, prof);
+    EXPECT_NEAR(truth.bufferPj, stat.bufferPj, 1e-9 * truth.bufferPj);
+}
+
+TEST(AverageProfiles, MixesUniformly)
+{
+    dist::OperandProfile a, b;
+    a.inputs = dist::Pmf::delta(1.0);
+    a.weights = dist::Pmf::delta(2.0);
+    a.outputs = dist::Pmf::delta(3.0);
+    b.inputs = dist::Pmf::delta(5.0);
+    b.weights = dist::Pmf::delta(6.0);
+    b.outputs = dist::Pmf::delta(7.0);
+    dist::OperandProfile avg = averageProfiles({a, b});
+    EXPECT_NEAR(avg.inputs.mean(), 3.0, 1e-12);
+    EXPECT_NEAR(avg.weights.mean(), 4.0, 1e-12);
+    EXPECT_NEAR(avg.inputs.probOf(1.0), 0.5, 1e-12);
+}
+
+TEST(InputBits, MoreBitsMoreEnergy)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    c.inputBits = 4;
+    double e4 = simulateValueLevel(c, l).totalPj();
+    c.inputBits = 8;
+    double e8 = simulateValueLevel(c, l).totalPj();
+    // Bit-serial: 8b inputs take ~2x the array activations of 4b.
+    EXPECT_GT(e8, 1.5 * e4);
+}
+
+class AdcBitsSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AdcBitsSweep, AdcEnergyGrowsWithResolution)
+{
+    RefSimConfig c = smallConfig();
+    c.adcBits = GetParam();
+    RefSimResult r = simulateValueLevel(c, testLayer());
+    EXPECT_GT(r.adcPj, 0.0);
+    static double last = 0.0;
+    if (GetParam() == 2)
+        last = 0.0;
+    EXPECT_GT(r.adcPj, last);
+    last = r.adcPj;
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AdcBitsSweep,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+} // namespace
+} // namespace cimloop::refsim

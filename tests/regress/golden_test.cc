@@ -1,0 +1,230 @@
+/**
+ * Golden regression suite: pins the headline reproduction results the
+ * benches report (deterministic seeds), so model changes that silently
+ * break a paper claim fail CI rather than ship. Bands are deliberately
+ * loose — they protect the *shape*, not the digits.
+ */
+#include <gtest/gtest.h>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/refsim/refsim.hh"
+#include "cimloop/system/system.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop {
+namespace {
+
+using engine::searchMappings;
+
+TEST(Golden, MacroCalibrationBands)
+{
+    struct Anchor
+    {
+        const char* kind;
+        double published;
+        double lo, hi; // modeled/published band
+    };
+    const Anchor anchors[] = {
+        {"A", 3.0, 0.3, 3.0},
+        {"B", 351.0, 0.7, 7.0},
+        {"C", 148.0, 0.1, 3.0},
+        {"D", 32.2, 0.4, 4.0},
+    };
+    for (const Anchor& a : anchors) {
+        macros::MacroParams p = macros::defaultsByName(a.kind);
+        engine::Arch arch = macros::macroByName(a.kind);
+        workload::Layer layer =
+            workload::matmulLayer("mvm", 2048, p.rows, p.cols);
+        layer.network = "mvm";
+        engine::PerActionTable table = engine::precompute(arch, layer);
+        mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+        engine::Evaluation ev =
+            engine::evaluate(arch, table, mapper.greedy());
+        double ratio = macros::macroTopsPerWatt(arch, ev) / a.published;
+        EXPECT_GT(ratio, a.lo) << "Macro " << a.kind;
+        EXPECT_LT(ratio, a.hi) << "Macro " << a.kind;
+    }
+}
+
+TEST(Golden, Fig2aCrossover)
+{
+    // Macro optimum smaller than system optimum on ResNet18.
+    workload::Network net = workload::resnet18();
+    auto energies = [&](std::int64_t n) {
+        macros::MacroParams mp = macros::baseDefaults();
+        mp.rows = n;
+        mp.cols = n;
+        mp.adcBits = macros::scaledAdcBits(n);
+        double macro = engine::evaluateNetwork(macros::baseMacro(mp), net,
+                                               100, 1)
+                           .energyPj;
+        system::SystemParams sp;
+        sp.macroKind = "base";
+        sp.macro = mp;
+        sp.numMacros = 4;
+        sp.policy = system::WeightPolicy::OffChip;
+        double sys = engine::evaluateNetwork(system::buildSystem(sp), net,
+                                             100, 1)
+                         .energyPj;
+        return std::pair{macro, sys};
+    };
+    auto [m256, s256] = energies(256);
+    auto [m1024, s1024] = energies(1024);
+    EXPECT_LT(m256, m1024);
+    EXPECT_LT(s1024, s256);
+}
+
+TEST(Golden, Fig11ValueSwing)
+{
+    // Macro B data-value swing stays in the paper's neighbourhood.
+    engine::Arch arch = macros::macroB();
+    macros::MacroParams p = macros::macroBDefaults();
+    workload::Layer layer =
+        workload::matmulLayer("mvm", 2048, p.rows, p.cols);
+    layer.network = "mvm";
+    auto macroPj = [&](double level) {
+        dist::OperandProfile prof;
+        std::int64_t half = 8;
+        prof.inputs = dist::Pmf::quantizedGaussian(level * 7, 0.6, 0, 7);
+        prof.weights =
+            dist::Pmf::quantizedGaussian(level * 7, 0.6, -half, 7);
+        prof.outputs =
+            dist::Pmf::quantizedGaussian(0.0, 2.6, -half, 7);
+        engine::PerActionTable table =
+            engine::precompute(arch, layer, &prof);
+        mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+        engine::Evaluation ev =
+            engine::evaluate(arch, table, mapper.greedy());
+        return macros::macroOnlyEnergyPj(arch, ev);
+    };
+    double swing = macroPj(0.95) / macroPj(0.05);
+    EXPECT_GT(swing, 1.5); // paper: up to 2.3x
+    EXPECT_LT(swing, 4.0);
+}
+
+TEST(Golden, Fig12ThreeColumnReuseWinsOnResNet)
+{
+    workload::Network net = workload::resnet18();
+    auto perMac = [&](int reuse) {
+        macros::MacroParams p = macros::macroADefaults();
+        p.outputReuseCols = reuse;
+        engine::Arch arch = macros::macroA(p);
+        engine::NetworkEvaluation ev =
+            engine::evaluateNetwork(arch, net, 120, 1);
+        return ev.energyPerMacPj();
+    };
+    double r3 = perMac(3);
+    EXPECT_LT(r3, perMac(1));
+    EXPECT_LT(r3, perMac(2));
+    EXPECT_LT(r3, perMac(4));
+}
+
+TEST(Golden, Fig15ScenarioOrdering)
+{
+    workload::Layer layer = workload::resnet18().layers[8];
+    auto total = [&](system::WeightPolicy policy) {
+        system::SystemParams p;
+        p.macroKind = "D";
+        p.numMacros = 8;
+        p.policy = policy;
+        engine::Arch arch = system::buildSystem(p);
+        return searchMappings(arch, layer, 100, 1).best.energyPj;
+    };
+    double off = total(system::WeightPolicy::OffChip);
+    double ws = total(system::WeightPolicy::WeightStationary);
+    double fused = total(system::WeightPolicy::Fused);
+    EXPECT_GT(off, ws);
+    EXPECT_GT(ws, fused);
+}
+
+TEST(Golden, Fig13EightOperandAdderNeverWins)
+{
+    workload::Layer base_layer;
+    auto topsPerMm2 = [&](int operands, int weight_bits) {
+        macros::MacroParams p = macros::macroBDefaults();
+        p.adderOperands = operands;
+        p.weightBits = weight_bits;
+        engine::Arch arch = macros::macroB(p);
+        workload::Layer layer =
+            workload::matmulLayer("mvm", 2048, p.rows, p.cols);
+        layer.network = "mvm";
+        engine::PerActionTable table = engine::precompute(arch, layer);
+        mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+        return engine::evaluate(arch, table, mapper.greedy()).topsPerMm2();
+    };
+    for (int wb : {1, 2, 4, 8}) {
+        double eight = topsPerMm2(8, wb);
+        double best_other = std::max({topsPerMm2(1, wb), topsPerMm2(2, wb),
+                                      topsPerMm2(4, wb)});
+        EXPECT_LT(eight, best_other) << wb << "b weights";
+    }
+}
+
+TEST(Golden, Fig16WinnerFlipsWithPrecision)
+{
+    auto tops = [&](const char* kind, int bits) {
+        macros::MacroParams p = macros::defaultsByName(kind);
+        p.technologyNm = 7.0;
+        p.adcBits = 8;
+        p.inputBits = bits;
+        p.weightBits = bits;
+        if (std::string(kind) == "B")
+            p.adderOperands = std::min(4, std::max(1, bits));
+        engine::Arch arch = std::string(kind) == "A" ? macros::macroA(p)
+                          : std::string(kind) == "B" ? macros::macroB(p)
+                                                     : macros::macroD(p);
+        workload::Layer layer =
+            workload::matmulLayer("mvm", 2048, p.rows, p.cols);
+        layer.network = "mvm";
+        engine::SearchResult sr = engine::searchMappings(arch, layer, 60, 1);
+        return macros::macroTopsPerWatt(arch, sr.best);
+    };
+    // 1b operands: the bit-scalable Macro A wins.
+    double a1 = tops("A", 1);
+    EXPECT_GT(a1, tops("B", 1));
+    EXPECT_GT(a1, tops("D", 1));
+    // 8b operands: a multi-bit analog macro (B or D) wins.
+    double a8 = tops("A", 8);
+    EXPECT_GT(std::max(tops("B", 8), tops("D", 8)), a8);
+}
+
+TEST(Golden, Fig6AccuracyGap)
+{
+    refsim::RefSimConfig cfg;
+    cfg.rows = 128;
+    cfg.cols = 128;
+    cfg.maxVectors = 24;
+    workload::Network net = workload::resnet18();
+    double stat = 0.0, fixed = 0.0;
+    std::vector<dist::OperandProfile> profiles;
+    std::vector<workload::Layer> layers;
+    std::vector<double> truths;
+    for (int idx : {5, 11, 17}) {
+        workload::Layer l = net.layers[idx];
+        l.dims[workload::dimIndex(workload::Dim::P)] = 5;
+        l.dims[workload::dimIndex(workload::Dim::Q)] = 5;
+        dist::OperandProfile prof;
+        truths.push_back(refsim::simulateValueLevel(cfg, l, &prof)
+                             .totalPj());
+        profiles.push_back(prof);
+        layers.push_back(l);
+    }
+    dist::OperandProfile avg = refsim::averageProfiles(profiles);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        stat += std::abs(refsim::estimateStatistical(cfg, layers[i],
+                                                     profiles[i])
+                             .totalPj() -
+                         truths[i]) /
+                truths[i];
+        fixed += std::abs(refsim::estimateFixedEnergy(cfg, layers[i], avg)
+                              .totalPj() -
+                          truths[i]) /
+                 truths[i];
+    }
+    EXPECT_LT(stat / 3.0, 0.05);       // statistical: a few percent
+    EXPECT_GT(fixed / 3.0, 2.0 * stat / 3.0); // fixed-energy much worse
+}
+
+} // namespace
+} // namespace cimloop

@@ -1,0 +1,95 @@
+/** Programmatic hierarchy mutation: insertAfter / remove. */
+#include "cimloop/spec/hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::spec {
+namespace {
+
+using workload::TensorKind;
+
+SpecNode
+accumulatorNode()
+{
+    SpecNode n;
+    n.kind = SpecNode::Kind::Component;
+    n.name = "analog_accumulator";
+    n.klass = "AnalogAccumulator";
+    n.temporal[tensorIndex(TensorKind::Output)] =
+        TemporalDirective::TemporalReuse;
+    return n;
+}
+
+TEST(Edit, InsertAccumulatorIntoBaseMacro)
+{
+    // The paper's Macro C strategy applied as a mutation of the base
+    // macro: splice an analog accumulator between the ADC and the cells.
+    engine::Arch arch = macros::baseMacro();
+    std::size_t before = arch.hierarchy.nodes.size();
+    arch.hierarchy.insertAfter("adc", accumulatorNode());
+    EXPECT_EQ(arch.hierarchy.nodes.size(), before + 1);
+    EXPECT_EQ(arch.hierarchy.indexOf("analog_accumulator"),
+              arch.hierarchy.indexOf("adc") + 1);
+
+    // The mutated architecture evaluates, and the accumulator delivers
+    // the Macro-C benefit: ADC converts stop scaling with input bits.
+    workload::Layer layer = workload::matmulLayer("mvm", 8, 128, 16);
+    layer.network = "mvm";
+    engine::PerActionTable table = engine::precompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table.extLayer);
+    mapping::NestResult nest = mapping::analyzeNest(
+        arch.hierarchy, mapper.greedy(), table.extLayer);
+    ASSERT_TRUE(nest.valid) << nest.invalidReason;
+
+    engine::Arch plain = macros::baseMacro();
+    engine::PerActionTable ptable = engine::precompute(plain, layer);
+    mapping::Mapper pmapper(plain.hierarchy, ptable.extLayer);
+    mapping::NestResult pnest = mapping::analyzeNest(
+        plain.hierarchy, pmapper.greedy(), ptable.extLayer);
+    ASSERT_TRUE(pnest.valid);
+
+    int adc_m = arch.hierarchy.indexOf("adc");
+    int adc_p = plain.hierarchy.indexOf("adc");
+    // 8 input-bit cycles accumulate before one convert.
+    EXPECT_NEAR(pnest.nodes[adc_p].tensors[2].actions /
+                    nest.nodes[adc_m].tensors[2].actions,
+                8.0, 1e-9);
+}
+
+TEST(Edit, InsertErrors)
+{
+    Hierarchy h = macros::baseMacro().hierarchy;
+    EXPECT_THROW(h.insertAfter("nope", accumulatorNode()), FatalError);
+    // Duplicate name fails validation and reports it.
+    SpecNode dup = accumulatorNode();
+    dup.name = "adc";
+    EXPECT_THROW(h.insertAfter("cells", dup), FatalError);
+}
+
+TEST(Edit, RemovePassThroughComponent)
+{
+    Hierarchy h = macros::baseMacro().hierarchy;
+    std::size_t before = h.nodes.size();
+    h.remove("shift_add");
+    EXPECT_EQ(h.nodes.size(), before - 1);
+    EXPECT_EQ(h.indexOf("shift_add"), -1);
+}
+
+TEST(Edit, RemoveStorageIsRejectedAndRestored)
+{
+    Hierarchy h = macros::baseMacro().hierarchy;
+    std::size_t before = h.nodes.size();
+    // Cells are the only weight store; removal must fail and restore.
+    EXPECT_THROW(h.remove("cells"), FatalError);
+    EXPECT_EQ(h.nodes.size(), before);
+    EXPECT_GE(h.indexOf("cells"), 0);
+    EXPECT_THROW(h.remove("ghost"), FatalError);
+}
+
+} // namespace
+} // namespace cimloop::spec

@@ -1,0 +1,238 @@
+#include "cimloop/spec/hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/spec/builder.hh"
+
+namespace cimloop::spec {
+namespace {
+
+using workload::Dim;
+using workload::TensorKind;
+
+// The paper's Fig. 5b specification, verbatim structure.
+const char* kFig5b = R"(
+# Buffer stores inputs & outputs.
+!Component
+name: buffer
+temporal_reuse: [Inputs, Outputs] # Bypass weights
+!Container
+name: macro
+!Component # Adder sums values and coalesces them into one output.
+name: adder
+coalesce: [Outputs]
+!Component # Inputs pass through DACs, convert to analog.
+name: DAC_bank
+no_coalesce: [Inputs]
+!Container # Inputs are spatially reused between columns.
+name: column
+spatial: {meshX: 2}
+spatial_reuse: [Inputs]
+!Component # Outputs pass through ADC, convert to digital.
+name: ADC
+no_coalesce: [Outputs]
+!Component # Memory cells store & temporally reuse weights.
+name: memory_cell
+spatial: {meshY: 2}
+temporal_reuse: [Weights]
+spatial_reuse: [Outputs]
+)";
+
+TEST(Fig5b, ParsesStructure)
+{
+    Hierarchy h = Hierarchy::fromText(kFig5b, "fig5b");
+    ASSERT_EQ(h.nodes.size(), 7u);
+    EXPECT_EQ(h.nodes[0].name, "buffer");
+    EXPECT_EQ(h.nodes[0].kind, SpecNode::Kind::Component);
+    EXPECT_EQ(h.nodes[1].name, "macro");
+    EXPECT_EQ(h.nodes[1].kind, SpecNode::Kind::Container);
+    EXPECT_EQ(h.nodes[4].name, "column");
+    EXPECT_EQ(h.nodes[4].meshX, 2);
+    EXPECT_EQ(h.nodes[6].meshY, 2);
+}
+
+TEST(Fig5b, DirectivesApplied)
+{
+    Hierarchy h = Hierarchy::fromText(kFig5b, "fig5b");
+    const SpecNode& buffer = h.node("buffer");
+    EXPECT_EQ(buffer.directiveFor(TensorKind::Input),
+              TemporalDirective::TemporalReuse);
+    EXPECT_EQ(buffer.directiveFor(TensorKind::Output),
+              TemporalDirective::TemporalReuse);
+    EXPECT_EQ(buffer.directiveFor(TensorKind::Weight),
+              TemporalDirective::Bypass);
+
+    const SpecNode& adder = h.node("adder");
+    EXPECT_EQ(adder.directiveFor(TensorKind::Output),
+              TemporalDirective::Coalesce);
+
+    const SpecNode& dac = h.node("DAC_bank");
+    EXPECT_EQ(dac.directiveFor(TensorKind::Input),
+              TemporalDirective::NoCoalesce);
+    EXPECT_FALSE(dac.touches(TensorKind::Output));
+
+    const SpecNode& column = h.node("column");
+    EXPECT_TRUE(column.spatialReuse[tensorIndex(TensorKind::Input)]);
+    EXPECT_FALSE(column.spatialReuse[tensorIndex(TensorKind::Output)]);
+
+    const SpecNode& cell = h.node("memory_cell");
+    EXPECT_TRUE(cell.stores(TensorKind::Weight));
+    EXPECT_TRUE(cell.spatialReuse[tensorIndex(TensorKind::Output)]);
+}
+
+TEST(Fig5b, InstanceCounts)
+{
+    Hierarchy h = Hierarchy::fromText(kFig5b, "fig5b");
+    EXPECT_EQ(h.instancesOf(0), 1);
+    EXPECT_EQ(h.instancesOf(5), 2);  // ADC: one per column
+    EXPECT_EQ(h.instancesOf(6), 2);  // cells scoped by column mesh
+    EXPECT_EQ(h.instancesOf(6) * h.nodes[6].spatialFanout(), 4);
+}
+
+TEST(Parsing, AttributesAndConstraints)
+{
+    Hierarchy h = Hierarchy::fromText(R"(
+!Component
+name: adc
+class: ADC
+no_coalesce: [Outputs]
+resolution: 8
+energy_per_convert: 2.5
+technology: 22nm
+!Component
+name: cells
+class: SRAMCell
+temporal_reuse: [Weights, Inputs, Outputs]
+spatial: {meshY: 4}
+spatial_dims: [C, WB]
+flexible_spatial: false
+)");
+    const SpecNode& adc = h.node("adc");
+    EXPECT_EQ(adc.klass, "ADC");
+    EXPECT_EQ(adc.attrInt("resolution", 0), 8);
+    EXPECT_DOUBLE_EQ(adc.attrDouble("energy_per_convert", 0.0), 2.5);
+    EXPECT_EQ(adc.attrString("technology", ""), "22nm");
+    EXPECT_EQ(adc.attrInt("missing", -3), -3);
+    EXPECT_FALSE(adc.hasAttr("missing"));
+
+    const SpecNode& cells = h.node("cells");
+    ASSERT_EQ(cells.spatialDims.size(), 2u);
+    EXPECT_EQ(cells.spatialDims[0], Dim::C);
+    EXPECT_EQ(cells.spatialDims[1], Dim::WB);
+}
+
+TEST(Parsing, NestedAttributesBlock)
+{
+    Hierarchy h = Hierarchy::fromText(R"(
+!Component
+name: buf
+temporal_reuse: [Inputs, Weights, Outputs]
+attributes:
+  depth: 4096
+  width: 128
+)");
+    EXPECT_EQ(h.node("buf").attrInt("depth", 0), 4096);
+    EXPECT_EQ(h.node("buf").attrInt("width", 0), 128);
+}
+
+TEST(Validation, RejectsBadSpecs)
+{
+    // Unknown tag.
+    EXPECT_THROW(Hierarchy::fromText("!Widget\nname: x\n"), FatalError);
+    // Missing name.
+    EXPECT_THROW(Hierarchy::fromText("!Component\nclass: ADC\n"),
+                 FatalError);
+    // Duplicate names.
+    EXPECT_THROW(Hierarchy::fromText(
+                     "!Component\nname: a\ntemporal_reuse: [Inputs, "
+                     "Weights, Outputs]\n!Component\nname: a\n"),
+                 FatalError);
+    // Conflicting directives for the same tensor.
+    EXPECT_THROW(Hierarchy::fromText(
+                     "!Component\nname: a\ntemporal_reuse: [Inputs]\n"
+                     "no_coalesce: [Inputs]\n"),
+                 FatalError);
+    // No storage for weights.
+    EXPECT_THROW(Hierarchy::fromText(
+                     "!Component\nname: a\ntemporal_reuse: [Inputs, "
+                     "Outputs]\n"),
+                 FatalError);
+    // Bad mesh.
+    EXPECT_THROW(Hierarchy::fromText(
+                     "!Component\nname: a\ntemporal_reuse: [Inputs, "
+                     "Weights, Outputs]\nspatial: {meshX: 0}\n"),
+                 FatalError);
+    // Unknown spatial key.
+    EXPECT_THROW(Hierarchy::fromText(
+                     "!Component\nname: a\ntemporal_reuse: [Inputs, "
+                     "Weights, Outputs]\nspatial: {meshZ: 2}\n"),
+                 FatalError);
+}
+
+TEST(Builder, EquivalentToYaml)
+{
+    Hierarchy y = Hierarchy::fromText(kFig5b, "fig5b");
+    Hierarchy b = HierarchyBuilder("fig5b")
+        .component("buffer")
+            .temporalReuse({TensorKind::Input, TensorKind::Output})
+        .container("macro")
+        .component("adder")
+            .coalesce({TensorKind::Output})
+        .component("DAC_bank")
+            .noCoalesce({TensorKind::Input})
+        .container("column")
+            .spatial(2, 1)
+            .spatialReuse({TensorKind::Input})
+        .component("ADC")
+            .noCoalesce({TensorKind::Output})
+        .component("memory_cell")
+            .spatial(1, 2)
+            .temporalReuse({TensorKind::Weight})
+            .spatialReuse({TensorKind::Output})
+        .build();
+
+    ASSERT_EQ(b.nodes.size(), y.nodes.size());
+    for (std::size_t i = 0; i < y.nodes.size(); ++i) {
+        EXPECT_EQ(b.nodes[i].name, y.nodes[i].name);
+        EXPECT_EQ(b.nodes[i].kind, y.nodes[i].kind);
+        EXPECT_EQ(b.nodes[i].spatialFanout(), y.nodes[i].spatialFanout());
+        for (TensorKind t : workload::kAllTensors) {
+            EXPECT_EQ(b.nodes[i].directiveFor(t), y.nodes[i].directiveFor(t))
+                << b.nodes[i].name;
+            EXPECT_EQ(b.nodes[i].spatialReuse[tensorIndex(t)],
+                      y.nodes[i].spatialReuse[tensorIndex(t)]);
+        }
+    }
+}
+
+TEST(Builder, Errors)
+{
+    EXPECT_THROW(HierarchyBuilder("x").spatial(2), FatalError);
+    EXPECT_THROW(HierarchyBuilder("x")
+                     .component("a")
+                     .temporalReuse({TensorKind::Input})
+                     .coalesce({TensorKind::Input}),
+                 FatalError);
+    EXPECT_THROW(HierarchyBuilder("x").component("a").spatial(0),
+                 FatalError);
+}
+
+TEST(Summary, MentionsEveryNode)
+{
+    Hierarchy h = Hierarchy::fromText(kFig5b, "fig5b");
+    std::string s = h.summary();
+    for (const SpecNode& n : h.nodes)
+        EXPECT_NE(s.find(n.name), std::string::npos) << n.name;
+}
+
+TEST(Lookup, ByNameAndIndex)
+{
+    Hierarchy h = Hierarchy::fromText(kFig5b, "fig5b");
+    EXPECT_EQ(h.indexOf("ADC"), 5);
+    EXPECT_EQ(h.indexOf("nope"), -1);
+    EXPECT_THROW(h.node("nope"), FatalError);
+}
+
+} // namespace
+} // namespace cimloop::spec

@@ -1,0 +1,92 @@
+/** Round-tripping hierarchies through the YAML serializer. */
+#include "cimloop/spec/hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/macros/macros.hh"
+
+namespace cimloop::spec {
+namespace {
+
+using workload::TensorKind;
+
+/** Structural equality of two hierarchies. */
+void
+expectEquivalent(const Hierarchy& a, const Hierarchy& b)
+{
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+        const SpecNode& x = a.nodes[i];
+        const SpecNode& y = b.nodes[i];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.kind, y.kind);
+        EXPECT_EQ(x.klass, y.klass);
+        EXPECT_EQ(x.meshX, y.meshX);
+        EXPECT_EQ(x.meshY, y.meshY);
+        EXPECT_EQ(x.flexibleSpatial, y.flexibleSpatial);
+        EXPECT_EQ(x.spatialDims, y.spatialDims);
+        EXPECT_EQ(x.temporalDims, y.temporalDims);
+        for (TensorKind t : workload::kAllTensors) {
+            EXPECT_EQ(x.directiveFor(t), y.directiveFor(t)) << x.name;
+            EXPECT_EQ(x.spatialReuse[tensorIndex(t)],
+                      y.spatialReuse[tensorIndex(t)])
+                << x.name;
+        }
+        ASSERT_EQ(x.attributes.size(), y.attributes.size()) << x.name;
+        for (const auto& [key, value] : x.attributes) {
+            ASSERT_TRUE(y.attributes.count(key)) << x.name << "." << key;
+            EXPECT_EQ(value.toString(), y.attributes.at(key).toString())
+                << x.name << "." << key;
+        }
+    }
+}
+
+TEST(Serialize, EveryBuiltinMacroRoundTrips)
+{
+    for (const char* kind : {"base", "A", "B", "C", "D", "digital"}) {
+        Hierarchy original = macros::macroByName(kind).hierarchy;
+        std::string text = original.toYamlText();
+        Hierarchy reparsed = Hierarchy::fromText(text, original.name);
+        expectEquivalent(original, reparsed);
+    }
+}
+
+TEST(Serialize, PreservesConstraintFields)
+{
+    Hierarchy h = Hierarchy::fromText(R"(
+!Component
+name: a
+class: SRAM
+temporal_reuse: [Inputs, Weights, Outputs]
+temporal_dims: [P, IB]
+entries: 1024
+label: "hello world"
+!Container
+name: noc
+spatial: {meshX: 4, meshY: 2}
+flexible_spatial: true
+!Component
+name: pe
+class: DigitalMac
+temporal_reuse: [Weights]
+spatial_dims: [C, K]
+)");
+    Hierarchy again = Hierarchy::fromText(h.toYamlText());
+    expectEquivalent(h, again);
+    // Quoted string attributes survive.
+    EXPECT_EQ(again.node("a").attrString("label", ""), "hello world");
+}
+
+TEST(Serialize, OutputMentionsEveryDirective)
+{
+    Hierarchy h = macros::macroB().hierarchy;
+    std::string text = h.toYamlText();
+    for (const char* needle :
+         {"!Component", "!Container", "temporal_reuse", "coalesce",
+          "no_coalesce", "spatial_reuse", "spatial:", "spatial_dims"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // namespace
+} // namespace cimloop::spec

@@ -1,0 +1,66 @@
+/** Multi-chip pipeline (paper Sec. V-B4: large DNNs "may require a
+ *  multi-chip pipeline"). */
+#include "cimloop/system/system.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::system {
+namespace {
+
+SystemParams
+base(std::int64_t chips)
+{
+    SystemParams p;
+    p.macroKind = "D";
+    p.numMacros = 4;
+    p.numChips = chips;
+    p.policy = WeightPolicy::WeightStationary;
+    return p;
+}
+
+TEST(MultiChip, StructureAndCapacity)
+{
+    engine::Arch one = buildSystem(base(1));
+    EXPECT_EQ(one.hierarchy.indexOf("interchip_link"), -1);
+    engine::Arch four = buildSystem(base(4));
+    EXPECT_GE(four.hierarchy.indexOf("interchip_link"), 0);
+    EXPECT_EQ(four.hierarchy.node("chips").spatialFanout(), 4);
+    // 4x the weight-holding macro instances.
+    int bank = four.hierarchy.indexOf("weight_bank");
+    EXPECT_EQ(four.hierarchy.instancesOf(bank),
+              4 * one.hierarchy.instancesOf(
+                      one.hierarchy.indexOf("weight_bank")));
+}
+
+TEST(MultiChip, FitsWeightsOneChipCannot)
+{
+    // A layer whose weights exceed one chip's banks maps (weights
+    // resident) across enough chips.
+    workload::Layer big = workload::matmulLayer("wide", 64, 512, 4096);
+    big.network = "mvm";
+
+    engine::Arch quad = buildSystem(base(8));
+    engine::SearchResult sr = engine::searchMappings(quad, big, 60, 1);
+    EXPECT_TRUE(sr.best.valid);
+    EXPECT_GT(sr.best.energyPj, 0.0);
+}
+
+TEST(MultiChip, LinkEnergyAppearsInBreakdown)
+{
+    workload::Layer layer = workload::resnet18().layers[8];
+    engine::Arch chips = buildSystem(base(4));
+    engine::SearchResult sr = engine::searchMappings(chips, layer, 60, 1);
+    int link = chips.hierarchy.indexOf("interchip_link");
+    ASSERT_GE(link, 0);
+    EXPECT_GT(sr.best.nodeEnergyPj[link], 0.0);
+    // More chips, more boundary crossings for the same work: total
+    // energy should not drop below the single-chip system.
+    engine::Arch one = buildSystem(base(1));
+    engine::SearchResult sr1 = engine::searchMappings(one, layer, 60, 1);
+    EXPECT_GE(sr.best.energyPj, 0.8 * sr1.best.energyPj);
+}
+
+} // namespace
+} // namespace cimloop::system

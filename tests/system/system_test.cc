@@ -1,0 +1,186 @@
+#include "cimloop/system/system.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::system {
+namespace {
+
+using engine::searchMappings;
+using engine::SearchResult;
+
+SystemParams
+smallSystem(WeightPolicy policy)
+{
+    SystemParams p;
+    p.macroKind = "D";
+    p.macro = macros::macroDDefaults();
+    p.numMacros = 4;
+    p.globalBufferKb = 16384;
+    p.policy = policy;
+    return p;
+}
+
+TEST(Build, StructurePerPolicy)
+{
+    engine::Arch off = buildSystem(smallSystem(WeightPolicy::OffChip));
+    EXPECT_GE(off.hierarchy.indexOf("dram"), 0);
+    EXPECT_TRUE(off.hierarchy.node("dram").stores(
+        workload::TensorKind::Weight));
+
+    engine::Arch ws =
+        buildSystem(smallSystem(WeightPolicy::WeightStationary));
+    EXPECT_GE(ws.hierarchy.indexOf("dram"), 0);
+    EXPECT_FALSE(ws.hierarchy.node("dram").stores(
+        workload::TensorKind::Weight));
+    EXPECT_TRUE(ws.hierarchy.node("dram").stores(
+        workload::TensorKind::Input));
+
+    engine::Arch fused = buildSystem(smallSystem(WeightPolicy::Fused));
+    EXPECT_EQ(fused.hierarchy.indexOf("dram"), -1);
+}
+
+TEST(Build, EmbedsTheMacro)
+{
+    engine::Arch arch = buildSystem(smallSystem(WeightPolicy::OffChip));
+    EXPECT_GE(arch.hierarchy.indexOf("mac_units"), 0);
+    EXPECT_GE(arch.hierarchy.indexOf("global_buffer"), 0);
+    EXPECT_GE(arch.hierarchy.indexOf("router"), 0);
+    EXPECT_EQ(arch.hierarchy.node("macro_array").spatialFanout(), 4);
+}
+
+TEST(Policies, EnergyOrderingMatchesFig15)
+{
+    // Paper Fig. 15: off-chip > weight-stationary > fused.
+    workload::Layer layer = workload::resnet18().layers[8];
+    double off = 0.0, ws = 0.0, fused = 0.0;
+    for (auto [policy, out] :
+         {std::pair{WeightPolicy::OffChip, &off},
+          std::pair{WeightPolicy::WeightStationary, &ws},
+          std::pair{WeightPolicy::Fused, &fused}}) {
+        engine::Arch arch = buildSystem(smallSystem(policy));
+        SearchResult sr = searchMappings(arch, layer, 80, 7);
+        ASSERT_TRUE(sr.best.valid) << policyName(policy);
+        *out = sr.best.energyPj;
+    }
+    EXPECT_GT(off, ws);
+    EXPECT_GT(ws, fused);
+}
+
+TEST(Breakdown, GroupsSumToTotal)
+{
+    engine::Arch arch =
+        buildSystem(smallSystem(WeightPolicy::WeightStationary));
+    workload::Layer layer = workload::resnet18().layers[6];
+    SearchResult sr = searchMappings(arch, layer, 60, 3);
+    ASSERT_TRUE(sr.best.valid);
+    SystemBreakdown bd = groupBreakdown(arch, sr.best);
+    EXPECT_NEAR(bd.totalPj(), sr.best.energyPj,
+                1e-9 * sr.best.energyPj);
+    EXPECT_GT(bd.offChipPj, 0.0);       // inputs/outputs still off-chip
+    EXPECT_GT(bd.macroComputePj, 0.0);
+}
+
+TEST(Breakdown, FusedHasNoOffChip)
+{
+    engine::Arch arch = buildSystem(smallSystem(WeightPolicy::Fused));
+    workload::Layer layer = workload::resnet18().layers[6];
+    SearchResult sr = searchMappings(arch, layer, 60, 3);
+    ASSERT_TRUE(sr.best.valid);
+    SystemBreakdown bd = groupBreakdown(arch, sr.best);
+    EXPECT_DOUBLE_EQ(bd.offChipPj, 0.0);
+}
+
+TEST(WeightStationary, CutsDramWeightTraffic)
+{
+    // The mechanism behind Fig. 15: DRAM energy drops when weights stop
+    // moving off-chip; macro compute energy stays the same.
+    workload::Layer layer = workload::resnet18().layers[10];
+    engine::Arch off = buildSystem(smallSystem(WeightPolicy::OffChip));
+    engine::Arch ws =
+        buildSystem(smallSystem(WeightPolicy::WeightStationary));
+    SearchResult sr_off = searchMappings(off, layer, 80, 11);
+    SearchResult sr_ws = searchMappings(ws, layer, 80, 11);
+    SystemBreakdown bd_off = groupBreakdown(off, sr_off.best);
+    SystemBreakdown bd_ws = groupBreakdown(ws, sr_ws.best);
+    EXPECT_LT(bd_ws.offChipPj, bd_off.offChipPj);
+    EXPECT_NEAR(bd_ws.macroComputePj / bd_off.macroComputePj, 1.0, 0.5);
+}
+
+// The two mechanisms behind paper Fig. 2a (macro optimum != system
+// optimum): (1) idle cells make an oversized array *worse* at the macro
+// level when converter counts cannot improve further; (2) a bigger array
+// cuts the number of weight-tile passes, and with them the off-chip
+// refetch traffic. Their opposite pulls produce Fig. 2a's crossover,
+// regenerated in full by bench/fig2a_macro_vs_system.
+TEST(FullStack, Fig2aIdleCellsPenalizeOversizedMacro)
+{
+    // Reduction (C = 64) and outputs (K*WB = 8*8 = 64) saturate a 64x64
+    // array; a 512x512 array gains nothing and pays idle-cell energy.
+    workload::Layer layer = workload::matmulLayer("small", 64, 64, 8);
+    layer.network = "mvm";
+    auto macroEnergy = [&](std::int64_t n) {
+        macros::MacroParams mp = macros::baseDefaults();
+        mp.rows = n;
+        mp.cols = n;
+        engine::Arch arch = macros::baseMacro(mp);
+        return searchMappings(arch, layer, 80, 5).best.energyPj;
+    };
+    EXPECT_GT(macroEnergy(512), 1.2 * macroEnergy(64));
+}
+
+TEST(FullStack, Fig2aMacroAndSystemOptimaDiverge)
+{
+    // The headline Fig. 2a crossover on ResNet18 (regenerated in full by
+    // bench/fig2a_macro_vs_system): between 256 and 1024, the bare macro
+    // prefers the smaller array (idle cells + wider ADCs) while the full
+    // system prefers the larger one (less memory-hierarchy traffic).
+    workload::Network net = workload::resnet18();
+
+    auto energies = [&](std::int64_t n) {
+        macros::MacroParams mp = macros::baseDefaults();
+        mp.rows = n;
+        mp.cols = n;
+        mp.adcBits = macros::scaledAdcBits(n);
+        engine::Arch macro_arch = macros::baseMacro(mp);
+        SystemParams sp;
+        sp.macroKind = "base";
+        sp.macro = mp;
+        sp.numMacros = 4;
+        sp.policy = WeightPolicy::OffChip;
+        engine::Arch system_arch = buildSystem(sp);
+        double macro_pj =
+            engine::evaluateNetwork(macro_arch, net, 100, 1).energyPj;
+        double system_pj =
+            engine::evaluateNetwork(system_arch, net, 100, 1).energyPj;
+        return std::pair{macro_pj, system_pj};
+    };
+
+    auto [macro_256, system_256] = energies(256);
+    auto [macro_1024, system_1024] = energies(1024);
+    EXPECT_LT(macro_256, macro_1024);   // macro prefers the smaller array
+    EXPECT_LT(system_1024, system_256); // system prefers the larger array
+}
+
+TEST(Params, Validation)
+{
+    SystemParams p = smallSystem(WeightPolicy::OffChip);
+    p.numMacros = 0;
+    EXPECT_THROW(buildSystem(p), PanicError);
+    p = smallSystem(WeightPolicy::OffChip);
+    p.macroKind = "Z";
+    EXPECT_THROW(buildSystem(p), FatalError);
+}
+
+TEST(PolicyNames, AllDistinct)
+{
+    EXPECT_STRNE(policyName(WeightPolicy::OffChip),
+                 policyName(WeightPolicy::Fused));
+    EXPECT_STRNE(policyName(WeightPolicy::WeightStationary),
+                 policyName(WeightPolicy::Fused));
+}
+
+} // namespace
+} // namespace cimloop::system

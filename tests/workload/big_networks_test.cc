@@ -1,0 +1,74 @@
+/** Shape sanity for the additional bundled networks. */
+#include "cimloop/workload/networks.hh"
+
+#include <gtest/gtest.h>
+
+namespace cimloop::workload {
+namespace {
+
+TEST(AlexNet, Shapes)
+{
+    Network net = alexNet();
+    ASSERT_EQ(net.layers.size(), 8u);
+    EXPECT_EQ(net.layers[0].size(Dim::R), 11); // 11x11 stem
+    EXPECT_EQ(net.layers.back().size(Dim::K), 1000);
+    // ~0.7 GMACs for the standard AlexNet forward pass (single-tower,
+    // nominal output sizes land slightly above).
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 0.4);
+    EXPECT_LT(gmacs, 2.0);
+    // The FC layers carry most of the weights (the classic imbalance).
+    std::int64_t conv_w = 0, fc_w = 0;
+    for (const Layer& l : net.layers) {
+        if (l.name[0] == 'f')
+            fc_w += l.tensorSize(TensorKind::Weight);
+        else
+            conv_w += l.tensorSize(TensorKind::Weight);
+    }
+    EXPECT_GT(fc_w, 5 * conv_w);
+}
+
+TEST(Vgg16, Shapes)
+{
+    Network net = vgg16();
+    ASSERT_EQ(net.layers.size(), 16u);
+    // ~15.5 GMACs at 224x224.
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 12.0);
+    EXPECT_LT(gmacs, 20.0);
+    // All convolutions are 3x3 (VGG's defining property).
+    for (const Layer& l : net.layers) {
+        if (l.name[0] == 'c') {
+            EXPECT_EQ(l.size(Dim::R), 3) << l.name;
+            EXPECT_EQ(l.size(Dim::S), 3) << l.name;
+        }
+    }
+}
+
+TEST(Bert, Shapes)
+{
+    Network net = bertBase(384);
+    // Six matmul kinds, each repeated 12x.
+    ASSERT_EQ(net.layers.size(), 6u);
+    for (const Layer& l : net.layers)
+        EXPECT_EQ(l.count, 12) << l.name;
+    // ~40-ish GMACs at seq 384 across 12 blocks (with attention).
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 20.0);
+    EXPECT_LT(gmacs, 60.0);
+    // Attention score matmuls scale with seq^2.
+    Network longer = bertBase(768);
+    auto scoreMacs = [](const Network& n) {
+        for (const Layer& l : n.layers) {
+            if (l.name == "blk_scores")
+                return l.macs();
+        }
+        return std::int64_t{0};
+    };
+    EXPECT_NEAR(static_cast<double>(scoreMacs(longer)) /
+                    static_cast<double>(scoreMacs(net)),
+                4.0, 1e-9);
+}
+
+} // namespace
+} // namespace cimloop::workload

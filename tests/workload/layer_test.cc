@@ -1,0 +1,137 @@
+#include "cimloop/workload/layer.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::workload {
+namespace {
+
+TEST(Dims, NamesAndIndices)
+{
+    EXPECT_STREQ(dimName(Dim::N), "N");
+    EXPECT_STREQ(dimName(Dim::S), "S");
+    EXPECT_EQ(dimIndex(Dim::N), 0);
+    EXPECT_EQ(dimIndex(Dim::S), 6);
+}
+
+TEST(Tensors, NameRoundTrip)
+{
+    EXPECT_EQ(tensorFromString("Inputs"), TensorKind::Input);
+    EXPECT_EQ(tensorFromString("weight"), TensorKind::Weight);
+    EXPECT_EQ(tensorFromString("OUTPUTS"), TensorKind::Output);
+    EXPECT_THROW(tensorFromString("psums"), FatalError);
+}
+
+TEST(Relevance, Projections)
+{
+    // Weights: C K R S.
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Weight, Dim::C));
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Weight, Dim::K));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Weight, Dim::N));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Weight, Dim::P));
+    // Outputs: N K P Q.
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Output, Dim::P));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Output, Dim::C));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Output, Dim::R));
+    // Inputs: everything except K (P/R and Q/S couple through the halo).
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Input, Dim::R));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Input, Dim::K));
+    // Bit-slice dims: IB belongs to Inputs, WB to Weights, neither to
+    // Outputs (they are reductions for Outputs).
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Input, Dim::IB));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Input, Dim::WB));
+    EXPECT_TRUE(dimRelevantTo(TensorKind::Weight, Dim::WB));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Weight, Dim::IB));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Output, Dim::IB));
+    EXPECT_FALSE(dimRelevantTo(TensorKind::Output, Dim::WB));
+}
+
+TEST(Reduction, Dims)
+{
+    EXPECT_TRUE(isReductionDim(Dim::C));
+    EXPECT_TRUE(isReductionDim(Dim::R));
+    EXPECT_TRUE(isReductionDim(Dim::S));
+    EXPECT_TRUE(isReductionDim(Dim::IB));
+    EXPECT_TRUE(isReductionDim(Dim::WB));
+    EXPECT_FALSE(isReductionDim(Dim::K));
+    EXPECT_FALSE(isReductionDim(Dim::N));
+}
+
+TEST(SliceDims, ScaleUnitOpsAndSliceFootprints)
+{
+    Layer l = matmulLayer("mm", 4, 8, 16);
+    l.dims[dimIndex(Dim::IB)] = 8; // 8 input-bit slices
+    l.dims[dimIndex(Dim::WB)] = 2; // 2 weight-bit slices
+    // Unit cell operations scale with both slice counts.
+    EXPECT_EQ(l.macs(), 4LL * 8 * 16 * 8 * 2);
+    // Input slices scale with IB only, weight slices with WB only.
+    EXPECT_EQ(l.tensorSize(TensorKind::Input), 4LL * 8 * 8);
+    EXPECT_EQ(l.tensorSize(TensorKind::Weight), 8LL * 16 * 2);
+    EXPECT_EQ(l.tensorSize(TensorKind::Output), 4LL * 16);
+}
+
+TEST(Conv, MacsAndFootprints)
+{
+    Layer l = convLayer("c", 1, 64, 128, 28, 28, 3, 3);
+    EXPECT_EQ(l.macs(), 1LL * 64 * 128 * 28 * 28 * 3 * 3);
+    EXPECT_EQ(l.tensorSize(TensorKind::Weight), 64LL * 128 * 3 * 3);
+    EXPECT_EQ(l.tensorSize(TensorKind::Output), 128LL * 28 * 28);
+    EXPECT_EQ(l.tensorSize(TensorKind::Input), 64LL * 30 * 30); // halo
+}
+
+TEST(Matmul, MapsOntoConvForm)
+{
+    Layer l = matmulLayer("mm", 196, 768, 2304);
+    EXPECT_EQ(l.size(Dim::P), 196);
+    EXPECT_EQ(l.size(Dim::C), 768);
+    EXPECT_EQ(l.size(Dim::K), 2304);
+    EXPECT_EQ(l.macs(), 196LL * 768 * 2304);
+    EXPECT_EQ(l.tensorSize(TensorKind::Input), 196LL * 768);
+    EXPECT_EQ(l.tensorSize(TensorKind::Weight), 768LL * 2304);
+    EXPECT_EQ(l.tensorSize(TensorKind::Output), 196LL * 2304);
+}
+
+TEST(Tile, PartialExtents)
+{
+    DimSizes ext = onesDims();
+    ext[dimIndex(Dim::C)] = 16;
+    ext[dimIndex(Dim::K)] = 8;
+    ext[dimIndex(Dim::R)] = 3;
+    ext[dimIndex(Dim::S)] = 3;
+    EXPECT_EQ(Layer::tensorTile(TensorKind::Weight, ext), 16LL * 8 * 3 * 3);
+    // Inputs: P=Q=1 tiles with R=S=3 still need a 3x3 halo.
+    EXPECT_EQ(Layer::tensorTile(TensorKind::Input, ext), 16LL * 3 * 3);
+    EXPECT_EQ(Layer::tensorTile(TensorKind::Output, ext), 8);
+}
+
+TEST(Layer, ShapeString)
+{
+    Layer l = convLayer("c", 1, 2, 3, 4, 5, 6, 7);
+    EXPECT_EQ(l.shapeString(), "N1 C2 K3 P4 Q5 R6 S7 IB1 WB1");
+}
+
+TEST(Layer, InvalidDimsFatal)
+{
+    EXPECT_THROW(convLayer("bad", 0, 1, 1, 1, 1, 1, 1), PanicError);
+}
+
+// Property: tensor tile with full extents equals tensorSize; MACs equal
+// product of relevant iteration space.
+class TileProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TileProperty, FullTileIsFullTensor)
+{
+    int seed = GetParam();
+    Layer l = convLayer("p", 1 + seed % 2, 1 + seed * 3 % 64,
+                        1 + seed * 7 % 128, 1 + seed % 28, 1 + seed % 28,
+                        1 + seed % 3, 1 + seed % 3);
+    for (TensorKind t : kAllTensors)
+        EXPECT_EQ(Layer::tensorTile(t, l.dims), l.tensorSize(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TileProperty, ::testing::Range(1, 12));
+
+} // namespace
+} // namespace cimloop::workload

@@ -1,0 +1,125 @@
+#include "cimloop/workload/networks.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::workload {
+namespace {
+
+TEST(ResNet18, LayerInventory)
+{
+    Network net = resnet18();
+    EXPECT_EQ(net.name, "resnet18");
+    ASSERT_EQ(net.layers.size(), 21u); // 20 convs + fc
+    EXPECT_EQ(net.layers.front().name, "conv1");
+    EXPECT_EQ(net.layers.back().name, "fc");
+    // ~1.8 GMACs for ResNet18 at 224x224; our dims use nominal output
+    // sizes so we land in the right ballpark.
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 1.0);
+    EXPECT_LT(gmacs, 3.0);
+}
+
+TEST(ResNet18, IndicesAndNetworkNamesStamped)
+{
+    Network net = resnet18();
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        EXPECT_EQ(net.layers[i].index, static_cast<int>(i));
+        EXPECT_EQ(net.layers[i].network, "resnet18");
+    }
+}
+
+TEST(ViT, BlocksRepeatTwelveTimes)
+{
+    Network net = vitBase();
+    std::int64_t qkv_count = 0;
+    for (const Layer& l : net.layers) {
+        if (l.name == "blk_qkv") {
+            qkv_count = l.count;
+            EXPECT_EQ(l.size(Dim::C), 768);
+            EXPECT_EQ(l.size(Dim::K), 3 * 768);
+        }
+    }
+    EXPECT_EQ(qkv_count, 12);
+    // ViT-Base is ~17 GMACs.
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 10.0);
+    EXPECT_LT(gmacs, 25.0);
+}
+
+TEST(MobileNet, SmallTensors)
+{
+    Network net = mobileNetV3();
+    // Small-tensor workload: every layer's weight tensor must be well under
+    // ResNet18's largest (2.4M weights).
+    for (const Layer& l : net.layers) {
+        EXPECT_LT(l.tensorSize(TensorKind::Weight), 1200000)
+            << l.name;
+    }
+    // Depthwise layers have C == 1.
+    bool saw_depthwise = false;
+    for (const Layer& l : net.layers) {
+        if (l.name.substr(0, 2) == "dw") {
+            saw_depthwise = true;
+            EXPECT_EQ(l.size(Dim::C), 1) << l.name;
+        }
+    }
+    EXPECT_TRUE(saw_depthwise);
+}
+
+TEST(Gpt2, LargeTensors)
+{
+    Network net = gpt2Small(1024);
+    // GPT-2 small forward at seq 1024 is ~100+ GMACs with the LM head.
+    double gmacs = static_cast<double>(net.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 50.0);
+    // LM head dominates weight footprint.
+    const Layer& head = net.layers.back();
+    EXPECT_EQ(head.name, "lm_head");
+    EXPECT_EQ(head.tensorSize(TensorKind::Weight), 768LL * 50257);
+}
+
+TEST(MaxUtilMvm, MatchesArray)
+{
+    Network net = maxUtilMvm(256, 64, 10);
+    ASSERT_EQ(net.layers.size(), 1u);
+    const Layer& l = net.layers[0];
+    EXPECT_EQ(l.size(Dim::C), 256); // rows = reduction size
+    EXPECT_EQ(l.size(Dim::K), 64);  // cols = output channels
+    EXPECT_EQ(l.size(Dim::P), 10);  // vectors
+}
+
+TEST(Lookup, ByName)
+{
+    EXPECT_EQ(networkByName("resnet18").name, "resnet18");
+    EXPECT_EQ(networkByName("ViT").name, "vit");
+    EXPECT_EQ(networkByName("gpt2").name, "gpt2");
+    EXPECT_EQ(networkByName("alexnet").name, "alexnet");
+    EXPECT_EQ(networkByName("vgg16").name, "vgg16");
+    EXPECT_EQ(networkByName("bert").name, "bert");
+    EXPECT_THROW(networkByName("lenet5"), FatalError);
+}
+
+class AllNetworks : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(AllNetworks, WellFormed)
+{
+    Network net = networkByName(GetParam());
+    EXPECT_FALSE(net.layers.empty());
+    for (const Layer& l : net.layers) {
+        EXPECT_GE(l.count, 1) << l.name;
+        EXPECT_GT(l.macs(), 0) << l.name;
+        for (TensorKind t : kAllTensors)
+            EXPECT_GT(l.tensorSize(t), 0) << l.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bundled, AllNetworks,
+                         ::testing::Values("resnet18", "vit", "mobilenetv3",
+                                           "gpt2", "mvm", "alexnet",
+                                           "vgg16", "bert"));
+
+} // namespace
+} // namespace cimloop::workload

@@ -1,0 +1,174 @@
+#include "cimloop/yaml/parser.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::yaml {
+namespace {
+
+TEST(Edge, CrlfLineEndings)
+{
+    Node n = parse("a: 1\r\nb: two\r\n");
+    EXPECT_EQ(n["a"].asInt(), 1);
+    EXPECT_EQ(n["b"].asString(), "two");
+}
+
+TEST(Edge, DocumentMarkerIgnored)
+{
+    Node n = parse("---\na: 1\n");
+    EXPECT_EQ(n["a"].asInt(), 1);
+}
+
+TEST(Edge, DeepNesting)
+{
+    Node n = parse(
+        "l1:\n"
+        "  l2:\n"
+        "    l3:\n"
+        "      l4:\n"
+        "        leaf: 42\n");
+    EXPECT_EQ(n["l1"]["l2"]["l3"]["l4"]["leaf"].asInt(), 42);
+}
+
+TEST(Edge, SequenceOfSequences)
+{
+    Node n = parse(
+        "- [1, 2]\n"
+        "- [3, 4]\n");
+    EXPECT_EQ(n[0][1].asInt(), 2);
+    EXPECT_EQ(n[1][0].asInt(), 3);
+}
+
+TEST(Edge, NestedBlockSequenceUnderKey)
+{
+    Node n = parse(
+        "dims:\n"
+        "  - C\n"
+        "  - K\n"
+        "other: 1\n");
+    ASSERT_TRUE(n["dims"].isSequence());
+    EXPECT_EQ(n["dims"][0].asString(), "C");
+    EXPECT_EQ(n["other"].asInt(), 1);
+}
+
+TEST(Edge, DashItemWithNestedMapping)
+{
+    Node n = parse(
+        "- name: a\n"
+        "  spatial: {meshX: 2}\n"
+        "  tags:\n"
+        "    - x\n"
+        "- name: b\n");
+    EXPECT_EQ(n[0]["spatial"]["meshX"].asInt(), 2);
+    EXPECT_EQ(n[0]["tags"][0].asString(), "x");
+    EXPECT_EQ(n[1]["name"].asString(), "b");
+}
+
+TEST(Edge, NumbersAtBounds)
+{
+    EXPECT_EQ(parseScalar("0").asInt(), 0);
+    EXPECT_EQ(parseScalar("-0").asInt(), 0);
+    EXPECT_EQ(parseScalar("9007199254740992").asInt(),
+              9007199254740992LL);
+    EXPECT_DOUBLE_EQ(parseScalar("1e30").asDouble(), 1e30);
+    EXPECT_DOUBLE_EQ(parseScalar("-2.5e-3").asDouble(), -2.5e-3);
+    EXPECT_DOUBLE_EQ(parseScalar(".5").asDouble(), 0.5);
+}
+
+TEST(Edge, StringsThatLookNumericWhenQuoted)
+{
+    EXPECT_EQ(parseScalar("\"42\"").asString(), "42");
+    Node n = parseScalar("\"42\"");
+    EXPECT_THROW(n.asInt(), FatalError); // quoted stays a string
+}
+
+TEST(Edge, PlainStringsWithSpecialWords)
+{
+    EXPECT_EQ(parseScalar("nullify").asString(), "nullify");
+    EXPECT_EQ(parseScalar("truex").asString(), "truex");
+    EXPECT_EQ(parseScalar("0x").asString(), "0x");
+}
+
+TEST(Edge, EscapesInDoubleQuotes)
+{
+    EXPECT_EQ(parseScalar("\"a\\nb\"").asString(), "a\nb");
+    EXPECT_EQ(parseScalar("\"a\\tb\"").asString(), "a\tb");
+    EXPECT_EQ(parseScalar("\"a\\\"b\"").asString(), "a\"b");
+    // Single quotes: no escape processing.
+    EXPECT_EQ(parseScalar("'a\\nb'").asString(), "a\\nb");
+}
+
+TEST(Edge, HashInsideFlowString)
+{
+    Node n = parse("a: {label: \"x # y\", v: 1} # trailing\n");
+    EXPECT_EQ(n["a"]["label"].asString(), "x # y");
+    EXPECT_EQ(n["a"]["v"].asInt(), 1);
+}
+
+TEST(Edge, ColonInsideFlowValue)
+{
+    Node n = parseScalar("{time: \"12:30\"}");
+    EXPECT_EQ(n["time"].asString(), "12:30");
+}
+
+TEST(Edge, WhitespaceOnlyAndCommentDocuments)
+{
+    EXPECT_TRUE(parse("   \n\t \n").isNull());
+}
+
+TEST(Edge, TaggedFlowValue)
+{
+    Node n = parse("cell: !Device {g_on: 100}\n");
+    EXPECT_EQ(n["cell"].tag(), "Device");
+    EXPECT_EQ(n["cell"]["g_on"].asInt(), 100);
+}
+
+TEST(Edge, LoneTagWithEmptyBody)
+{
+    Node doc = parse("!Component\n!Container\nname: c\n");
+    ASSERT_TRUE(doc.isSequence());
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc[0].tag(), "Component");
+    EXPECT_EQ(doc[0].size(), 0u); // empty mapping body
+    EXPECT_EQ(doc[1]["name"].asString(), "c");
+}
+
+TEST(Edge, GetterFallbacks)
+{
+    Node n = parse("a: 1\nf: 2.5\ns: hi\nb: true\n");
+    EXPECT_EQ(n.getInt("a", -1), 1);
+    EXPECT_EQ(n.getInt("zz", -1), -1);
+    EXPECT_DOUBLE_EQ(n.getDouble("f", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(n.getDouble("zz", 7.5), 7.5);
+    EXPECT_EQ(n.getString("s", ""), "hi");
+    EXPECT_EQ(n.getString("zz", "dflt"), "dflt");
+    EXPECT_EQ(n.getBool("b", false), true);
+    EXPECT_EQ(n.getBool("zz", true), true);
+}
+
+TEST(Edge, MixedIndentSiblingsRejected)
+{
+    // A dedent to an indentation level that never opened a block leaves
+    // trailing content, which must be an error, not silent truncation.
+    EXPECT_THROW(parse("a:\n    x: 1\n  y: 2\n"), FatalError);
+}
+
+class ScalarRoundTrip : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(ScalarRoundTrip, ParseRenderParse)
+{
+    Node first = parseScalar(GetParam());
+    Node second = parseScalar(first.toString());
+    EXPECT_EQ(first.toString(), second.toString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ScalarRoundTrip,
+    ::testing::Values("42", "-3.5", "true", "null", "\"text\"",
+                      "[1, 2, [3]]", "{a: 1, b: [x, y]}",
+                      "{nested: {deep: {v: 9}}}"));
+
+} // namespace
+} // namespace cimloop::yaml

@@ -1,0 +1,211 @@
+#include "cimloop/yaml/parser.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::yaml {
+namespace {
+
+TEST(Scalars, Types)
+{
+    EXPECT_TRUE(parseScalar("null").isNull());
+    EXPECT_TRUE(parseScalar("~").isNull());
+    EXPECT_EQ(parseScalar("true").asBool(), true);
+    EXPECT_EQ(parseScalar("False").asBool(), false);
+    EXPECT_EQ(parseScalar("42").asInt(), 42);
+    EXPECT_EQ(parseScalar("-7").asInt(), -7);
+    EXPECT_EQ(parseScalar("0x10").asInt(), 16);
+    EXPECT_DOUBLE_EQ(parseScalar("2.5").asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(parseScalar("1e-3").asDouble(), 1e-3);
+    EXPECT_EQ(parseScalar("hello").asString(), "hello");
+    EXPECT_EQ(parseScalar("\"quoted: str\"").asString(), "quoted: str");
+    EXPECT_EQ(parseScalar("'single'").asString(), "single");
+}
+
+TEST(Scalars, IntAlsoReadableAsDouble)
+{
+    EXPECT_DOUBLE_EQ(parseScalar("3").asDouble(), 3.0);
+}
+
+TEST(Flow, Sequence)
+{
+    Node n = parseScalar("[1, 2.5, x, [a, b]]");
+    ASSERT_TRUE(n.isSequence());
+    ASSERT_EQ(n.size(), 4u);
+    EXPECT_EQ(n[0].asInt(), 1);
+    EXPECT_DOUBLE_EQ(n[1].asDouble(), 2.5);
+    EXPECT_EQ(n[2].asString(), "x");
+    EXPECT_EQ(n[3][1].asString(), "b");
+}
+
+TEST(Flow, Mapping)
+{
+    Node n = parseScalar("{meshX: 2, meshY: 4, label: 'col, 0'}");
+    ASSERT_TRUE(n.isMapping());
+    EXPECT_EQ(n["meshX"].asInt(), 2);
+    EXPECT_EQ(n["meshY"].asInt(), 4);
+    EXPECT_EQ(n["label"].asString(), "col, 0");
+}
+
+TEST(Flow, EmptyContainers)
+{
+    EXPECT_EQ(parseScalar("[]").size(), 0u);
+    EXPECT_EQ(parseScalar("{}").size(), 0u);
+}
+
+TEST(Block, SimpleMapping)
+{
+    Node n = parse(
+        "name: buffer\n"
+        "depth: 1024\n"
+        "width: 64\n");
+    ASSERT_TRUE(n.isMapping());
+    EXPECT_EQ(n["name"].asString(), "buffer");
+    EXPECT_EQ(n["depth"].asInt(), 1024);
+    EXPECT_EQ(n.getInt("missing", -1), -1);
+}
+
+TEST(Block, NestedMapping)
+{
+    Node n = parse(
+        "outer:\n"
+        "  inner:\n"
+        "    a: 1\n"
+        "  b: 2\n"
+        "c: 3\n");
+    EXPECT_EQ(n["outer"]["inner"]["a"].asInt(), 1);
+    EXPECT_EQ(n["outer"]["b"].asInt(), 2);
+    EXPECT_EQ(n["c"].asInt(), 3);
+}
+
+TEST(Block, SequenceOfScalars)
+{
+    Node n = parse(
+        "- alpha\n"
+        "- 2\n"
+        "- 3.5\n");
+    ASSERT_TRUE(n.isSequence());
+    EXPECT_EQ(n[0].asString(), "alpha");
+    EXPECT_EQ(n[1].asInt(), 2);
+}
+
+TEST(Block, SequenceOfMappings)
+{
+    Node n = parse(
+        "- name: a\n"
+        "  size: 1\n"
+        "- name: b\n"
+        "  size: 2\n");
+    ASSERT_TRUE(n.isSequence());
+    ASSERT_EQ(n.size(), 2u);
+    EXPECT_EQ(n[0]["name"].asString(), "a");
+    EXPECT_EQ(n[1]["size"].asInt(), 2);
+}
+
+TEST(Block, CommentsIgnored)
+{
+    Node n = parse(
+        "# full-line comment\n"
+        "a: 1 # trailing comment\n"
+        "b: \"# not a comment\"\n");
+    EXPECT_EQ(n["a"].asInt(), 1);
+    EXPECT_EQ(n["b"].asString(), "# not a comment");
+}
+
+// The paper's Fig. 5b style: lone !Component / !Container tag lines, each
+// followed by key: value lines at the same indentation.
+TEST(Block, PaperStyleTaggedBlocks)
+{
+    Node doc = parse(
+        "!Component\n"
+        "name: buffer\n"
+        "temporal_reuse: [Inputs, Outputs]\n"
+        "!Container\n"
+        "name: macro\n"
+        "!Component\n"
+        "name: DAC_bank\n"
+        "no_coalesce: [Inputs]\n"
+        "!Container\n"
+        "name: column\n"
+        "spatial: {meshX: 2}\n"
+        "spatial_reuse: [Inputs]\n"
+        "!Component\n"
+        "name: memory_cell\n"
+        "spatial: {meshY: 2}\n"
+        "temporal_reuse: [Weights]\n"
+        "spatial_reuse: [Outputs]\n");
+    ASSERT_TRUE(doc.isSequence());
+    ASSERT_EQ(doc.size(), 5u);
+    EXPECT_EQ(doc[0].tag(), "Component");
+    EXPECT_EQ(doc[0]["name"].asString(), "buffer");
+    EXPECT_EQ(doc[0]["temporal_reuse"][1].asString(), "Outputs");
+    EXPECT_EQ(doc[1].tag(), "Container");
+    EXPECT_EQ(doc[3]["spatial"]["meshX"].asInt(), 2);
+    EXPECT_EQ(doc[4]["spatial"]["meshY"].asInt(), 2);
+    EXPECT_EQ(doc[4]["spatial_reuse"][0].asString(), "Outputs");
+}
+
+TEST(Block, TaggedValueInMapping)
+{
+    Node n = parse(
+        "arch: !Macro {rows: 4, cols: 8}\n"
+        "adc: !ADC\n"
+        "  bits: 8\n");
+    EXPECT_EQ(n["arch"].tag(), "Macro");
+    EXPECT_EQ(n["arch"]["cols"].asInt(), 8);
+    EXPECT_EQ(n["adc"].tag(), "ADC");
+    EXPECT_EQ(n["adc"]["bits"].asInt(), 8);
+}
+
+TEST(Block, EmptyDocumentIsNull)
+{
+    EXPECT_TRUE(parse("").isNull());
+    EXPECT_TRUE(parse("# only comments\n\n").isNull());
+}
+
+TEST(Errors, MissingKeyIsFatal)
+{
+    Node n = parse("a: 1\n");
+    EXPECT_THROW(n["b"], FatalError);
+    EXPECT_THROW(n["a"]["c"], FatalError); // scalar lookup
+}
+
+TEST(Errors, KindMismatchIsFatal)
+{
+    Node n = parse("a: hello\n");
+    EXPECT_THROW(n["a"].asInt(), FatalError);
+    EXPECT_THROW(n["a"].asBool(), FatalError);
+    EXPECT_THROW(n[std::size_t{0}], FatalError);
+}
+
+TEST(Errors, MalformedFlowIsFatal)
+{
+    EXPECT_THROW(parseScalar("[1, 2"), FatalError);
+    EXPECT_THROW(parseScalar("{a: 1"), FatalError);
+    EXPECT_THROW(parseScalar("\"unterminated"), FatalError);
+}
+
+TEST(Errors, TabsRejected)
+{
+    EXPECT_THROW(parse("a:\n\tb: 1\n"), FatalError);
+}
+
+TEST(Node, ToStringRoundTrip)
+{
+    Node n = parseScalar("{a: [1, 2], b: true}");
+    EXPECT_EQ(n.toString(), "{a: [1, 2], b: true}");
+}
+
+TEST(Node, BuilderInterface)
+{
+    Node m = Node::makeMapping();
+    m.set("x", Node::makeInt(5));
+    m.set("y", Node::makeSequence());
+    m.set("x", Node::makeInt(6)); // overwrite
+    EXPECT_EQ(m["x"].asInt(), 6);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+} // namespace
+} // namespace cimloop::yaml

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * The `cimloop` command-line entry point; all logic lives in
+ * cimloop::cli so it can be unit-tested.
+ */
+#include <iostream>
+#include <vector>
+
+#include "cimloop/cli/cli.hh"
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return cimloop::cli::run(args, std::cout, std::cerr);
+}
