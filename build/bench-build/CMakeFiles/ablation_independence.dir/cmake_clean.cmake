@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_independence"
+  "../bench/ablation_independence.pdb"
+  "CMakeFiles/ablation_independence.dir/ablation_independence.cc.o"
+  "CMakeFiles/ablation_independence.dir/ablation_independence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

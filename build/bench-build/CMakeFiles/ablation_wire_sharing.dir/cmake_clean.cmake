@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wire_sharing"
+  "../bench/ablation_wire_sharing.pdb"
+  "CMakeFiles/ablation_wire_sharing.dir/ablation_wire_sharing.cc.o"
+  "CMakeFiles/ablation_wire_sharing.dir/ablation_wire_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

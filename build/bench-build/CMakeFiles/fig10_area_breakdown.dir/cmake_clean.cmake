@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_area_breakdown"
+  "../bench/fig10_area_breakdown.pdb"
+  "CMakeFiles/fig10_area_breakdown.dir/fig10_area_breakdown.cc.o"
+  "CMakeFiles/fig10_area_breakdown.dir/fig10_area_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_area_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_value_energy"
+  "../bench/fig11_value_energy.pdb"
+  "CMakeFiles/fig11_value_energy.dir/fig11_value_energy.cc.o"
+  "CMakeFiles/fig11_value_energy.dir/fig11_value_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_value_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_output_reuse"
+  "../bench/fig12_output_reuse.pdb"
+  "CMakeFiles/fig12_output_reuse.dir/fig12_output_reuse.cc.o"
+  "CMakeFiles/fig12_output_reuse.dir/fig12_output_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_output_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_adder_width"
+  "../bench/fig13_adder_width.pdb"
+  "CMakeFiles/fig13_adder_width.dir/fig13_adder_width.cc.o"
+  "CMakeFiles/fig13_adder_width.dir/fig13_adder_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adder_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

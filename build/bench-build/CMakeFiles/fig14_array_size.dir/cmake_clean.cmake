@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_array_size"
+  "../bench/fig14_array_size.pdb"
+  "CMakeFiles/fig14_array_size.dir/fig14_array_size.cc.o"
+  "CMakeFiles/fig14_array_size.dir/fig14_array_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_array_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

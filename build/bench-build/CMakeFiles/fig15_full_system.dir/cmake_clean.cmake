@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_full_system"
+  "../bench/fig15_full_system.pdb"
+  "CMakeFiles/fig15_full_system.dir/fig15_full_system.cc.o"
+  "CMakeFiles/fig15_full_system.dir/fig15_full_system.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_full_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cross_macro"
+  "../bench/fig16_cross_macro.pdb"
+  "CMakeFiles/fig16_cross_macro.dir/fig16_cross_macro.cc.o"
+  "CMakeFiles/fig16_cross_macro.dir/fig16_cross_macro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cross_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

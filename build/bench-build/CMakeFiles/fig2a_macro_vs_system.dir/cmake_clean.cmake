@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_macro_vs_system"
+  "../bench/fig2a_macro_vs_system.pdb"
+  "CMakeFiles/fig2a_macro_vs_system.dir/fig2a_macro_vs_system.cc.o"
+  "CMakeFiles/fig2a_macro_vs_system.dir/fig2a_macro_vs_system.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_macro_vs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

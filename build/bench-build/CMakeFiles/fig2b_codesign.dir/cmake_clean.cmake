@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_codesign"
+  "../bench/fig2b_codesign.pdb"
+  "CMakeFiles/fig2b_codesign.dir/fig2b_codesign.cc.o"
+  "CMakeFiles/fig2b_codesign.dir/fig2b_codesign.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_value_dependence"
+  "../bench/fig4_value_dependence.pdb"
+  "CMakeFiles/fig4_value_dependence.dir/fig4_value_dependence.cc.o"
+  "CMakeFiles/fig4_value_dependence.dir/fig4_value_dependence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_value_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_input_bits"
+  "../bench/fig8_input_bits.pdb"
+  "CMakeFiles/fig8_input_bits.dir/fig8_input_bits.cc.o"
+  "CMakeFiles/fig8_input_bits.dir/fig8_input_bits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_input_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

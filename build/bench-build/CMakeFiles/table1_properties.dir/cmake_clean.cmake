@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_properties"
+  "../bench/table1_properties.pdb"
+  "CMakeFiles/table1_properties.dir/table1_properties.cc.o"
+  "CMakeFiles/table1_properties.dir/table1_properties.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

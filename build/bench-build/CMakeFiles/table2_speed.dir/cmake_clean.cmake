@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_speed"
+  "../bench/table2_speed.pdb"
+  "CMakeFiles/table2_speed.dir/table2_speed.cc.o"
+  "CMakeFiles/table2_speed.dir/table2_speed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_resnet.dir/full_system_resnet.cpp.o"
+  "CMakeFiles/full_system_resnet.dir/full_system_resnet.cpp.o.d"
+  "full_system_resnet"
+  "full_system_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

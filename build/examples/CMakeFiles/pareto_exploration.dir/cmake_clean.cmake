@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_exploration.dir/pareto_exploration.cpp.o"
+  "CMakeFiles/pareto_exploration.dir/pareto_exploration.cpp.o.d"
+  "pareto_exploration"
+  "pareto_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

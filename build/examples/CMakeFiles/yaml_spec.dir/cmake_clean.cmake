@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_spec.dir/yaml_spec.cpp.o"
+  "CMakeFiles/yaml_spec.dir/yaml_spec.cpp.o.d"
+  "yaml_spec"
+  "yaml_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

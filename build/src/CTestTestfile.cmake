@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("yaml")
+subdirs("dist")
+subdirs("workload")
+subdirs("spec")
+subdirs("models")
+subdirs("mapping")
+subdirs("engine")
+subdirs("refsim")
+subdirs("macros")
+subdirs("system")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_cli.dir/cli.cc.o"
+  "CMakeFiles/cimloop_cli.dir/cli.cc.o.d"
+  "libcimloop_cli.a"
+  "libcimloop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_common.dir/error.cc.o"
+  "CMakeFiles/cimloop_common.dir/error.cc.o.d"
+  "CMakeFiles/cimloop_common.dir/log.cc.o"
+  "CMakeFiles/cimloop_common.dir/log.cc.o.d"
+  "CMakeFiles/cimloop_common.dir/util.cc.o"
+  "CMakeFiles/cimloop_common.dir/util.cc.o.d"
+  "libcimloop_common.a"
+  "libcimloop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

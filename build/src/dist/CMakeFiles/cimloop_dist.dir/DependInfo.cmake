@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/encoding.cc" "src/dist/CMakeFiles/cimloop_dist.dir/encoding.cc.o" "gcc" "src/dist/CMakeFiles/cimloop_dist.dir/encoding.cc.o.d"
+  "/root/repo/src/dist/operands.cc" "src/dist/CMakeFiles/cimloop_dist.dir/operands.cc.o" "gcc" "src/dist/CMakeFiles/cimloop_dist.dir/operands.cc.o.d"
+  "/root/repo/src/dist/pmf.cc" "src/dist/CMakeFiles/cimloop_dist.dir/pmf.cc.o" "gcc" "src/dist/CMakeFiles/cimloop_dist.dir/pmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

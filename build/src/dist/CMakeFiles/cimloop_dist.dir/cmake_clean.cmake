@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_dist.dir/encoding.cc.o"
+  "CMakeFiles/cimloop_dist.dir/encoding.cc.o.d"
+  "CMakeFiles/cimloop_dist.dir/operands.cc.o"
+  "CMakeFiles/cimloop_dist.dir/operands.cc.o.d"
+  "CMakeFiles/cimloop_dist.dir/pmf.cc.o"
+  "CMakeFiles/cimloop_dist.dir/pmf.cc.o.d"
+  "libcimloop_dist.a"
+  "libcimloop_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_engine.dir/arch.cc.o"
+  "CMakeFiles/cimloop_engine.dir/arch.cc.o.d"
+  "CMakeFiles/cimloop_engine.dir/evaluate.cc.o"
+  "CMakeFiles/cimloop_engine.dir/evaluate.cc.o.d"
+  "libcimloop_engine.a"
+  "libcimloop_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_macros.dir/macros.cc.o"
+  "CMakeFiles/cimloop_macros.dir/macros.cc.o.d"
+  "libcimloop_macros.a"
+  "libcimloop_macros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

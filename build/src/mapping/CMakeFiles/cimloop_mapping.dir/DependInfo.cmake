@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/mapper.cc" "src/mapping/CMakeFiles/cimloop_mapping.dir/mapper.cc.o" "gcc" "src/mapping/CMakeFiles/cimloop_mapping.dir/mapper.cc.o.d"
+  "/root/repo/src/mapping/mapping.cc" "src/mapping/CMakeFiles/cimloop_mapping.dir/mapping.cc.o" "gcc" "src/mapping/CMakeFiles/cimloop_mapping.dir/mapping.cc.o.d"
+  "/root/repo/src/mapping/nest.cc" "src/mapping/CMakeFiles/cimloop_mapping.dir/nest.cc.o" "gcc" "src/mapping/CMakeFiles/cimloop_mapping.dir/nest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/cimloop_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cimloop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/cimloop_yaml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_mapping.dir/mapper.cc.o"
+  "CMakeFiles/cimloop_mapping.dir/mapper.cc.o.d"
+  "CMakeFiles/cimloop_mapping.dir/mapping.cc.o"
+  "CMakeFiles/cimloop_mapping.dir/mapping.cc.o.d"
+  "CMakeFiles/cimloop_mapping.dir/nest.cc.o"
+  "CMakeFiles/cimloop_mapping.dir/nest.cc.o.d"
+  "libcimloop_mapping.a"
+  "libcimloop_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

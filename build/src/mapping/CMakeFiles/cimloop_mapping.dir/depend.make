@@ -1,0 +1,2 @@
+# Empty dependencies file for cimloop_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/component.cc" "src/models/CMakeFiles/cimloop_models.dir/component.cc.o" "gcc" "src/models/CMakeFiles/cimloop_models.dir/component.cc.o.d"
+  "/root/repo/src/models/devices.cc" "src/models/CMakeFiles/cimloop_models.dir/devices.cc.o" "gcc" "src/models/CMakeFiles/cimloop_models.dir/devices.cc.o.d"
+  "/root/repo/src/models/plugins.cc" "src/models/CMakeFiles/cimloop_models.dir/plugins.cc.o" "gcc" "src/models/CMakeFiles/cimloop_models.dir/plugins.cc.o.d"
+  "/root/repo/src/models/tech.cc" "src/models/CMakeFiles/cimloop_models.dir/tech.cc.o" "gcc" "src/models/CMakeFiles/cimloop_models.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/cimloop_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/cimloop_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cimloop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/cimloop_yaml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

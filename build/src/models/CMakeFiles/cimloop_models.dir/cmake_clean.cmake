@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_models.dir/component.cc.o"
+  "CMakeFiles/cimloop_models.dir/component.cc.o.d"
+  "CMakeFiles/cimloop_models.dir/devices.cc.o"
+  "CMakeFiles/cimloop_models.dir/devices.cc.o.d"
+  "CMakeFiles/cimloop_models.dir/plugins.cc.o"
+  "CMakeFiles/cimloop_models.dir/plugins.cc.o.d"
+  "CMakeFiles/cimloop_models.dir/tech.cc.o"
+  "CMakeFiles/cimloop_models.dir/tech.cc.o.d"
+  "libcimloop_models.a"
+  "libcimloop_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_refsim.dir/refsim.cc.o"
+  "CMakeFiles/cimloop_refsim.dir/refsim.cc.o.d"
+  "libcimloop_refsim.a"
+  "libcimloop_refsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_refsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

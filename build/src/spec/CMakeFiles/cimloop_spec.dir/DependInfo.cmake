@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/builder.cc" "src/spec/CMakeFiles/cimloop_spec.dir/builder.cc.o" "gcc" "src/spec/CMakeFiles/cimloop_spec.dir/builder.cc.o.d"
+  "/root/repo/src/spec/hierarchy.cc" "src/spec/CMakeFiles/cimloop_spec.dir/hierarchy.cc.o" "gcc" "src/spec/CMakeFiles/cimloop_spec.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/cimloop_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cimloop_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_spec.dir/builder.cc.o"
+  "CMakeFiles/cimloop_spec.dir/builder.cc.o.d"
+  "CMakeFiles/cimloop_spec.dir/hierarchy.cc.o"
+  "CMakeFiles/cimloop_spec.dir/hierarchy.cc.o.d"
+  "libcimloop_spec.a"
+  "libcimloop_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_system.dir/system.cc.o"
+  "CMakeFiles/cimloop_system.dir/system.cc.o.d"
+  "libcimloop_system.a"
+  "libcimloop_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

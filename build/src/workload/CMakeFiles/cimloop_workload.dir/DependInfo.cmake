@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/layer.cc" "src/workload/CMakeFiles/cimloop_workload.dir/layer.cc.o" "gcc" "src/workload/CMakeFiles/cimloop_workload.dir/layer.cc.o.d"
+  "/root/repo/src/workload/networks.cc" "src/workload/CMakeFiles/cimloop_workload.dir/networks.cc.o" "gcc" "src/workload/CMakeFiles/cimloop_workload.dir/networks.cc.o.d"
+  "/root/repo/src/workload/workload_yaml.cc" "src/workload/CMakeFiles/cimloop_workload.dir/workload_yaml.cc.o" "gcc" "src/workload/CMakeFiles/cimloop_workload.dir/workload_yaml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/cimloop_yaml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

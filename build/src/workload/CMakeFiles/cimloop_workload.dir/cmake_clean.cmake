@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_workload.dir/layer.cc.o"
+  "CMakeFiles/cimloop_workload.dir/layer.cc.o.d"
+  "CMakeFiles/cimloop_workload.dir/networks.cc.o"
+  "CMakeFiles/cimloop_workload.dir/networks.cc.o.d"
+  "CMakeFiles/cimloop_workload.dir/workload_yaml.cc.o"
+  "CMakeFiles/cimloop_workload.dir/workload_yaml.cc.o.d"
+  "libcimloop_workload.a"
+  "libcimloop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_yaml.dir/node.cc.o"
+  "CMakeFiles/cimloop_yaml.dir/node.cc.o.d"
+  "CMakeFiles/cimloop_yaml.dir/parser.cc.o"
+  "CMakeFiles/cimloop_yaml.dir/parser.cc.o.d"
+  "libcimloop_yaml.a"
+  "libcimloop_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/encoding_test.cc.o"
+  "CMakeFiles/test_dist.dir/dist/encoding_test.cc.o.d"
+  "CMakeFiles/test_dist.dir/dist/operands_test.cc.o"
+  "CMakeFiles/test_dist.dir/dist/operands_test.cc.o.d"
+  "CMakeFiles/test_dist.dir/dist/pmf_test.cc.o"
+  "CMakeFiles/test_dist.dir/dist/pmf_test.cc.o.d"
+  "CMakeFiles/test_dist.dir/dist/statistics_test.cc.o"
+  "CMakeFiles/test_dist.dir/dist/statistics_test.cc.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

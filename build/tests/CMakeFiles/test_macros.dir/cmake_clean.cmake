@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macros.dir/macros/macros_test.cc.o"
+  "CMakeFiles/test_macros.dir/macros/macros_test.cc.o.d"
+  "test_macros"
+  "test_macros.pdb"
+  "test_macros[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

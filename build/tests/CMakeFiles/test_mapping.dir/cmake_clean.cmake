@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping.dir/mapping/constraints_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/constraints_test.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/exhaustive_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/exhaustive_test.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/mapper_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/mapper_test.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/mapping_yaml_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/mapping_yaml_test.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/nest_scenarios_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/nest_scenarios_test.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/nest_test.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/nest_test.cc.o.d"
+  "test_mapping"
+  "test_mapping.pdb"
+  "test_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

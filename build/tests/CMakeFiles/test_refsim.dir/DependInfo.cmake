@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/refsim/accumulate_test.cc" "tests/CMakeFiles/test_refsim.dir/refsim/accumulate_test.cc.o" "gcc" "tests/CMakeFiles/test_refsim.dir/refsim/accumulate_test.cc.o.d"
+  "/root/repo/tests/refsim/fidelity_test.cc" "tests/CMakeFiles/test_refsim.dir/refsim/fidelity_test.cc.o" "gcc" "tests/CMakeFiles/test_refsim.dir/refsim/fidelity_test.cc.o.d"
+  "/root/repo/tests/refsim/refsim_test.cc" "tests/CMakeFiles/test_refsim.dir/refsim/refsim_test.cc.o" "gcc" "tests/CMakeFiles/test_refsim.dir/refsim/refsim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refsim/CMakeFiles/cimloop_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/cimloop_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/cimloop_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/macros/CMakeFiles/cimloop_macros.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cimloop_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cimloop_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/cimloop_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cimloop_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/cimloop_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cimloop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/cimloop_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cimloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

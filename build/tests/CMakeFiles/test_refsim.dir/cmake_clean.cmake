@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refsim.dir/refsim/accumulate_test.cc.o"
+  "CMakeFiles/test_refsim.dir/refsim/accumulate_test.cc.o.d"
+  "CMakeFiles/test_refsim.dir/refsim/fidelity_test.cc.o"
+  "CMakeFiles/test_refsim.dir/refsim/fidelity_test.cc.o.d"
+  "CMakeFiles/test_refsim.dir/refsim/refsim_test.cc.o"
+  "CMakeFiles/test_refsim.dir/refsim/refsim_test.cc.o.d"
+  "test_refsim"
+  "test_refsim.pdb"
+  "test_refsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

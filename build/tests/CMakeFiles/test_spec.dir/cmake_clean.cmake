@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/spec/edit_test.cc.o"
+  "CMakeFiles/test_spec.dir/spec/edit_test.cc.o.d"
+  "CMakeFiles/test_spec.dir/spec/hierarchy_test.cc.o"
+  "CMakeFiles/test_spec.dir/spec/hierarchy_test.cc.o.d"
+  "CMakeFiles/test_spec.dir/spec/serialize_test.cc.o"
+  "CMakeFiles/test_spec.dir/spec/serialize_test.cc.o.d"
+  "test_spec"
+  "test_spec.pdb"
+  "test_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/multichip_test.cc.o"
+  "CMakeFiles/test_system.dir/system/multichip_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/system_test.cc.o"
+  "CMakeFiles/test_system.dir/system/system_test.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/big_networks_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/big_networks_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/layer_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/layer_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/networks_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/networks_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/workload_yaml_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/workload_yaml_test.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

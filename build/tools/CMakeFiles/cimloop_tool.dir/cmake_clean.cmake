@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimloop_tool.dir/cimloop_cli.cc.o"
+  "CMakeFiles/cimloop_tool.dir/cimloop_cli.cc.o.d"
+  "cimloop"
+  "cimloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimloop_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
