@@ -106,6 +106,54 @@ BM_SearchHundredMappings(benchmark::State& state)
 }
 BENCHMARK(BM_SearchHundredMappings);
 
+void
+BM_SearchParallel(benchmark::State& state)
+{
+    // Sharded intra-layer search; arg = worker threads. Identical result
+    // at every thread count, so this isolates the fan-out overhead.
+    int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine::searchMappings(
+            benchArch(), benchLayer(), 400, 1, engine::Objective::Energy,
+            threads));
+    }
+}
+BENCHMARK(BM_SearchParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_PrecomputeCached(benchmark::State& state)
+{
+    // Steady-state hit path of the keyed per-action table cache; compare
+    // against BM_Precompute for the per-call synthesis cost it saves.
+    engine::cachedPrecompute(benchArch(), benchLayer());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine::cachedPrecompute(benchArch(), benchLayer()));
+    }
+}
+BENCHMARK(BM_PrecomputeCached);
+
+void
+BM_DivisorsOfMemoized(benchmark::State& state)
+{
+    // Hot in sample(): called once per sampled mapping per dimension.
+    std::int64_t n = 1680; // highly composite: worst case uncached
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(divisorsOf(n).size());
+    }
+}
+BENCHMARK(BM_DivisorsOfMemoized);
+
+void
+BM_DivisorsOfUncached(benchmark::State& state)
+{
+    std::int64_t n = 1680;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(computeDivisors(n).size());
+    }
+}
+BENCHMARK(BM_DivisorsOfUncached);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -3,9 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Same configure command as the tier-1 verify in ROADMAP.md: no generator
+# override, so an existing build/ configured with the default generator
+# (or a fresh clone) both work.
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] && "$b"
 done

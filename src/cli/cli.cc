@@ -28,7 +28,10 @@ workload (exactly one):
 search:
   --mappings N         mappings searched per layer (default 500)
   --seed N             search seed (default 1)
-  --threads N          worker threads over layers (default 1)
+  --threads N          worker threads; spread over layers first, and
+                       across each layer's mapping search when layers
+                       are fewer than threads (default 1; results are
+                       identical for any value)
   --objective OBJ      energy | edp | delay (default energy)
 
 operating point / representation overrides:

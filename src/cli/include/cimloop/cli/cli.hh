@@ -30,7 +30,7 @@ struct CliOptions
 
     int mappings = 500;       //!< --mappings N
     std::uint64_t seed = 1;   //!< --seed N
-    int threads = 1;          //!< --threads N
+    int threads = 1;          //!< --threads N (layer + intra-layer workers)
     std::string objective = "energy"; //!< --objective energy|edp|delay
 
     double technologyNm = 0.0; //!< --tech NM (override; 0 = keep)

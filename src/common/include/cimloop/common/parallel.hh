@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal fork-join parallelism for the evaluation engine's fan-out loops.
+ *
+ * Exceptions thrown by workers never escape a thread lambda (which would
+ * std::terminate the whole process): the first one is captured as an
+ * std::exception_ptr, every worker is joined, and the exception is
+ * rethrown on the calling thread — so an unmappable layer surfaces as the
+ * same cimloop::FatalError the serial path gives.
+ */
+#ifndef CIMLOOP_COMMON_PARALLEL_HH
+#define CIMLOOP_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace cimloop {
+
+/**
+ * Runs fn(i) for every i in [0, n) on up to @p threads workers.
+ *
+ * Work items are claimed dynamically from a shared counter, so callers
+ * must not depend on which thread runs which index — only that every
+ * index runs at most once and that results written to disjoint slots are
+ * visible after return. threads <= 1 (or n <= 1) runs inline on the
+ * calling thread.
+ *
+ * When a worker throws, remaining unclaimed items are abandoned, all
+ * workers are joined, and the first captured exception is rethrown.
+ */
+void parallelFor(int threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+} // namespace cimloop
+
+#endif // CIMLOOP_COMMON_PARALLEL_HH

@@ -35,8 +35,19 @@ int log2Exact(std::int64_t n);
 /** Number of bits needed to represent values 0..n-1 (>= 1). */
 int bitsForCount(std::int64_t n);
 
-/** All positive divisors of @p n in increasing order. */
-std::vector<std::int64_t> divisorsOf(std::int64_t n);
+/**
+ * All positive divisors of @p n in increasing order.
+ *
+ * Memoized: the mapper asks for the same extents once per sampled mapping
+ * per dimension, so results are cached process-wide and returned by
+ * reference. The cache is thread-safe and entries are never invalidated
+ * (divisors of a number do not change), so returned references stay valid
+ * for the life of the process.
+ */
+const std::vector<std::int64_t>& divisorsOf(std::int64_t n);
+
+/** Uncached divisor computation backing divisorsOf() (exposed for tests). */
+std::vector<std::int64_t> computeDivisors(std::int64_t n);
 
 /** Strips leading and trailing whitespace. */
 std::string trim(const std::string& s);
@@ -61,6 +72,14 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
         : state(seed ? seed : 1)
     {}
+
+    /**
+     * Counter-derived stream: a generator for (seed, stream) decorrelated
+     * from every other stream of the same seed via SplitMix64 finalization.
+     * Parallel search shards draw from forStream(seed, shard) so results
+     * do not depend on how shards are scheduled over threads.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
 
     /** Next raw 64-bit value. */
     std::uint64_t

@@ -1,0 +1,55 @@
+#include "cimloop/common/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cimloop {
+
+void
+parallelFor(int threads, std::size_t n,
+            const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    std::size_t workers = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            while (!failed.load(std::memory_order_acquire)) {
+                std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                }
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace cimloop

@@ -2,6 +2,9 @@
 
 #include <cctype>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "cimloop/common/error.hh"
 
@@ -39,7 +42,7 @@ bitsForCount(std::int64_t n)
 }
 
 std::vector<std::int64_t>
-divisorsOf(std::int64_t n)
+computeDivisors(std::int64_t n)
 {
     CIM_ASSERT(n >= 1, "divisorsOf requires n >= 1, got ", n);
     std::vector<std::int64_t> low, high;
@@ -52,6 +55,24 @@ divisorsOf(std::int64_t n)
     }
     low.insert(low.end(), high.rbegin(), high.rend());
     return low;
+}
+
+const std::vector<std::int64_t>&
+divisorsOf(std::int64_t n)
+{
+    // unordered_map element addresses are stable across rehash and entries
+    // are never erased, so returned references outlive the locks.
+    static std::shared_mutex mutex;
+    static std::unordered_map<std::int64_t, std::vector<std::int64_t>> cache;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex);
+        auto it = cache.find(n);
+        if (it != cache.end())
+            return it->second;
+    }
+    std::vector<std::int64_t> divs = computeDivisors(n);
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    return cache.emplace(n, std::move(divs)).first->second;
 }
 
 std::string
@@ -92,6 +113,18 @@ toLower(std::string s)
     for (char& c : s)
         c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     return s;
+}
+
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // SplitMix64 finalizer over a golden-ratio stride keeps nearby
+    // (seed, stream) pairs statistically independent.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return Rng(z ? z : 1);
 }
 
 double

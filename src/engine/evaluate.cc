@@ -5,11 +5,15 @@
 #include <cmath>
 #include <limits>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
-#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "cimloop/common/error.hh"
 #include "cimloop/common/log.hh"
+#include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
 
 namespace cimloop::engine {
@@ -111,6 +115,91 @@ precompute(const Arch& arch, const workload::Layer& layer,
         table.nodes.push_back(registry.require(klass).estimate(ctx));
     }
     return table;
+}
+
+namespace {
+
+/**
+ * Everything precompute() reads, serialized: two (arch, layer) pairs with
+ * equal keys produce identical tables. Doubles print at full precision so
+ * operating points one ULP apart do not alias.
+ */
+std::string
+perActionKey(const Arch& arch, const workload::Layer& layer)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << arch.name << '\x1f' << arch.hierarchy.toYamlText() << '\x1f'
+        << static_cast<int>(arch.rep.inputEncoding) << ' '
+        << static_cast<int>(arch.rep.weightEncoding) << ' '
+        << arch.rep.inputBits << ' ' << arch.rep.weightBits << ' '
+        << arch.rep.outputBits << ' ' << arch.rep.dacBits << ' '
+        << arch.rep.cellBits << ' ' << arch.technologyNm << ' '
+        << arch.supplyVoltage << ' ' << arch.includeLeakage << '\x1f'
+        << layer.network << '\x1f' << layer.name << '\x1f' << layer.index
+        << ' ' << layer.networkLayers << ' ' << layer.inputBits << ' '
+        << layer.weightBits << ' ' << layer.outputBits;
+    for (std::int64_t d : layer.dims)
+        oss << ' ' << d;
+    return oss.str();
+}
+
+struct PerActionCache
+{
+    std::shared_mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const PerActionTable>>
+        entries;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+PerActionCache&
+perActionCache()
+{
+    static PerActionCache cache;
+    return cache;
+}
+
+} // namespace
+
+std::shared_ptr<const PerActionTable>
+cachedPrecompute(const Arch& arch, const workload::Layer& layer)
+{
+    PerActionCache& cache = perActionCache();
+    const std::string key = perActionKey(arch, layer);
+    {
+        std::shared_lock<std::shared_mutex> lock(cache.mutex);
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end()) {
+            cache.hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Synthesize outside the lock; concurrent misses on the same key both
+    // compute the (identical) table and the loser's copy is dropped.
+    auto table =
+        std::make_shared<const PerActionTable>(precompute(arch, layer));
+    std::unique_lock<std::shared_mutex> lock(cache.mutex);
+    cache.misses.fetch_add(1, std::memory_order_relaxed);
+    return cache.entries.emplace(key, std::move(table)).first->second;
+}
+
+PerActionCacheStats
+perActionCacheStats()
+{
+    PerActionCache& cache = perActionCache();
+    std::shared_lock<std::shared_mutex> lock(cache.mutex);
+    return {cache.hits.load(), cache.misses.load(), cache.entries.size()};
+}
+
+void
+clearPerActionCache()
+{
+    PerActionCache& cache = perActionCache();
+    std::unique_lock<std::shared_mutex> lock(cache.mutex);
+    cache.entries.clear();
+    cache.hits.store(0);
+    cache.misses.store(0);
 }
 
 double
@@ -249,47 +338,126 @@ objectiveValue(Objective obj, const Evaluation& ev)
     CIM_PANIC("unknown objective");
 }
 
+/**
+ * Shards per search. Fixed (never a function of the thread count or the
+ * budget split) so the sampled mapspace — and therefore the winner — is
+ * the same no matter how shards are scheduled over threads.
+ */
+constexpr int kSearchShards = 16;
+
+/** One shard's best under the (value, shard, sample) total order. */
+struct ShardOutcome
+{
+    bool have = false;
+    double value = 0.0;
+    mapping::Mapping best;
+    Evaluation eval;
+    int evaluated = 0;
+    int invalid = 0;
+    int rejected = 0;
+    bool exhausted = false;
+};
+
+ShardOutcome
+runSearchShard(const Arch& arch, const PerActionTable& table,
+               const mapping::Mapper& mapper, Objective objective,
+               std::uint64_t seed, int shard, int budget)
+{
+    ShardOutcome out;
+    Rng rng = Rng::forStream(seed, static_cast<std::uint64_t>(shard));
+    for (int i = 0; i < budget; ++i) {
+        std::optional<mapping::Mapping> m = mapper.next(rng, out.rejected);
+        if (!m) {
+            out.exhausted = true;
+            break;
+        }
+        Evaluation ev = evaluate(arch, table, *m);
+        if (!ev.valid) {
+            ++out.invalid;
+            continue;
+        }
+        ++out.evaluated;
+        double value = objectiveValue(objective, ev);
+        // Strict < keeps the lowest sample index among equal values.
+        if (!out.have || value < out.value) {
+            out.have = true;
+            out.value = value;
+            out.eval = std::move(ev);
+            out.best = std::move(*m);
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 SearchResult
 searchMappings(const Arch& arch, const workload::Layer& layer,
-               int num_mappings, std::uint64_t seed, Objective objective)
+               int num_mappings, std::uint64_t seed, Objective objective,
+               int threads)
 {
-    PerActionTable table = precompute(arch, layer);
-    mapping::Mapper mapper(arch.hierarchy, table.extLayer, {.seed = seed});
+    std::shared_ptr<const PerActionTable> table =
+        cachedPrecompute(arch, layer);
+    const mapping::Mapper mapper(arch.hierarchy, table->extLayer,
+                                 {.seed = seed});
 
     SearchResult result;
     bool have_best = false;
     double best_value = 0.0;
 
-    auto consider = [&](const mapping::Mapping& m) {
-        Evaluation ev = evaluate(arch, table, m);
-        if (!ev.valid) {
-            ++result.invalid;
-            return;
-        }
-        ++result.evaluated;
-        double value = objectiveValue(objective, ev);
-        if (!have_best || value < best_value) {
+    // The greedy heuristic merges ahead of every shard: it wins ties.
+    {
+        mapping::Mapping greedy = mapper.greedy();
+        Evaluation ev = evaluate(arch, *table, greedy);
+        if (ev.valid) {
+            ++result.evaluated;
             have_best = true;
-            best_value = value;
-            result.best = ev;
-            result.bestMapping = m;
+            best_value = objectiveValue(objective, ev);
+            result.best = std::move(ev);
+            result.bestMapping = std::move(greedy);
+        } else {
+            ++result.invalid;
         }
-    };
-
-    consider(mapper.greedy());
-    for (int i = 0; i < num_mappings; ++i) {
-        std::optional<mapping::Mapping> m = mapper.next();
-        if (!m)
-            break;
-        consider(*m);
     }
 
+    const int shards = std::min(kSearchShards, std::max(num_mappings, 0));
+    std::vector<ShardOutcome> outcomes(shards);
+    parallelFor(threads, static_cast<std::size_t>(shards),
+                [&](std::size_t s) {
+                    int shard = static_cast<int>(s);
+                    int budget = num_mappings / shards +
+                                 (shard < num_mappings % shards ? 1 : 0);
+                    outcomes[s] = runSearchShard(arch, *table, mapper,
+                                                 objective, seed, shard,
+                                                 budget);
+                });
+
+    // Deterministic merge: ascending shard order, strict improvement only,
+    // realizing the (value, shard, sample) tie-break.
+    for (ShardOutcome& out : outcomes) {
+        result.evaluated += out.evaluated;
+        result.invalid += out.invalid;
+        result.rejected += out.rejected;
+        result.exhausted += out.exhausted ? 1 : 0;
+        if (out.have && (!have_best || out.value < best_value)) {
+            have_best = true;
+            best_value = out.value;
+            result.best = std::move(out.eval);
+            result.bestMapping = std::move(out.best);
+        }
+    }
+
+    if (result.exhausted > 0) {
+        warn("mapping search for layer '", layer.name, "' on arch '",
+             arch.name, "' stopped early in ", result.exhausted, " of ",
+             shards, " shards: drew ", result.evaluated + result.invalid,
+             " of ", num_mappings + 1, " budgeted samples (",
+             result.rejected, " rejected by the mapper)");
+    }
     if (!have_best) {
         CIM_FATAL("no valid mapping found for layer '", layer.name,
                   "' on arch '", arch.name, "' (", result.invalid,
-                  " invalid samples)");
+                  " invalid samples, ", result.rejected, " rejected)");
     }
     return result;
 }
@@ -319,27 +487,27 @@ evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
                         int threads, int mappings_per_layer,
                         std::uint64_t seed, Objective objective)
 {
-    if (threads <= 1)
+    if (threads <= 1 || network.layers.empty())
         return evaluateNetwork(arch, network, mappings_per_layer, seed,
                                objective);
 
-    std::vector<SearchResult> results(network.layers.size());
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1);
-                 i < network.layers.size(); i = next.fetch_add(1)) {
-                const workload::Layer& layer = network.layers[i];
-                results[i] = searchMappings(arch, layer,
-                                            mappings_per_layer,
-                                            seed + layer.index, objective);
-            }
-        });
-    }
-    for (std::thread& t : pool)
-        t.join();
+    // Layers fan out first; when the network has fewer distinct layers
+    // than threads (one repeated transformer block, say), the leftover
+    // threads split each layer's sample budget instead of idling.
+    const std::size_t n = network.layers.size();
+    const int outer = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+    const int inner = std::max(1, threads / outer);
+
+    // parallelFor captures the first worker exception and rethrows it
+    // here after joining, so an unmappable layer surfaces as the same
+    // FatalError the serial path gives instead of std::terminate.
+    std::vector<SearchResult> results(n);
+    parallelFor(outer, n, [&](std::size_t i) {
+        const workload::Layer& layer = network.layers[i];
+        results[i] = searchMappings(arch, layer, mappings_per_layer,
+                                    seed + layer.index, objective, inner);
+    });
 
     NetworkEvaluation net;
     for (std::size_t i = 0; i < network.layers.size(); ++i) {
@@ -394,21 +562,31 @@ std::vector<ParetoPoint>
 paretoFrontier(const Arch& arch, const workload::Layer& layer,
                int num_mappings, std::uint64_t seed)
 {
-    PerActionTable table = precompute(arch, layer);
-    mapping::Mapper mapper(arch.hierarchy, table.extLayer, {.seed = seed});
+    std::shared_ptr<const PerActionTable> table =
+        cachedPrecompute(arch, layer);
+    mapping::Mapper mapper(arch.hierarchy, table->extLayer, {.seed = seed});
 
     std::vector<ParetoPoint> points;
     auto consider = [&](const mapping::Mapping& m) {
-        Evaluation ev = evaluate(arch, table, m);
+        Evaluation ev = evaluate(arch, *table, m);
         if (ev.valid)
             points.push_back({m, std::move(ev)});
     };
     consider(mapper.greedy());
-    for (int i = 0; i < num_mappings; ++i) {
-        std::optional<mapping::Mapping> m = mapper.next();
-        if (!m)
-            break;
-        consider(*m);
+    // Same shard-stream decomposition as searchMappings, so for one seed
+    // the frontier explores exactly the sample set the search ranks.
+    const int shards = std::min(kSearchShards, std::max(num_mappings, 0));
+    for (int shard = 0; shard < shards; ++shard) {
+        int budget = num_mappings / shards +
+                     (shard < num_mappings % shards ? 1 : 0);
+        Rng rng = Rng::forStream(seed, static_cast<std::uint64_t>(shard));
+        int rejected = 0;
+        for (int i = 0; i < budget; ++i) {
+            std::optional<mapping::Mapping> m = mapper.next(rng, rejected);
+            if (!m)
+                break;
+            consider(*m);
+        }
     }
     if (points.empty())
         CIM_FATAL("no valid mapping found for layer '", layer.name,

@@ -14,6 +14,8 @@
 #ifndef CIMLOOP_ENGINE_EVALUATE_HH
 #define CIMLOOP_ENGINE_EVALUATE_HH
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +45,34 @@ struct PerActionTable
 PerActionTable precompute(const Arch& arch, const workload::Layer& layer,
                           const dist::OperandProfile* profile_override
                           = nullptr);
+
+/**
+ * Thread-safe, process-wide cache in front of precompute() (synthesized
+ * PMFs only; profile overrides bypass it). The key fingerprints everything
+ * the table depends on — the serialized hierarchy, representation spec,
+ * operating point, and the layer's identity (network, index, dims, bits) —
+ * so repeated searches over the same (arch, layer), e.g. voltage sweeps
+ * re-evaluating a network or per-layer searches inside evaluateNetwork,
+ * stop re-synthesizing PMFs and re-running plugin estimation. Entries are
+ * immutable and shared; they stay alive while any caller holds the pointer
+ * even across clearPerActionCache().
+ */
+std::shared_ptr<const PerActionTable>
+cachedPrecompute(const Arch& arch, const workload::Layer& layer);
+
+/** Cache counters for benchmarks and tests. */
+struct PerActionCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+};
+
+/** Current cachedPrecompute() counters. */
+PerActionCacheStats perActionCacheStats();
+
+/** Drops all cached per-action tables and resets the counters. */
+void clearPerActionCache();
 
 /** Energy/area/performance results for one mapping of one layer. */
 struct Evaluation
@@ -89,17 +119,29 @@ struct SearchResult
     mapping::Mapping bestMapping;
     Evaluation best;
     int evaluated = 0; //!< valid mappings evaluated
-    int invalid = 0;   //!< samples rejected as invalid
+    int invalid = 0;   //!< samples evaluated but structurally invalid
+    int rejected = 0;  //!< mapper samples that failed validation
+    int exhausted = 0; //!< shards that gave up before spending their budget
 };
 
 /**
  * Searches @p num_mappings random mappings (plus the greedy heuristic)
  * and returns the best under @p objective. Fatal when no valid mapping is
  * found at all.
+ *
+ * The sample budget is split over a fixed set of shards, each drawing
+ * from its own counter-derived RNG stream (Rng::forStream(seed, shard)),
+ * and shard-local bests merge under the total order (objective value,
+ * shard, sample index) with the greedy heuristic ordered before every
+ * shard. Shards run on up to @p threads workers; because the shard
+ * decomposition and the merge order are independent of scheduling, the
+ * returned best mapping, objective value, and sample counters are
+ * bit-identical for any thread count, including 1.
  */
 SearchResult searchMappings(const Arch& arch, const workload::Layer& layer,
                             int num_mappings, std::uint64_t seed = 1,
-                            Objective objective = Objective::Energy);
+                            Objective objective = Objective::Energy,
+                            int threads = 1);
 
 /** Whole-network evaluation: best mapping per layer, then totals. */
 struct NetworkEvaluation
@@ -122,10 +164,15 @@ NetworkEvaluation evaluateNetwork(const Arch& arch,
                                   Objective objective = Objective::Energy);
 
 /**
- * Same as evaluateNetwork but distributes layers over @p threads worker
- * threads (layers are independent searches). Results are identical to
- * the sequential version for the same seed. threads <= 1 falls through
- * to evaluateNetwork.
+ * Same as evaluateNetwork but distributes the work over @p threads worker
+ * threads: layers fan out first (independent searches), and when the
+ * network has fewer distinct layers than threads (e.g. one repeated
+ * transformer block), the leftover threads split each layer's sample
+ * budget via the sharded intra-layer search. Results are bit-identical to
+ * the sequential version for the same seed. threads <= 1 falls through to
+ * evaluateNetwork. A worker that hits an unmappable layer does not
+ * terminate the process: the first exception is captured, all workers are
+ * joined, and it is rethrown (the same FatalError the serial path gives).
  */
 NetworkEvaluation evaluateNetworkParallel(
     const Arch& arch, const workload::Network& network, int threads,

@@ -31,6 +31,12 @@ struct MapperOptions
  * drawn only over dims each node allows (spatial_dims constraint and the
  * hard wire-sharing rule); temporal loops live at storage nodes and the
  * outermost node.
+ *
+ * Thread safety: the const methods (greedy() and the next()/sample()
+ * overloads taking a caller-owned Rng) touch no mapper state, so one
+ * Mapper may be shared by concurrent search shards as long as each shard
+ * draws from its own Rng stream (see Rng::forStream). The argument-less
+ * next() uses the mapper's internal stream and is single-threaded.
  */
 class Mapper
 {
@@ -44,13 +50,20 @@ class Mapper
      * temporally at the outermost storage. Fatal when even this mapping
      * is structurally invalid.
      */
-    Mapping greedy();
+    Mapping greedy() const;
 
     /**
      * Draws the next random valid mapping, or nullopt when maxAttempts
      * samples in a row fail validation.
      */
     std::optional<Mapping> next();
+
+    /**
+     * Thread-safe next(): draws from the caller-owned @p rng instead of
+     * the mapper's internal stream, adding each sample that failed
+     * validation to @p rejected. Does not advance generated().
+     */
+    std::optional<Mapping> next(Rng& rng, int& rejected) const;
 
     /**
      * Enumerates the COMPLETE mapspace — every valid combination of
@@ -75,8 +88,8 @@ class Mapper
     /** Dims that node @p i may map spatially. */
     std::vector<Dim> allowedSpatialDims(int i) const;
 
-    /** One random sample (may be invalid). */
-    Mapping sample();
+    /** One random sample from @p rng (may be invalid). */
+    Mapping sample(Rng& rng) const;
 };
 
 } // namespace cimloop::mapping

@@ -52,6 +52,9 @@ struct LevelMapping
      * > 1 appears exactly once, outermost first.
      */
     std::vector<Dim> effectiveOrder() const;
+
+    /** Exact structural equality (factors and literal order lists). */
+    bool operator==(const LevelMapping&) const = default;
 };
 
 /** A full mapping: one LevelMapping per hierarchy node (same order). */
@@ -109,6 +112,9 @@ struct Mapping
     /** Parses a mapping from YAML text. */
     static Mapping fromText(const spec::Hierarchy& hierarchy,
                             const std::string& text);
+
+    /** Exact structural equality, level by level. */
+    bool operator==(const Mapping&) const = default;
 };
 
 } // namespace cimloop::mapping

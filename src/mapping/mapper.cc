@@ -59,7 +59,7 @@ Mapper::allowedSpatialDims(int i) const
 }
 
 Mapping
-Mapper::greedy()
+Mapper::greedy() const
 {
     Mapping m = Mapping::identity(hierarchy);
     DimSizes remaining = layer.dims;
@@ -135,7 +135,7 @@ Mapper::greedy()
 }
 
 Mapping
-Mapper::sample()
+Mapper::sample(Rng& rng) const
 {
     Mapping m = Mapping::identity(hierarchy);
     DimSizes remaining = layer.dims;
@@ -392,12 +392,21 @@ Mapper::exhaustive(std::size_t limit)
 std::optional<Mapping>
 Mapper::next()
 {
+    int rejected = 0;
+    std::optional<Mapping> m = next(rng, rejected);
+    if (m)
+        ++num_generated;
+    return m;
+}
+
+std::optional<Mapping>
+Mapper::next(Rng& rng, int& rejected) const
+{
     for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
-        Mapping m = sample();
-        if (m.check(hierarchy, layer).empty()) {
-            ++num_generated;
+        Mapping m = sample(rng);
+        if (m.check(hierarchy, layer).empty())
             return m;
-        }
+        ++rejected;
     }
     return std::nullopt;
 }

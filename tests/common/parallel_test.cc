@@ -1,0 +1,71 @@
+/** parallelFor: coverage, serial fallback, and exception capture. */
+#include "cimloop/common/parallel.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    parallelFor(4, n, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialFallbackRunsInOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(1, 5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, HandlesMoreThreadsThanWork)
+{
+    std::atomic<int> count{0};
+    parallelFor(16, 3, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop)
+{
+    parallelFor(4, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, RethrowsWorkerExceptionAfterJoin)
+{
+    // Before evaluateNetworkParallel used this, an exception inside a
+    // worker lambda escaped std::thread and terminated the process.
+    auto boom = [](std::size_t i) {
+        if (i == 3)
+            CIM_FATAL("worker failure on item ", i);
+    };
+    EXPECT_THROW(parallelFor(4, 100, boom), FatalError);
+    EXPECT_THROW(parallelFor(1, 100, boom), FatalError); // serial path too
+}
+
+TEST(ParallelFor, AbandonsRemainingWorkAfterFailure)
+{
+    std::atomic<int> executed{0};
+    try {
+        parallelFor(2, 10000, [&](std::size_t i) {
+            ++executed;
+            if (i == 0)
+                CIM_FATAL("fail fast");
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError&) {
+    }
+    // Not all 10000 items ran: workers saw the failure flag and stopped.
+    EXPECT_LT(executed.load(), 10000);
+}
+
+} // namespace
+} // namespace cimloop

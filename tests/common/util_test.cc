@@ -55,6 +55,47 @@ TEST(Divisors, Exhaustive)
     EXPECT_EQ(divisorsOf(13), (std::vector<std::int64_t>{1, 13}));
 }
 
+TEST(Divisors, MemoizedMatchesDirectComputation)
+{
+    // Trial division from scratch, independent of computeDivisors().
+    auto direct = [](std::int64_t n) {
+        std::vector<std::int64_t> out;
+        for (std::int64_t d = 1; d <= n; ++d) {
+            if (n % d == 0)
+                out.push_back(d);
+        }
+        return out;
+    };
+    // Edge cases: 1, primes, perfect squares, and mixed composites.
+    for (std::int64_t n : {std::int64_t{1}, std::int64_t{2},
+                           std::int64_t{13}, std::int64_t{97},
+                           std::int64_t{4}, std::int64_t{9},
+                           std::int64_t{49}, std::int64_t{144},
+                           std::int64_t{1024}, std::int64_t{1680}}) {
+        EXPECT_EQ(divisorsOf(n), direct(n)) << "first call, n=" << n;
+        EXPECT_EQ(divisorsOf(n), direct(n)) << "cached call, n=" << n;
+        EXPECT_EQ(computeDivisors(n), direct(n)) << "uncached, n=" << n;
+    }
+}
+
+TEST(Divisors, MemoizedReferencesAreStable)
+{
+    const std::vector<std::int64_t>& a = divisorsOf(360);
+    const std::vector<std::int64_t>& b = divisorsOf(360);
+    EXPECT_EQ(&a, &b); // cached: same underlying entry, not a copy
+}
+
+TEST(RngStreams, ForStreamDecorrelatesAndReproduces)
+{
+    Rng a = Rng::forStream(42, 0);
+    Rng a2 = Rng::forStream(42, 0);
+    Rng b = Rng::forStream(42, 1);
+    std::uint64_t va = a.next();
+    EXPECT_EQ(va, a2.next());  // same (seed, stream): same sequence
+    EXPECT_NE(va, b.next());   // sibling stream: different sequence
+    EXPECT_NE(va, Rng(42).next()); // and distinct from the raw seed
+}
+
 class DivisorsProperty : public ::testing::TestWithParam<std::int64_t>
 {};
 

@@ -1,0 +1,218 @@
+/**
+ * Parallel intra-layer mapping search: the shard/merge determinism
+ * contract (identical winner for any thread count), the per-action table
+ * cache, the rejected/exhausted counters, and the threaded network
+ * evaluator's exception path (FatalError instead of std::terminate).
+ */
+#include "cimloop/engine/evaluate.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/spec/builder.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::engine {
+namespace {
+
+using macros::baseMacro;
+using spec::HierarchyBuilder;
+using workload::Dim;
+using workload::matmulLayer;
+using workload::TensorKind;
+
+TEST(ParallelSearch, BestIdenticalAcrossThreadCounts)
+{
+    Arch arch = baseMacro();
+    workload::Layer layer = workload::resnet18().layers[8];
+    SearchResult serial =
+        searchMappings(arch, layer, 300, 11, Objective::Energy, 1);
+    for (int threads : {2, 8}) {
+        SearchResult parallel =
+            searchMappings(arch, layer, 300, 11, Objective::Energy,
+                           threads);
+        EXPECT_TRUE(serial.bestMapping == parallel.bestMapping)
+            << threads << " threads picked a different mapping";
+        EXPECT_DOUBLE_EQ(serial.best.energyPj, parallel.best.energyPj);
+        EXPECT_DOUBLE_EQ(serial.best.latencyNs, parallel.best.latencyNs);
+        // The shard decomposition is scheduling-independent, so even the
+        // sample counters match exactly.
+        EXPECT_EQ(serial.evaluated, parallel.evaluated);
+        EXPECT_EQ(serial.invalid, parallel.invalid);
+        EXPECT_EQ(serial.rejected, parallel.rejected);
+        EXPECT_EQ(serial.exhausted, parallel.exhausted);
+    }
+}
+
+TEST(ParallelSearch, DeterministicAcrossObjectives)
+{
+    Arch arch = baseMacro();
+    workload::Layer layer = workload::resnet18().layers[3];
+    for (Objective obj :
+         {Objective::Energy, Objective::Edp, Objective::Delay}) {
+        SearchResult a = searchMappings(arch, layer, 120, 5, obj, 1);
+        SearchResult b = searchMappings(arch, layer, 120, 5, obj, 4);
+        EXPECT_TRUE(a.bestMapping == b.bestMapping);
+        EXPECT_DOUBLE_EQ(a.best.energyPj, b.best.energyPj);
+    }
+}
+
+TEST(ParallelSearch, BudgetFullySampledWhenNotExhausted)
+{
+    Arch arch = baseMacro();
+    workload::Layer layer = matmulLayer("mvm", 64, 128, 128);
+    layer.network = "mvm";
+    SearchResult sr = searchMappings(arch, layer, 200, 3);
+    if (sr.exhausted == 0) {
+        // Greedy + every budgeted sample was drawn and accounted for.
+        EXPECT_EQ(sr.evaluated + sr.invalid, 201);
+    }
+    EXPECT_GE(sr.rejected, 0);
+    EXPECT_GE(sr.exhausted, 0);
+}
+
+TEST(ParallelSearch, ZeroRandomMappingsReturnsGreedy)
+{
+    Arch arch = baseMacro();
+    workload::Layer layer = matmulLayer("mvm", 16, 64, 64);
+    layer.network = "mvm";
+    SearchResult sr = searchMappings(arch, layer, 0, 1);
+    EXPECT_EQ(sr.evaluated, 1);
+    EXPECT_EQ(sr.exhausted, 0);
+    EXPECT_TRUE(sr.best.valid);
+}
+
+TEST(ParallelNetwork, MatchesSerialBitExactly)
+{
+    Arch arch = baseMacro();
+    workload::Network net = workload::resnet18();
+    net.layers.resize(4); // keep the test quick
+    NetworkEvaluation serial = evaluateNetwork(arch, net, 60, 7);
+    NetworkEvaluation parallel =
+        evaluateNetworkParallel(arch, net, 4, 60, 7);
+    ASSERT_EQ(serial.layers.size(), parallel.layers.size());
+    EXPECT_DOUBLE_EQ(serial.energyPj, parallel.energyPj);
+    EXPECT_DOUBLE_EQ(serial.latencyNs, parallel.latencyNs);
+    EXPECT_DOUBLE_EQ(serial.macs, parallel.macs);
+    for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+        EXPECT_TRUE(serial.layers[i].bestMapping ==
+                    parallel.layers[i].bestMapping)
+            << "layer " << i;
+    }
+}
+
+TEST(ParallelNetwork, MoreThreadsThanLayersSplitsSearch)
+{
+    // 2 layers, 8 threads: the intra-layer shards absorb the leftover
+    // parallelism and the result still matches the serial evaluation.
+    Arch arch = baseMacro();
+    workload::Network net = workload::maxUtilMvm(128, 128, 64);
+    workload::Layer second = net.layers[0];
+    second.name = "mvm2";
+    second.index = 1;
+    net.layers.push_back(second);
+    for (workload::Layer& l : net.layers)
+        l.networkLayers = 2;
+    NetworkEvaluation serial = evaluateNetwork(arch, net, 100, 9);
+    NetworkEvaluation parallel =
+        evaluateNetworkParallel(arch, net, 8, 100, 9);
+    EXPECT_DOUBLE_EQ(serial.energyPj, parallel.energyPj);
+    EXPECT_DOUBLE_EQ(serial.latencyNs, parallel.latencyNs);
+}
+
+/** A hierarchy no layer with a C loop can map onto (greedy is fatal). */
+Arch
+unmappableArch()
+{
+    Arch arch;
+    arch.name = "broken";
+    arch.hierarchy =
+        HierarchyBuilder("broken")
+            .component("dram", "DRAM")
+                .temporalReuse({TensorKind::Input, TensorKind::Weight,
+                                TensorKind::Output})
+                .temporalDims({Dim::P})
+            .component("pe", "DigitalMac")
+                .temporalReuse({TensorKind::Weight})
+                .temporalDims({Dim::P})
+            .build();
+    return arch;
+}
+
+TEST(ParallelNetwork, UnmappableLayerThrowsFatalErrorNotTerminate)
+{
+    Arch arch = unmappableArch();
+    workload::Network net;
+    net.name = "broken-net";
+    for (int i = 0; i < 3; ++i) {
+        workload::Layer l = matmulLayer("mm", 2, 8, 1);
+        l.network = net.name;
+        l.index = i;
+        l.networkLayers = 3;
+        net.layers.push_back(l);
+    }
+    // Before the fix, the FatalError escaped a worker lambda and
+    // std::terminate killed the whole process here.
+    EXPECT_THROW(evaluateNetworkParallel(arch, net, 4, 50, 1),
+                 cimloop::FatalError);
+    // Same failure surface as the serial path.
+    EXPECT_THROW(evaluateNetwork(arch, net, 50, 1), cimloop::FatalError);
+}
+
+TEST(PerActionCache, HitsOnRepeatedSearch)
+{
+    clearPerActionCache();
+    Arch arch = baseMacro();
+    workload::Layer layer = workload::resnet18().layers[5];
+    searchMappings(arch, layer, 20, 1);
+    PerActionCacheStats after_first = perActionCacheStats();
+    EXPECT_EQ(after_first.misses, 1u);
+    EXPECT_EQ(after_first.entries, 1u);
+
+    searchMappings(arch, layer, 20, 2);
+    PerActionCacheStats after_second = perActionCacheStats();
+    EXPECT_EQ(after_second.misses, 1u);
+    EXPECT_GE(after_second.hits, 1u);
+    clearPerActionCache();
+}
+
+TEST(PerActionCache, DistinguishesOperatingPoints)
+{
+    clearPerActionCache();
+    Arch arch = baseMacro();
+    workload::Layer layer = workload::resnet18().layers[5];
+    std::shared_ptr<const PerActionTable> nominal =
+        cachedPrecompute(arch, layer);
+    Arch low_v = arch;
+    low_v.supplyVoltage = 0.71;
+    std::shared_ptr<const PerActionTable> scaled =
+        cachedPrecompute(low_v, layer);
+    EXPECT_NE(nominal.get(), scaled.get());
+    EXPECT_EQ(perActionCacheStats().entries, 2u);
+
+    // Same key returns the same immutable table.
+    EXPECT_EQ(cachedPrecompute(arch, layer).get(), nominal.get());
+    clearPerActionCache();
+}
+
+TEST(PerActionCache, MatchesUncachedPrecompute)
+{
+    clearPerActionCache();
+    Arch arch = baseMacro();
+    workload::Layer layer = workload::resnet18().layers[9];
+    std::shared_ptr<const PerActionTable> cached =
+        cachedPrecompute(arch, layer);
+    PerActionTable direct = precompute(arch, layer);
+    ASSERT_EQ(cached->nodes.size(), direct.nodes.size());
+    mapping::Mapper mapper(arch.hierarchy, direct.extLayer);
+    mapping::Mapping m = mapper.greedy();
+    Evaluation from_cache = evaluate(arch, *cached, m);
+    Evaluation from_direct = evaluate(arch, direct, m);
+    EXPECT_DOUBLE_EQ(from_cache.energyPj, from_direct.energyPj);
+    EXPECT_DOUBLE_EQ(from_cache.latencyNs, from_direct.latencyNs);
+    clearPerActionCache();
+}
+
+} // namespace
+} // namespace cimloop::engine
