@@ -13,7 +13,11 @@
  */
 #include "common.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
@@ -21,17 +25,25 @@
 using namespace cimloop;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Fig. 6",
                       "statistical vs fixed-energy model accuracy against "
                       "a value-level ground truth (ResNet18 layers)");
+
+    int threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::stoi(argv[++i]);
+    }
 
     refsim::RefSimConfig cfg;
     cfg.rows = 128;
     cfg.cols = 128;
     cfg.adcBits = 5;
     cfg.maxVectors = 32;
+    cfg.threads = threads;
 
     workload::Network net = workload::resnet18();
 
@@ -48,11 +60,18 @@ main()
 
     std::vector<refsim::RefSimResult> truth;
     std::vector<dist::OperandProfile> profiles;
+    auto t0 = std::chrono::steady_clock::now();
     for (const workload::Layer& l : layers) {
         dist::OperandProfile prof;
         truth.push_back(refsim::simulateValueLevel(cfg, l, &prof));
         profiles.push_back(prof);
     }
+    auto t1 = std::chrono::steady_clock::now();
+    double truth_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("value-level ground truth: %.0f ms at %d thread%s "
+                "(bit-identical for any --threads)\n\n",
+                truth_ms, threads, threads == 1 ? "" : "s");
     dist::OperandProfile avg = refsim::averageProfiles(profiles);
 
     benchutil::Table table({"layer", "truth pJ", "CiMLoop pJ", "err %",

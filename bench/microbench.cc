@@ -8,8 +8,15 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cimloop/dist/encoding.hh"
+#include "cimloop/dist/pmf.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/macros/macros.hh"
+#include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
 #include "cimloop/yaml/parser.hh"
 
@@ -154,6 +161,107 @@ BM_DivisorsOfUncached(benchmark::State& state)
 }
 BENCHMARK(BM_DivisorsOfUncached);
 
+void
+BM_PmfConvolveLattice(benchmark::State& state)
+{
+    // Integer support on both sides: takes the dense lattice kernel.
+    dist::Pmf a = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127);
+    dist::Pmf b = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.convolveWith(b));
+    }
+}
+BENCHMARK(BM_PmfConvolveLattice);
+
+void
+BM_PmfConvolvePointList(benchmark::State& state)
+{
+    // A fractional shift pushes the support off the integer lattice and
+    // forces the sort-merge fallback; the ratio against
+    // BM_PmfConvolveLattice is the fast path's speedup.
+    dist::Pmf a = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127)
+                      .mapped([](double v) { return v + 0.1; });
+    dist::Pmf b = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127)
+                      .mapped([](double v) { return v + 0.1; });
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.convolveWith(b));
+    }
+}
+BENCHMARK(BM_PmfConvolvePointList);
+
+void
+BM_PmfSliceMixture(benchmark::State& state)
+{
+    // precompute()'s per-layer representation step: the average-slice
+    // mixture of an 8-bit operand tensor sliced to 1-bit planes.
+    dist::Pmf ops = dist::Pmf::quantizedGaussian(0.0, 30.0, -128, 127);
+    dist::EncodedTensor enc =
+        dist::encodeOperands(ops, dist::Encoding::Offset, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dist::sliceMixture(enc, 1));
+    }
+}
+BENCHMARK(BM_PmfSliceMixture);
+
+refsim::RefSimConfig
+refsimBenchConfig()
+{
+    refsim::RefSimConfig cfg;
+    cfg.maxVectors = 8;
+    return cfg;
+}
+
+void
+BM_RefSimValueLevel(benchmark::State& state)
+{
+    refsim::RefSimConfig cfg = refsimBenchConfig();
+    const workload::Layer& layer = benchLayer();
+    std::int64_t vectors = 0;
+    for (auto _ : state) {
+        refsim::RefSimResult r = refsim::simulateValueLevel(cfg, layer);
+        benchmark::DoNotOptimize(r);
+        vectors += cfg.maxVectors;
+    }
+    // Items = sampled vectors: the per-vector cost the refsim pays.
+    state.SetItemsProcessed(vectors);
+}
+BENCHMARK(BM_RefSimValueLevel);
+
+void
+BM_RefSimParallel(benchmark::State& state)
+{
+    // arg = worker threads; results are bit-identical at every count, so
+    // this isolates the parallel speedup (and fan-out overhead at 1).
+    refsim::RefSimConfig cfg = refsimBenchConfig();
+    cfg.maxVectors = 32;
+    cfg.threads = static_cast<int>(state.range(0));
+    const workload::Layer& layer = benchLayer();
+    for (auto _ : state) {
+        refsim::RefSimResult r = refsim::simulateValueLevel(cfg, layer);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RefSimParallel)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // `--json` is shorthand for google-benchmark's JSON reporter; the
+    // snapshot script (scripts/bench_snapshot.sh) relies on it.
+    static char json_flag[] = "--benchmark_format=json";
+    std::vector<char*> args(argv, argv + argc);
+    for (char*& arg : args) {
+        if (std::strcmp(arg, "--json") == 0)
+            arg = json_flag;
+    }
+    int argc2 = static_cast<int>(args.size());
+    benchmark::Initialize(&argc2, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Records a dated microbenchmark snapshot (BENCH_<date>.json) so perf
+# changes to the hot kernels (Pmf convolution, precompute, refsim) are
+# visible in review diffs. Run from anywhere; builds the bench target if
+# needed. Override the build tree with BUILD_DIR (default: build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+FILTER="${FILTER:-Convolve|Precompute|RefSim|SliceMixture|Evaluate}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+if [ ! -x "${BUILD_DIR}/bench/microbench" ]; then
+    cmake -B "${BUILD_DIR}" -S . >/dev/null
+    cmake --build "${BUILD_DIR}" --target microbench -j >/dev/null
+fi
+
+"${BUILD_DIR}/bench/microbench" --json \
+    "--benchmark_filter=${FILTER}" > "${OUT}"
+echo "wrote ${OUT}"

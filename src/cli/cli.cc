@@ -1,11 +1,14 @@
 #include "cimloop/cli/cli.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "cimloop/common/error.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/models/devices.hh"
+#include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
 #include "cimloop/yaml/parser.hh"
 
@@ -55,6 +58,14 @@ output:
 fixed mapping:
   --mapping FILE.yaml  replay a pinned mapping (Timeloop-style) on every
                        layer instead of searching
+
+reference simulation:
+  --refsim             run the value-level reference simulator against
+                       the statistical model per layer (no --macro/--arch
+                       needed; honors --threads, --seed, and bit widths;
+                       results are bit-identical for any --threads)
+  --refsim-vectors N   activation vectors sampled per layer (default 48;
+                       0 simulates every vector)
 )";
 }
 
@@ -141,13 +152,25 @@ parseArgs(const std::vector<std::string>& args)
             opts.mappingPath = value();
         } else if (flag == "--report") {
             opts.report = true;
+        } else if (flag == "--refsim") {
+            opts.refsim = true;
+        } else if (flag == "--refsim-vectors") {
+            opts.refsimVectors = parseInt(flag, value());
         } else {
             CIM_FATAL("unknown flag '", flag, "' (try --help)");
         }
     }
     if (!opts.help) {
-        if (opts.macroName.empty() == opts.archPath.empty())
+        if (opts.refsim) {
+            // The reference simulator models the base macro directly; an
+            // architecture flag is allowed but not required.
+            if (!opts.macroName.empty() && !opts.archPath.empty())
+                CIM_FATAL("specify at most one of --macro or --arch");
+            if (opts.refsimVectors < 0)
+                CIM_FATAL("--refsim-vectors must be >= 0 (0 = all)");
+        } else if (opts.macroName.empty() == opts.archPath.empty()) {
             CIM_FATAL("specify exactly one of --macro or --arch");
+        }
         if (opts.networkName.empty() == opts.workloadPath.empty())
             CIM_FATAL("specify exactly one of --network or --workload");
         if (opts.mappings < 1)
@@ -216,6 +239,62 @@ objectiveFromString(const std::string& s)
     return engine::Objective::Energy;
 }
 
+int
+runRefSim(const CliOptions& opts, std::ostream& out)
+{
+    workload::Network net = buildWorkload(opts);
+
+    refsim::RefSimConfig cfg;
+    cfg.threads = opts.threads;
+    cfg.seed = opts.seed;
+    cfg.maxVectors = opts.refsimVectors;
+    if (opts.inputBits > 0)
+        cfg.inputBits = opts.inputBits;
+    if (opts.weightBits > 0)
+        cfg.weightBits = opts.weightBits;
+    if (opts.dacBits > 0)
+        cfg.dacBits = opts.dacBits;
+    if (opts.cellBits > 0)
+        cfg.cellBits = opts.cellBits;
+    if (opts.technologyNm > 0.0)
+        cfg.technologyNm = opts.technologyNm;
+
+    out << "value-level reference vs statistical model on "
+        << net.name << " (" << net.layers.size() << " layers, "
+        << (cfg.maxVectors == 0 ? std::string("all")
+                                : std::to_string(cfg.maxVectors))
+        << " vectors/layer, " << cfg.threads << " thread"
+        << (cfg.threads == 1 ? "" : "s") << ", seed " << cfg.seed
+        << ")\n\n";
+
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-24s %14s %14s %8s\n",
+                  "layer", "truth (pJ)", "model (pJ)", "err");
+    out << line;
+
+    double err_sum = 0.0;
+    for (const workload::Layer& layer : net.layers) {
+        dist::OperandProfile profile;
+        refsim::RefSimResult truth =
+            refsim::simulateValueLevel(cfg, layer, &profile);
+        refsim::RefSimResult model =
+            refsim::estimateStatistical(cfg, layer, profile);
+        double err =
+            model.totalPj() / std::max(truth.totalPj(), 1e-300) - 1.0;
+        err_sum += std::abs(err);
+        std::snprintf(line, sizeof(line), "%-24s %14.6g %14.6g %+7.2f%%\n",
+                      layer.name.c_str(), truth.totalPj(),
+                      model.totalPj(), err * 100.0);
+        out << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "\nmean |error| : %.2f%% over %zu layers\n",
+                  err_sum / static_cast<double>(net.layers.size()) * 100.0,
+                  net.layers.size());
+    out << line;
+    return 0;
+}
+
 } // namespace
 
 int
@@ -235,6 +314,9 @@ run(const std::vector<std::string>& args, std::ostream& out,
     }
 
     try {
+        if (opts.refsim)
+            return runRefSim(opts, out);
+
         engine::Arch arch = buildArch(opts);
         workload::Network net = buildWorkload(opts);
 

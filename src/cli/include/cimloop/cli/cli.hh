@@ -46,6 +46,15 @@ struct CliOptions
     std::string mappingPath; //!< --mapping <file>: replay a fixed mapping
     bool report = false;     //!< --report: per-node table per layer
     bool help = false;       //!< --help
+
+    /**
+     * --refsim: run the value-level reference simulator against the
+     * statistical model on the base macro instead of searching mappings.
+     * No architecture flag is needed; --threads, --seed, and the bit
+     * width overrides are honored.
+     */
+    bool refsim = false;
+    std::int64_t refsimVectors = 48; //!< --refsim-vectors N (0 = all)
 };
 
 /**

@@ -106,6 +106,25 @@ EncodedTensor::slices(int slice_bits) const
 }
 
 EncodedTensor
+sliceMixture(const EncodedTensor& full, int slice_bits)
+{
+    std::vector<EncodedTensor> slices = full.slices(slice_bits);
+    CIM_ASSERT(!slices.empty(), "slicing produced no slices");
+    EncodedTensor mix = slices.front();
+    if (slices.size() > 1) {
+        std::vector<Pmf> parts;
+        parts.reserve(slices.size());
+        for (EncodedTensor& s : slices)
+            parts.push_back(std::move(s.codes));
+        mix.codes = Pmf::mixture(parts);
+        // Mixture spans the widest slice.
+        for (const EncodedTensor& s : slices)
+            mix.bits = std::max(mix.bits, s.bits);
+    }
+    return mix;
+}
+
+EncodedTensor
 encodeOperands(const Pmf& operands, Encoding e, int operand_bits)
 {
     CIM_ASSERT(operand_bits >= 1 && operand_bits <= 32,

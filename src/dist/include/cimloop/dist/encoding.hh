@@ -87,6 +87,13 @@ EncodedTensor encodeOperands(const Pmf& operands, Encoding e,
                              int operand_bits);
 
 /**
+ * The representation an "average action" sees when a tensor is sliced:
+ * the equal-weight mixture of the per-slice code marginals, computed as
+ * one single-pass merge (Pmf::mixture) over all slices.
+ */
+EncodedTensor sliceMixture(const EncodedTensor& full, int slice_bits);
+
+/**
  * Convenience: the per-plane code average MAC contribution used for
  * validation plots, E[input_level * weight_level] under independence.
  */

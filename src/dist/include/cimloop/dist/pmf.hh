@@ -37,7 +37,13 @@ class Pmf
     /** Uniform over the integers lo..hi inclusive. */
     static Pmf uniformInt(std::int64_t lo, std::int64_t hi);
 
-    /** Builds from (value, weight) pairs; merges duplicates, normalizes. */
+    /**
+     * Builds from (value, weight) pairs; merges duplicates, normalizes.
+     * When every value lies on the integer lattice (the common case —
+     * all encodings are quantized), duplicates merge through a dense
+     * probability array indexed by lattice offset instead of a
+     * sort-and-merge pass.
+     */
     static Pmf fromPoints(std::vector<Point> pts);
 
     /** Empirical PMF of a sample vector. */
@@ -90,14 +96,24 @@ class Pmf
     Pmf mapped(const std::function<double(double)>& f) const;
 
     /**
-     * PMF of X + Y for independent X, Y (discrete convolution). Support is
-     * capped at @p max_points by greedy merging of nearest points, keeping
-     * the model fast for deep accumulations.
+     * PMF of X + Y for independent X, Y (discrete convolution). When both
+     * supports lie on the integer lattice, the product runs as contiguous
+     * multiply-adds over a flat probability array (no sort/merge); other
+     * supports fall back to the point-pair expansion. Support is capped
+     * at @p max_points by merging nearest neighbors by value gap,
+     * probability-weighted so the mean is preserved exactly.
      */
     Pmf convolveWith(const Pmf& other, std::size_t max_points = 4096) const;
 
     /** Mixture: this with weight w, other with weight (1-w). */
     Pmf mixedWith(const Pmf& other, double w) const;
+
+    /**
+     * Equal-weight mixture of @p parts in a single pass (one merge over
+     * all components' points), replacing chains of incremental
+     * mixedWith() calls; fatal when @p parts is empty.
+     */
+    static Pmf mixture(const std::vector<Pmf>& parts);
 
     /** Rescales probabilities to sum to 1; fatal when total is 0. */
     void normalize();
@@ -109,6 +125,7 @@ class Pmf
     std::vector<Point> points_;
 
     void sortMerge();
+    void downsample(std::size_t max_points);
 };
 
 } // namespace cimloop::dist

@@ -16,6 +16,45 @@ normCdf(double x)
     return 0.5 * std::erfc(-x / std::sqrt(2.0));
 }
 
+/** Hard cap on the dense-array span of the lattice fast path. */
+constexpr std::int64_t kMaxLatticeSpan = std::int64_t{1} << 22;
+
+/**
+ * True when every value is an exact integer within a dense-array span,
+ * i.e. the support lies on the integer lattice and flat probability
+ * arrays indexed by lattice offset are affordable. Sets [lo, hi] to the
+ * integer bounds. Works on unsorted points.
+ */
+bool
+latticeBounds(const std::vector<Pmf::Point>& pts, std::int64_t& lo,
+              std::int64_t& hi)
+{
+    if (pts.empty())
+        return false;
+    double min_v = pts.front().value;
+    double max_v = pts.front().value;
+    for (const Pmf::Point& pt : pts) {
+        double v = pt.value;
+        if (!(std::abs(v) <= 0x1p53) || v != std::floor(v))
+            return false;
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+    }
+    lo = static_cast<std::int64_t>(min_v);
+    hi = static_cast<std::int64_t>(max_v);
+    return hi - lo < kMaxLatticeSpan;
+}
+
+/** Density guard: a dense array is only worth it when the span is not
+ *  wildly larger than the point count. */
+bool
+denseEnough(std::int64_t lo, std::int64_t hi, std::size_t n_points)
+{
+    return hi - lo + 1 <=
+           std::max<std::int64_t>(64,
+                                  8 * static_cast<std::int64_t>(n_points));
+}
+
 } // namespace
 
 Pmf
@@ -42,8 +81,24 @@ Pmf
 Pmf::fromPoints(std::vector<Point> pts)
 {
     Pmf p;
-    p.points_ = std::move(pts);
-    p.sortMerge();
+    std::int64_t lo = 0, hi = 0;
+    if (latticeBounds(pts, lo, hi) && denseEnough(lo, hi, pts.size())) {
+        // Integer-lattice fast path: merge duplicates through a dense
+        // probability array (no sort; output is sorted by construction).
+        std::vector<double> acc(hi - lo + 1, 0.0);
+        for (const Point& pt : pts)
+            acc[static_cast<std::int64_t>(pt.value) - lo] += pt.prob;
+        p.points_.reserve(pts.size());
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+            if (acc[i] != 0.0)
+                p.points_.push_back(
+                    {static_cast<double>(lo + static_cast<std::int64_t>(i)),
+                     acc[i]});
+        }
+    } else {
+        p.points_ = std::move(pts);
+        p.sortMerge();
+    }
     p.normalize();
     return p;
 }
@@ -145,11 +200,11 @@ Pmf::expectation(const std::function<double(double)>& f) const
 double
 Pmf::probOf(double v) const
 {
-    for (const Point& pt : points_) {
-        if (pt.value == v)
-            return pt.prob;
-    }
-    return 0.0;
+    auto it = std::lower_bound(points_.begin(), points_.end(), v,
+                               [](const Point& pt, double x) {
+                                   return pt.value < x;
+                               });
+    return (it != points_.end() && it->value == v) ? it->prob : 0.0;
 }
 
 double
@@ -181,33 +236,103 @@ Pmf::convolveWith(const Pmf& other, std::size_t max_points) const
 {
     CIM_ASSERT(!points_.empty() && !other.points_.empty(),
                "convolveWith on empty PMF");
-    std::vector<Point> pts;
-    pts.reserve(points_.size() * other.points_.size());
-    for (const Point& a : points_) {
-        for (const Point& b : other.points_) {
-            pts.push_back({a.value + b.value, a.prob * b.prob});
+#ifndef NDEBUG
+    const double exact_mean = mean() + other.mean();
+#endif
+    Pmf out;
+    std::int64_t alo = 0, ahi = 0, blo = 0, bhi = 0;
+    if (latticeBounds(points_, alo, ahi) &&
+        latticeBounds(other.points_, blo, bhi) &&
+        (ahi - alo) + (bhi - blo) < kMaxLatticeSpan &&
+        denseEnough(blo, bhi, other.points_.size())) {
+        // Dense integer-lattice kernel: densify the second operand, then
+        // each point of the first contributes one contiguous axpy over
+        // the flat array — no point-pair list, no sort/merge.
+        const std::size_t bspan = static_cast<std::size_t>(bhi - blo) + 1;
+        const std::size_t span =
+            static_cast<std::size_t>((ahi - alo) + (bhi - blo)) + 1;
+        std::vector<double> pb(bspan, 0.0);
+        for (const Point& b : other.points_)
+            pb[static_cast<std::int64_t>(b.value) - blo] += b.prob;
+        std::vector<double> acc(span, 0.0);
+        for (const Point& a : points_) {
+            const double pa = a.prob;
+            double* dst =
+                acc.data() + (static_cast<std::int64_t>(a.value) - alo);
+            for (std::size_t j = 0; j < bspan; ++j)
+                dst[j] += pa * pb[j];
         }
-    }
-    Pmf out = fromPoints(std::move(pts));
-    // Cap the support by merging adjacent points (probability-weighted) so
-    // repeated accumulations stay bounded.
-    while (out.points_.size() > max_points) {
-        std::vector<Point> merged;
-        merged.reserve(out.points_.size() / 2 + 1);
-        for (std::size_t i = 0; i + 1 < out.points_.size(); i += 2) {
-            const Point& a = out.points_[i];
-            const Point& b = out.points_[i + 1];
-            double p = a.prob + b.prob;
-            double v = p > 0.0
-                ? (a.value * a.prob + b.value * b.prob) / p
-                : 0.5 * (a.value + b.value);
-            merged.push_back({v, p});
+        const std::int64_t lo = alo + blo;
+        out.points_.reserve(std::min(span, max_points * 2));
+        for (std::size_t i = 0; i < span; ++i) {
+            if (acc[i] != 0.0)
+                out.points_.push_back(
+                    {static_cast<double>(lo + static_cast<std::int64_t>(i)),
+                     acc[i]});
         }
-        if (out.points_.size() % 2 == 1)
-            merged.push_back(out.points_.back());
-        out.points_ = std::move(merged);
+        out.normalize();
+    } else {
+        std::vector<Point> pts;
+        pts.reserve(points_.size() * other.points_.size());
+        for (const Point& a : points_) {
+            for (const Point& b : other.points_) {
+                pts.push_back({a.value + b.value, a.prob * b.prob});
+            }
+        }
+        out = fromPoints(std::move(pts));
     }
+    out.downsample(max_points);
+#ifndef NDEBUG
+    // Debug-build invariant: downsampling merges are probability-weighted,
+    // so the mean of the capped result equals the exact convolution mean.
+    CIM_ASSERT(std::abs(out.mean() - exact_mean) <=
+                   1e-9 * (1.0 + std::abs(exact_mean)),
+               "convolveWith downsampling shifted the mean");
+#endif
     return out;
+}
+
+void
+Pmf::downsample(std::size_t max_points)
+{
+    CIM_ASSERT(max_points >= 1, "downsample needs max_points >= 1");
+    // Cap the support by merging nearest neighbors by value gap: each
+    // round merges the non-overlapping adjacent pairs whose gap is at or
+    // below the median gap, so tight clusters collapse before isolated
+    // tail points are touched. Merges are probability-weighted, which
+    // preserves the mean exactly.
+    while (points_.size() > max_points) {
+        const std::size_t n = points_.size();
+        std::vector<double> gaps(n - 1);
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            gaps[i] = points_[i + 1].value - points_[i].value;
+        std::vector<double> order = gaps;
+        auto mid = order.begin() +
+                   static_cast<std::ptrdiff_t>(order.size() / 2);
+        std::nth_element(order.begin(), mid, order.end());
+        const double threshold = *mid;
+
+        std::vector<Point> merged;
+        merged.reserve(n / 2 + 1);
+        std::size_t i = 0;
+        while (i < n) {
+            if (i + 1 < n && gaps[i] <= threshold) {
+                const Point& a = points_[i];
+                const Point& b = points_[i + 1];
+                double p = a.prob + b.prob;
+                double v = p > 0.0
+                    ? (a.value * a.prob + b.value * b.prob) / p
+                    : 0.5 * (a.value + b.value);
+                merged.push_back({v, p});
+                i += 2;
+            } else {
+                merged.push_back(points_[i]);
+                ++i;
+            }
+        }
+        CIM_ASSERT(merged.size() < n, "downsample made no progress");
+        points_ = std::move(merged);
+    }
 }
 
 Pmf
@@ -220,6 +345,23 @@ Pmf::mixedWith(const Pmf& other, double w) const
         pts.push_back({pt.value, pt.prob * w});
     for (const Point& pt : other.points_)
         pts.push_back({pt.value, pt.prob * (1.0 - w)});
+    return fromPoints(std::move(pts));
+}
+
+Pmf
+Pmf::mixture(const std::vector<Pmf>& parts)
+{
+    CIM_ASSERT(!parts.empty(), "mixture needs at least one component");
+    std::size_t total = 0;
+    for (const Pmf& part : parts)
+        total += part.points_.size();
+    std::vector<Point> pts;
+    pts.reserve(total);
+    const double w = 1.0 / static_cast<double>(parts.size());
+    for (const Pmf& part : parts) {
+        for (const Point& pt : part.points_)
+            pts.push_back({pt.value, pt.prob * w});
+    }
     return fromPoints(std::move(pts));
 }
 

@@ -28,31 +28,6 @@ constexpr int kI = tensorIndex(TensorKind::Input);
 constexpr int kW = tensorIndex(TensorKind::Weight);
 constexpr int kO = tensorIndex(TensorKind::Output);
 
-/**
- * The representation an "average action" sees when a tensor is sliced:
- * the equal-weight mixture of the per-slice code marginals.
- */
-EncodedTensor
-sliceMixture(const EncodedTensor& full, int slice_bits)
-{
-    std::vector<EncodedTensor> slices = full.slices(slice_bits);
-    CIM_ASSERT(!slices.empty(), "slicing produced no slices");
-    EncodedTensor mix = slices.front();
-    if (slices.size() > 1) {
-        dist::Pmf codes = slices[0].codes;
-        for (std::size_t i = 1; i < slices.size(); ++i) {
-            double keep = static_cast<double>(i) /
-                          static_cast<double>(i + 1);
-            codes = codes.mixedWith(slices[i].codes, keep);
-        }
-        mix.codes = std::move(codes);
-        // Mixture spans the widest slice.
-        for (const EncodedTensor& s : slices)
-            mix.bits = std::max(mix.bits, s.bits);
-    }
-    return mix;
-}
-
 } // namespace
 
 PerActionTable
@@ -84,8 +59,8 @@ precompute(const Arch& arch, const workload::Layer& layer,
         table.profile.outputs, dist::Encoding::TwosComplement,
         arch.rep.outputBits);
 
-    EncodedTensor in_sliced = sliceMixture(in_full, arch.rep.dacBits);
-    EncodedTensor wt_sliced = sliceMixture(wt_full, arch.rep.cellBits);
+    EncodedTensor in_sliced = dist::sliceMixture(in_full, arch.rep.dacBits);
+    EncodedTensor wt_sliced = dist::sliceMixture(wt_full, arch.rep.cellBits);
 
     models::PluginRegistry& registry = models::PluginRegistry::instance();
     table.nodes.reserve(arch.hierarchy.nodes.size());

@@ -70,6 +70,14 @@ struct RefSimConfig
     /** Activation vectors simulated per layer (the rest is scaled up);
      *  0 simulates every vector. */
     std::int64_t maxVectors = 48;
+
+    /**
+     * Worker threads for the per-vector simulation loop. Every sampled
+     * vector draws from its own counter-derived RNG stream and the
+     * reduction runs in a fixed order, so results are bit-identical for
+     * any value here.
+     */
+    int threads = 1;
 };
 
 /** Energy totals (pJ, whole layer) with a per-component breakdown. */

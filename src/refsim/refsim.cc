@@ -1,9 +1,11 @@
 #include "cimloop/refsim/refsim.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "cimloop/common/error.hh"
+#include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/models/tech.hh"
@@ -48,18 +50,25 @@ struct Physics
     // Buffer word access (CACTI-lite at 8K x 64b).
     static constexpr double kBufferWordPj = 8.9;
 
+    // Hoisted per-call invariants (pow() would otherwise run on every
+    // DAC/ADC convert of the value-level loop).
+    double dacLevels;
+    double adcConvertPj;
+
     explicit Physics(const RefSimConfig& c)
         : e65(models::energyScale(65.0, c.technologyNm)),
           dacBits(c.dacBits), adcBits(c.adcBits),
-          valueAwareAdc(c.valueAwareAdc)
+          valueAwareAdc(c.valueAwareAdc),
+          dacLevels(std::pow(2.0, c.dacBits) - 1.0),
+          adcConvertPj(kAdcFomFj * std::pow(2.0, c.adcBits) / 1000.0 *
+                       models::energyScale(65.0, c.technologyNm))
     {}
 
     /** DAC convert of a normalized slice level in [0, 1]. */
     double
     dacPj(double x_norm) const
     {
-        double levels = std::pow(2.0, dacBits) - 1.0;
-        return (kDacUnitFj * x_norm * levels +
+        return (kDacUnitFj * x_norm * dacLevels +
                 kDacBaseFjPerBit * dacBits) / 1000.0 * e65;
     }
 
@@ -76,7 +85,7 @@ struct Physics
     double
     adcPj(double sum_norm) const
     {
-        double e = kAdcFomFj * std::pow(2.0, adcBits) / 1000.0 * e65;
+        double e = adcConvertPj;
         if (valueAwareAdc) {
             // Value-aware SAR: resolved-bit count grows ~sqrt-like with
             // the code, so the energy transfer is concave — which is why
@@ -215,12 +224,209 @@ struct ActionCounts
 
 } // namespace
 
+namespace {
+
+/**
+ * One sampled activation vector's contribution. Energies are summed
+ * per-vector and reduced in ascending vector order afterwards, and the
+ * input histogram is kept as integer counts (whose merge is exact), so
+ * the full result is bit-identical for any thread count.
+ */
+struct VectorPartial
+{
+    double dacPj = 0.0;
+    double cellPj = 0.0;
+    double adcPj = 0.0;
+    double digitalPj = 0.0;
+    std::int64_t values = 0;
+    std::vector<std::int64_t> inCounts; //!< histogram over input codes
+    std::vector<Pmf::Point> outPts;     //!< recorded output samples
+};
+
+/** Simulates vector @p v of the layer into @p part. The per-vector RNG
+ *  stream makes the draw independent of which thread runs it. */
+void
+simulateVector(const RefSimConfig& config, const Physics& phys,
+               const LayerShape& shape, const GenParams& gen,
+               const std::vector<double>& weights,
+               const std::vector<double>& g_norm,
+               const std::vector<double>& bit_weight,
+               std::uint64_t layer_seed, std::int64_t v, bool record,
+               VectorPartial& part)
+{
+    const std::int64_t in_half = std::int64_t{1} << (config.inputBits - 1);
+    const std::int64_t wt_half = std::int64_t{1} << (config.weightBits - 1);
+    Rng rng = Rng::forStream(layer_seed, static_cast<std::uint64_t>(v));
+
+    // Per-worker scratch: reused across every vector a thread simulates.
+    thread_local std::vector<double> x;
+    thread_local std::vector<double> xn;
+    thread_local std::vector<double> xn2;
+    thread_local std::vector<double> sum_x2;
+    x.resize(shape.c_total);
+    xn.resize(shape.ib * shape.c_total);
+    xn2.resize(shape.ib * shape.c_total);
+    sum_x2.resize(shape.ib);
+
+    // Correlated activations: a shared per-vector contrast factor.
+    double contrast = std::exp(config.contrastStd * rng.gaussian());
+    for (std::int64_t c = 0; c < shape.c_total; ++c) {
+        double val;
+        if (gen.signedInputs) {
+            val = contrast * gen.inSigma *
+                  static_cast<double>(in_half) * rng.gaussian();
+        } else {
+            if (rng.uniform() < gen.zeroProb) {
+                val = 0.0;
+            } else {
+                val = std::abs(contrast * gen.inSigma *
+                               static_cast<double>(in_half) *
+                               rng.gaussian());
+            }
+        }
+        val = std::max(std::min(val, static_cast<double>(in_half - 1)),
+                       gen.signedInputs
+                           ? static_cast<double>(-in_half)
+                           : 0.0);
+        x[c] = std::round(val);
+    }
+    if (record) {
+        part.inCounts.assign(
+            static_cast<std::size_t>(std::int64_t{1} << config.inputBits),
+            0);
+        for (std::int64_t c = 0; c < shape.c_total; ++c)
+            ++part.inCounts[static_cast<std::size_t>(
+                static_cast<std::int64_t>(x[c]) + in_half)];
+    }
+
+    // Slice levels for every input-bit slice of this vector.
+    for (std::int64_t c = 0; c < shape.c_total; ++c) {
+        std::int64_t code = offsetCode(x[c], config.inputBits);
+        for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
+            double level = sliceNorm(code, static_cast<int>(ib),
+                                     config.dacBits, config.inputBits);
+            xn[ib * shape.c_total + c] = level;
+            xn2[ib * shape.c_total + c] = level * level;
+        }
+    }
+
+    // 1-bit DAC slices drive exact 0.0 / 1.0 levels, so xn2 == xn
+    // element-for-element and the energy dot product equals the signal
+    // dot product (same doubles, same order): skip the second dot.
+    const bool unit_levels = config.dacBits == 1;
+    const double v2 = Physics::kVRead * Physics::kVRead;
+    for (std::int64_t ct = 0; ct < shape.tiles_c; ++ct) {
+        std::int64_t c0 = ct * config.rows;
+        std::int64_t c1 = std::min(c0 + config.rows, shape.c_total);
+        auto rows_used = static_cast<double>(c1 - c0);
+
+        // DAC converts: one per row per input-bit cycle, re-driven for
+        // every k-tile — the per-tile sum is identical each time, so
+        // compute it once and charge it tiles_k times.
+        double dac_tile = 0.0;
+        for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
+            const double* xs = &xn[ib * shape.c_total];
+            for (std::int64_t c = c0; c < c1; ++c)
+                dac_tile += phys.dacPj(xs[c]);
+        }
+        part.dacPj += static_cast<double>(shape.tiles_k) * dac_tile;
+
+        // Per-slice x^2 row sums over this tile: independent of (k, wb),
+        // so hoist them out of the column loops.
+        for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
+            const double* xs2 = &xn2[ib * shape.c_total];
+            double s = 0.0;
+            for (std::int64_t c = c0; c < c1; ++c)
+                s += xs2[c];
+            sum_x2[ib] = s;
+        }
+
+        for (std::int64_t k = 0; k < shape.k_total; ++k) {
+            for (std::int64_t wb = 0; wb < shape.wb; ++wb) {
+                // Slice-major conductance row: contiguous in c, so the
+                // dot products below vectorize.
+                const double* g =
+                    &g_norm[(k * shape.wb + wb) * shape.c_total];
+                double acc_s = 0.0; // accumulated across cycles
+                for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
+                    const double* xs = &xn[ib * shape.c_total];
+                    const double* xs2 = &xn2[ib * shape.c_total];
+                    double dot_s = 0.0; // sum x*g (ADC input)
+                    double dot_e = 0.0; // sum x^2*g (cells)
+                    if (unit_levels) {
+                        for (std::int64_t c = c0; c < c1; ++c)
+                            dot_s += xs[c] * g[c];
+                        dot_e = dot_s;
+                    } else {
+                        for (std::int64_t c = c0; c < c1; ++c) {
+                            dot_s += xs[c] * g[c];
+                            dot_e += xs2[c] * g[c];
+                        }
+                    }
+                    // Cell energy, exact over the tile.
+                    part.cellPj +=
+                        (Physics::kGOffUs * sum_x2[ib] +
+                         (Physics::kGOnUs - Physics::kGOffUs) * dot_e) *
+                        v2 * Physics::kTReadNs / 1000.0;
+                    part.values += static_cast<std::int64_t>(rows_used);
+                    if (config.accumulateAcrossInputBits) {
+                        // Integrate on the analog accumulator
+                        // (binary-weighted across cycles).
+                        acc_s += dot_s * bit_weight[ib];
+                    } else {
+                        part.adcPj += phys.adcPj(dot_s / rows_used);
+                        part.digitalPj += phys.shiftAddPj();
+                        ++part.values;
+                    }
+                }
+                if (config.accumulateAcrossInputBits) {
+                    double norm = acc_s / (2.0 * rows_used);
+                    part.adcPj += phys.adcPj(norm);
+                    part.digitalPj += phys.shiftAddPj();
+                    ++part.values;
+                }
+            }
+        }
+    }
+
+    // Output values for the recorded profile.
+    if (record && v < 8) {
+        for (std::int64_t k = 0;
+             k < std::min<std::int64_t>(shape.k_total, 64); ++k) {
+            double dot = 0.0;
+            for (std::int64_t c = 0; c < shape.c_total; ++c)
+                dot += x[c] * weights[k * shape.c_total + c];
+            double norm = dot / (static_cast<double>(shape.c_total) *
+                                 static_cast<double>(wt_half));
+            part.outPts.push_back(
+                {std::round(std::max(
+                     std::min(norm * static_cast<double>(in_half),
+                              static_cast<double>(in_half - 1)),
+                     static_cast<double>(-in_half))),
+                 1.0});
+        }
+    }
+}
+
+} // namespace
+
 RefSimResult
 simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                    dist::OperandProfile* out_profile)
 {
     CIM_ASSERT(config.rows >= 1 && config.cols >= 1,
                "refsim needs a non-empty array");
+    if (config.maxVectors < 0) {
+        CIM_FATAL("refsim maxVectors must be >= 0 (0 simulates every "
+                  "vector), got ", config.maxVectors);
+    }
+    if (config.seed == 0) {
+        CIM_FATAL("refsim seed must be nonzero (seed 0 would silently "
+                  "alias the generator's internal fallback state)");
+    }
+    if (config.threads < 1) {
+        CIM_FATAL("refsim threads must be >= 1, got ", config.threads);
+    }
     Physics phys(config);
     LayerShape shape(config, layer);
     GenParams gen(layer.network.empty() ? layer.name : layer.network,
@@ -232,16 +438,16 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                   ") is too large for value-level simulation");
     }
 
-    Rng rng(config.seed ^ dist::stableHash(layer.name) ^
-            (0x9E3779B97F4A7C15ull *
-             static_cast<std::uint64_t>(layer.index + 1)));
+    const std::uint64_t layer_seed =
+        config.seed ^ dist::stableHash(layer.name) ^
+        (0x9E3779B97F4A7C15ull *
+         static_cast<std::uint64_t>(layer.index + 1));
+    Rng rng(layer_seed);
 
-    const std::int64_t in_half = std::int64_t{1} << (config.inputBits - 1);
     const std::int64_t wt_half = std::int64_t{1} << (config.weightBits - 1);
 
     // --- Sample the (correlated) weight matrix once: per-filter scale. ---
     std::vector<double> weights(shape.c_total * shape.k_total);
-    std::vector<Pmf::Point> wt_hist;
     for (std::int64_t k = 0; k < shape.k_total; ++k) {
         double filter_scale = std::exp(0.3 * rng.gaussian());
         for (std::int64_t c = 0; c < shape.c_total; ++c) {
@@ -253,16 +459,25 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
         }
     }
 
-    // Precompute per-(k, c, wb) cell conductance levels.
+    // Precompute per-(k, wb, c) cell conductance levels, slice-major so
+    // the kernel's c loop runs over contiguous memory.
     std::vector<double> g_norm(weights.size() * shape.wb);
-    for (std::size_t i = 0; i < weights.size(); ++i) {
-        std::int64_t code = offsetCode(weights[i], config.weightBits);
-        for (std::int64_t wb = 0; wb < shape.wb; ++wb) {
-            g_norm[i * shape.wb + wb] = sliceNorm(
-                code, static_cast<int>(wb), config.cellBits,
-                config.weightBits);
+    for (std::int64_t k = 0; k < shape.k_total; ++k) {
+        for (std::int64_t c = 0; c < shape.c_total; ++c) {
+            std::int64_t code = offsetCode(weights[k * shape.c_total + c],
+                                           config.weightBits);
+            for (std::int64_t wb = 0; wb < shape.wb; ++wb) {
+                g_norm[(k * shape.wb + wb) * shape.c_total + c] =
+                    sliceNorm(code, static_cast<int>(wb), config.cellBits,
+                              config.weightBits);
+            }
         }
     }
+
+    // Binary cycle weights for the Macro-C analog accumulator.
+    std::vector<double> bit_weight(shape.ib);
+    for (std::int64_t ib = 0; ib < shape.ib; ++ib)
+        bit_weight[ib] = std::pow(2.0, -(shape.ib - 1 - ib));
 
     std::int64_t sim_vectors = shape.vectors;
     if (config.maxVectors > 0)
@@ -270,143 +485,41 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
     double scale = static_cast<double>(shape.vectors) /
                    static_cast<double>(sim_vectors);
 
+    // Fan the sampled vectors over workers; each vector draws from its
+    // own counter-derived stream (Rng::forStream(layer_seed, v)), so the
+    // sampled values do not depend on thread scheduling.
+    const bool record = out_profile != nullptr;
+    std::vector<VectorPartial> partials(sim_vectors);
+    parallelFor(config.threads, static_cast<std::size_t>(sim_vectors),
+                [&](std::size_t v) {
+                    simulateVector(config, phys, shape, gen, weights,
+                                   g_norm, bit_weight, layer_seed,
+                                   static_cast<std::int64_t>(v), record,
+                                   partials[v]);
+                });
+
+    // Deterministic ordered reduction: ascending vector order, so energy
+    // sums (and histogram concatenation) are bit-identical for any
+    // thread count.
     RefSimResult res;
-    std::vector<Pmf::Point> in_hist;
+    std::vector<std::int64_t> in_counts(
+        record ? static_cast<std::size_t>(std::int64_t{1}
+                                          << config.inputBits)
+               : 0,
+        0);
     std::vector<Pmf::Point> out_hist;
-
-    std::vector<double> x(shape.c_total);
-    // Per-slice levels for every (input-bit slice, element).
-    std::vector<double> xn(shape.ib * shape.c_total);
-    std::vector<double> xn2(shape.ib * shape.c_total);
-
     for (std::int64_t v = 0; v < sim_vectors; ++v) {
-        // Correlated activations: a shared per-vector contrast factor.
-        double contrast = std::exp(config.contrastStd * rng.gaussian());
-        for (std::int64_t c = 0; c < shape.c_total; ++c) {
-            double val;
-            if (gen.signedInputs) {
-                val = contrast * gen.inSigma *
-                      static_cast<double>(in_half) * rng.gaussian();
-            } else {
-                if (rng.uniform() < gen.zeroProb) {
-                    val = 0.0;
-                } else {
-                    val = std::abs(contrast * gen.inSigma *
-                                   static_cast<double>(in_half) *
-                                   rng.gaussian());
-                }
-            }
-            val = std::max(std::min(val,
-                                    static_cast<double>(in_half - 1)),
-                           gen.signedInputs
-                               ? static_cast<double>(-in_half)
-                               : 0.0);
-            x[c] = std::round(val);
-            in_hist.push_back({x[c], 1.0});
-        }
-
-        // Slice levels for every input-bit slice of this vector.
-        for (std::int64_t c = 0; c < shape.c_total; ++c) {
-            std::int64_t code = offsetCode(x[c], config.inputBits);
-            for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
-                double level = sliceNorm(code, static_cast<int>(ib),
-                                         config.dacBits, config.inputBits);
-                xn[ib * shape.c_total + c] = level;
-                xn2[ib * shape.c_total + c] = level * level;
-            }
-        }
-
-        for (std::int64_t kt = 0; kt < shape.tiles_k; ++kt) {
-            std::int64_t k0 = kt * shape.kcols;
-            std::int64_t k1 = std::min(k0 + shape.kcols, shape.k_total);
-
-            for (std::int64_t ct = 0; ct < shape.tiles_c; ++ct) {
-                std::int64_t c0 = ct * config.rows;
-                std::int64_t c1 =
-                    std::min(c0 + config.rows, shape.c_total);
-                auto rows_used = static_cast<double>(c1 - c0);
-
-                // DAC converts: one per row per input-bit cycle,
-                // re-driven for every k-tile.
-                for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
-                    const double* xs = &xn[ib * shape.c_total];
-                    for (std::int64_t c = c0; c < c1; ++c)
-                        res.dacPj += phys.dacPj(xs[c]);
-                }
-
-                for (std::int64_t k = k0; k < k1; ++k) {
-                    const double* g =
-                        &g_norm[(k * shape.c_total + c0) * shape.wb];
-                    for (std::int64_t wb = 0; wb < shape.wb; ++wb) {
-                        const double* gcol = g + wb;
-                        double acc_s = 0.0; // accumulated across cycles
-                        for (std::int64_t ib = 0; ib < shape.ib; ++ib) {
-                            const double* xs =
-                                &xn[ib * shape.c_total];
-                            const double* xs2 =
-                                &xn2[ib * shape.c_total];
-                            double dot_s = 0.0; // sum x*g (ADC input)
-                            double dot_e = 0.0; // sum x^2*g (cells)
-                            double sum_x2 = 0.0;
-                            for (std::int64_t c = c0; c < c1; ++c) {
-                                double gl = gcol[(c - c0) * shape.wb];
-                                dot_s += xs[c] * gl;
-                                dot_e += xs2[c] * gl;
-                                sum_x2 += xs2[c];
-                            }
-                            // Cell energy, exact over the tile.
-                            double v2 =
-                                Physics::kVRead * Physics::kVRead;
-                            res.cellPj +=
-                                (Physics::kGOffUs * sum_x2 +
-                                 (Physics::kGOnUs - Physics::kGOffUs) *
-                                     dot_e) *
-                                v2 * Physics::kTReadNs / 1000.0;
-                            res.valuesSimulated +=
-                                static_cast<std::int64_t>(rows_used);
-                            if (config.accumulateAcrossInputBits) {
-                                // Integrate on the analog accumulator
-                                // (binary-weighted across cycles).
-                                acc_s += dot_s *
-                                         std::pow(2.0, -(shape.ib - 1 -
-                                                         ib));
-                            } else {
-                                res.adcPj +=
-                                    phys.adcPj(dot_s / rows_used);
-                                res.digitalPj += phys.shiftAddPj();
-                                ++res.valuesSimulated;
-                            }
-                        }
-                        if (config.accumulateAcrossInputBits) {
-                            double norm = acc_s /
-                                          (2.0 * rows_used);
-                            res.adcPj += phys.adcPj(norm);
-                            res.digitalPj += phys.shiftAddPj();
-                            ++res.valuesSimulated;
-                        }
-                    }
-                }
-            }
-        }
-
-        // Output values for the recorded profile.
-        if (out_profile && v < 8) {
-            for (std::int64_t k = 0; k < std::min<std::int64_t>(
-                                             shape.k_total, 64);
-                 ++k) {
-                double dot = 0.0;
-                for (std::int64_t c = 0; c < shape.c_total; ++c)
-                    dot += x[c] * weights[k * shape.c_total + c];
-                double norm =
-                    dot / (static_cast<double>(shape.c_total) *
-                           static_cast<double>(wt_half));
-                out_hist.push_back(
-                    {std::round(std::max(
-                         std::min(norm * static_cast<double>(in_half),
-                                  static_cast<double>(in_half - 1)),
-                         static_cast<double>(-in_half))),
-                     1.0});
-            }
+        const VectorPartial& part = partials[v];
+        res.dacPj += part.dacPj;
+        res.cellPj += part.cellPj;
+        res.adcPj += part.adcPj;
+        res.digitalPj += part.digitalPj;
+        res.valuesSimulated += part.values;
+        if (record) {
+            for (std::size_t i = 0; i < in_counts.size(); ++i)
+                in_counts[i] += part.inCounts[i];
+            out_hist.insert(out_hist.end(), part.outPts.begin(),
+                            part.outPts.end());
         }
     }
 
@@ -423,7 +536,17 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
     res.ops = counts.cells;
 
     if (out_profile) {
-        out_profile->inputs = Pmf::fromPoints(std::move(in_hist));
+        const std::int64_t in_half =
+            std::int64_t{1} << (config.inputBits - 1);
+        std::vector<Pmf::Point> in_pts;
+        for (std::size_t i = 0; i < in_counts.size(); ++i) {
+            if (in_counts[i] > 0)
+                in_pts.push_back(
+                    {static_cast<double>(static_cast<std::int64_t>(i) -
+                                         in_half),
+                     static_cast<double>(in_counts[i])});
+        }
+        out_profile->inputs = Pmf::fromPoints(std::move(in_pts));
         out_profile->weights = Pmf::fromPoints([&] {
             std::vector<Pmf::Point> pts;
             pts.reserve(weights.size());
@@ -560,13 +683,19 @@ dist::OperandProfile
 averageProfiles(const std::vector<dist::OperandProfile>& profiles)
 {
     CIM_ASSERT(!profiles.empty(), "averageProfiles needs profiles");
-    dist::OperandProfile avg = profiles.front();
-    for (std::size_t i = 1; i < profiles.size(); ++i) {
-        double keep = static_cast<double>(i) / static_cast<double>(i + 1);
-        avg.inputs = avg.inputs.mixedWith(profiles[i].inputs, keep);
-        avg.weights = avg.weights.mixedWith(profiles[i].weights, keep);
-        avg.outputs = avg.outputs.mixedWith(profiles[i].outputs, keep);
+    std::vector<Pmf> ins, wts, outs;
+    ins.reserve(profiles.size());
+    wts.reserve(profiles.size());
+    outs.reserve(profiles.size());
+    for (const dist::OperandProfile& p : profiles) {
+        ins.push_back(p.inputs);
+        wts.push_back(p.weights);
+        outs.push_back(p.outputs);
     }
+    dist::OperandProfile avg;
+    avg.inputs = Pmf::mixture(ins);
+    avg.weights = Pmf::mixture(wts);
+    avg.outputs = Pmf::mixture(outs);
     avg.inputSparsity = avg.inputs.probOf(0.0);
     return avg;
 }

@@ -227,6 +227,56 @@ TEST(Run, DevicePresetFlag)
               1);
 }
 
+TEST(Parse, RefSimFlags)
+{
+    CliOptions o = parse({"--refsim", "--network", "mvm",
+                          "--refsim-vectors", "12", "--threads", "4"});
+    EXPECT_TRUE(o.refsim);
+    EXPECT_EQ(o.refsimVectors, 12);
+    EXPECT_EQ(o.threads, 4);
+    // No architecture flag needed in refsim mode...
+    EXPECT_NO_THROW(parse({"--refsim", "--network", "mvm"}));
+    // ...but a workload still is, and both arch forms stay an error.
+    EXPECT_THROW(parse({"--refsim"}), FatalError);
+    EXPECT_THROW(parse({"--refsim", "--network", "mvm", "--macro", "B",
+                        "--arch", "f.yaml"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--refsim", "--network", "mvm",
+                        "--refsim-vectors", "-2"}),
+                 FatalError);
+}
+
+TEST(Run, RefSimReportsPerLayerError)
+{
+    std::ostringstream out, err;
+    int rc = run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                  "8", "--threads", "2"},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    std::string text = out.str();
+    EXPECT_NE(text.find("truth (pJ)"), std::string::npos);
+    EXPECT_NE(text.find("mean |error|"), std::string::npos);
+}
+
+TEST(Run, RefSimThreadsMatchSingle)
+{
+    std::ostringstream out1, out4, err;
+    ASSERT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "8"},
+                  out1, err),
+              0);
+    ASSERT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "8", "--threads", "4"},
+                  out4, err),
+              0);
+    // Bit-identical numbers -> byte-identical report (modulo the header
+    // line that prints the thread count).
+    std::string a = out1.str(), b = out4.str();
+    a.erase(0, a.find("\n\n"));
+    b.erase(0, b.find("\n\n"));
+    EXPECT_EQ(a, b);
+}
+
 TEST(Run, ThreadsMatchSingle)
 {
     std::ostringstream out1, out4, err;

@@ -131,6 +131,45 @@ TEST(Slicing, ReassembleMean)
     EXPECT_NEAR(reassembled, enc.codes.mean(), 1e-9);
 }
 
+TEST(SliceMixture, MatchesIncrementalReference)
+{
+    Pmf ops = Pmf::quantizedGaussian(90.0, 30.0, 0, 255);
+    EncodedTensor enc = encodeOperands(ops, Encoding::Unsigned, 8);
+    EncodedTensor mix = sliceMixture(enc, 2);
+    // Reference: the k-step incremental equal-weight mix the engine used
+    // before the single-pass merge.
+    auto slices = enc.slices(2);
+    Pmf chain = slices[0].codes;
+    for (std::size_t i = 1; i < slices.size(); ++i) {
+        double keep = static_cast<double>(i) / static_cast<double>(i + 1);
+        chain = chain.mixedWith(slices[i].codes, keep);
+    }
+    ASSERT_EQ(mix.codes.size(), chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        EXPECT_DOUBLE_EQ(mix.codes.points()[i].value,
+                         chain.points()[i].value);
+        EXPECT_NEAR(mix.codes.points()[i].prob, chain.points()[i].prob,
+                    1e-12);
+    }
+    EXPECT_EQ(mix.bits, 2);
+    EXPECT_EQ(mix.encoding, enc.encoding);
+}
+
+TEST(SliceMixture, SingleSlicePassesThrough)
+{
+    Pmf ops = Pmf::uniformInt(0, 255);
+    EncodedTensor enc = encodeOperands(ops, Encoding::Unsigned, 8);
+    EncodedTensor mix = sliceMixture(enc, 8); // one slice: the full code
+    EXPECT_EQ(mix.bits, 8);
+    ASSERT_EQ(mix.codes.size(), enc.codes.size());
+    for (std::size_t i = 0; i < enc.codes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(mix.codes.points()[i].value,
+                         enc.codes.points()[i].value);
+        EXPECT_DOUBLE_EQ(mix.codes.points()[i].prob,
+                         enc.codes.points()[i].prob);
+    }
+}
+
 TEST(MeanMac, Independence)
 {
     EncodedTensor in = encodeOperands(Pmf::delta(255.0),

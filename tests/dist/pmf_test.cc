@@ -103,6 +103,68 @@ TEST(Convolve, MeanIsExactEvenWhenCapped)
     EXPECT_LE(sum.size(), 64u);
 }
 
+TEST(Convolve, LatticeAndPointListPathsAgree)
+{
+    // Integer supports take the dense lattice kernel; shifting each
+    // operand by +0.25 moves the support off the lattice and forces the
+    // sort-merge fallback. Both must produce the same distribution (the
+    // fallback's support is offset by the combined shift of 0.5).
+    Pmf a = Pmf::quantizedGaussian(0.0, 25.0, -128, 127);
+    Pmf b = Pmf::quantizedGaussian(10.0, 15.0, -128, 127);
+    Pmf lattice = a.convolveWith(b, 1 << 20); // uncapped
+    Pmf fallback =
+        a.mapped([](double v) { return v + 0.25; })
+            .convolveWith(b.mapped([](double v) { return v + 0.25; }),
+                          1 << 20);
+    ASSERT_EQ(lattice.size(), fallback.size());
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+        EXPECT_NEAR(lattice.points()[i].value + 0.5,
+                    fallback.points()[i].value, 1e-9);
+        EXPECT_NEAR(lattice.points()[i].prob, fallback.points()[i].prob,
+                    1e-12);
+    }
+}
+
+TEST(Convolve, CappedMergePreservesMomentsAndTail)
+{
+    // A far outlier cluster stresses the support cap: the old blind
+    // pairwise merge would average the outlier into its distant
+    // neighbor, shifting the upper tail badly. Gap-aware merging keeps
+    // nearby points merging with each other and the outlier intact.
+    Pmf bulk = Pmf::uniformInt(0, 63);
+    Pmf spike = Pmf::fromPoints({{0.0, 0.9}, {1000.0, 0.1}});
+    Pmf sum = bulk.convolveWith(spike, 70);
+    EXPECT_LE(sum.size(), 70u);
+    double exact_mean = bulk.mean() + spike.mean();
+    double exact_var = bulk.variance() + spike.variance();
+    EXPECT_NEAR(sum.mean(), exact_mean, 1e-9 * (1.0 + exact_mean));
+    // Merging nearest neighbors only collapses sub-gap structure, so
+    // the variance moves by at most the bulk's own spread.
+    EXPECT_NEAR(sum.variance(), exact_var, 0.02 * exact_var);
+    // The outlier cluster must survive near +1000, not drift inward.
+    EXPECT_GE(sum.maxValue(), 990.0);
+}
+
+TEST(Mixture, SinglePassMatchesIncrementalChain)
+{
+    std::vector<Pmf> parts = {Pmf::uniformInt(0, 7),
+                              Pmf::uniformInt(4, 11),
+                              Pmf::delta(2.0),
+                              Pmf::quantizedGaussian(0.0, 3.0, -16, 15)};
+    Pmf single = Pmf::mixture(parts);
+    // Reference: the old k-step incremental equal-weight mix.
+    Pmf chain = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        double keep = static_cast<double>(i) / static_cast<double>(i + 1);
+        chain = chain.mixedWith(parts[i], keep);
+    }
+    ASSERT_EQ(single.size(), chain.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+        EXPECT_DOUBLE_EQ(single.points()[i].value, chain.points()[i].value);
+        EXPECT_NEAR(single.points()[i].prob, chain.points()[i].prob, 1e-12);
+    }
+}
+
 TEST(Mixture, Weights)
 {
     Pmf p = Pmf::delta(0.0).mixedWith(Pmf::delta(10.0), 0.25);

@@ -187,6 +187,71 @@ TEST(AverageProfiles, MixesUniformly)
     EXPECT_NEAR(avg.inputs.probOf(1.0), 0.5, 1e-12);
 }
 
+TEST(Threads, BitIdenticalAcrossCounts)
+{
+    // Per-vector counter-derived RNG streams + ordered reduction: the
+    // result must be the SAME DOUBLES for any thread count, profile
+    // included.
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    dist::OperandProfile p1;
+    c.threads = 1;
+    RefSimResult r1 = simulateValueLevel(c, l, &p1);
+    for (int threads : {2, 8}) {
+        c.threads = threads;
+        dist::OperandProfile pn;
+        RefSimResult rn = simulateValueLevel(c, l, &pn);
+        EXPECT_DOUBLE_EQ(rn.dacPj, r1.dacPj) << threads << " threads";
+        EXPECT_DOUBLE_EQ(rn.cellPj, r1.cellPj) << threads << " threads";
+        EXPECT_DOUBLE_EQ(rn.adcPj, r1.adcPj) << threads << " threads";
+        EXPECT_DOUBLE_EQ(rn.digitalPj, r1.digitalPj)
+            << threads << " threads";
+        EXPECT_DOUBLE_EQ(rn.bufferPj, r1.bufferPj) << threads << " threads";
+        EXPECT_EQ(rn.valuesSimulated, r1.valuesSimulated);
+        ASSERT_EQ(pn.inputs.size(), p1.inputs.size());
+        for (std::size_t i = 0; i < p1.inputs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(pn.inputs.points()[i].value,
+                             p1.inputs.points()[i].value);
+            EXPECT_DOUBLE_EQ(pn.inputs.points()[i].prob,
+                             p1.inputs.points()[i].prob);
+        }
+        ASSERT_EQ(pn.outputs.size(), p1.outputs.size());
+        for (std::size_t i = 0; i < p1.outputs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(pn.outputs.points()[i].value,
+                             p1.outputs.points()[i].value);
+            EXPECT_DOUBLE_EQ(pn.outputs.points()[i].prob,
+                             p1.outputs.points()[i].prob);
+        }
+    }
+}
+
+TEST(Threads, MoreWorkersThanVectors)
+{
+    // Oversubscription must neither deadlock nor change the numbers.
+    RefSimConfig c = smallConfig();
+    c.maxVectors = 3;
+    workload::Layer l = testLayer();
+    c.threads = 1;
+    RefSimResult r1 = simulateValueLevel(c, l);
+    c.threads = 16;
+    RefSimResult r16 = simulateValueLevel(c, l);
+    EXPECT_DOUBLE_EQ(r16.totalPj(), r1.totalPj());
+}
+
+TEST(Threads, InvalidInputsAreFatal)
+{
+    workload::Layer l = testLayer();
+    RefSimConfig c = smallConfig();
+    c.threads = 0;
+    EXPECT_THROW(simulateValueLevel(c, l), FatalError);
+    c = smallConfig();
+    c.maxVectors = -1;
+    EXPECT_THROW(simulateValueLevel(c, l), FatalError);
+    c = smallConfig();
+    c.seed = 0;
+    EXPECT_THROW(simulateValueLevel(c, l), FatalError);
+}
+
 TEST(InputBits, MoreBitsMoreEnergy)
 {
     RefSimConfig c = smallConfig();
