@@ -15,6 +15,7 @@
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/dist/pmf.hh"
 #include "cimloop/engine/evaluate.hh"
+#include "cimloop/faults/faults.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
@@ -226,6 +227,63 @@ BM_RefSimValueLevel(benchmark::State& state)
     state.SetItemsProcessed(vectors);
 }
 BENCHMARK(BM_RefSimValueLevel);
+
+void
+BM_FaultPerturbConductances(benchmark::State& state)
+{
+    // Per-cell counter-derived streams over a full 128x128 array: the
+    // one-time injection cost the refsim pays per (layer, fault seed).
+    faults::FaultModel model;
+    model.stuckOffRate = 0.01;
+    model.stuckOnRate = 0.01;
+    model.conductanceSigma = 0.2;
+    std::vector<double> g_norm(128 * 128, 0.5);
+    std::vector<double> scratch;
+    for (auto _ : state) {
+        scratch = g_norm;
+        faults::perturbConductances(model, 7, scratch);
+        benchmark::DoNotOptimize(scratch.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g_norm.size()));
+}
+BENCHMARK(BM_FaultPerturbConductances);
+
+void
+BM_FaultPerturbCellCodes(benchmark::State& state)
+{
+    // Analytic PMF perturbation (stuck atoms + variance inflation +
+    // lattice re-quantization): the statistical pipeline's per-slice
+    // cost when faults are enabled.
+    faults::FaultModel model;
+    model.stuckOffRate = 0.01;
+    model.stuckOnRate = 0.01;
+    model.conductanceSigma = 0.2;
+    dist::Pmf codes = dist::Pmf::quantizedGaussian(128.0, 40.0, 0, 255);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            faults::perturbedCellCodes(model, codes, 255.0));
+    }
+}
+BENCHMARK(BM_FaultPerturbCellCodes);
+
+void
+BM_RefSimFaulty(benchmark::State& state)
+{
+    // Full value-level run with every fault mechanism on; compare with
+    // BM_RefSimValueLevel for the injection overhead.
+    refsim::RefSimConfig cfg = refsimBenchConfig();
+    cfg.faults.stuckOffRate = 0.01;
+    cfg.faults.stuckOnRate = 0.01;
+    cfg.faults.conductanceSigma = 0.2;
+    cfg.faults.adcNoiseSigma = 0.01;
+    const workload::Layer& layer = benchLayer();
+    for (auto _ : state) {
+        refsim::RefSimResult r = refsim::simulateValueLevel(cfg, layer);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RefSimFaulty);
 
 void
 BM_RefSimParallel(benchmark::State& state)

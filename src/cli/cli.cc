@@ -6,6 +6,7 @@
 
 #include "cimloop/common/error.hh"
 #include "cimloop/engine/evaluate.hh"
+#include "cimloop/faults/faults.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/models/devices.hh"
 #include "cimloop/refsim/refsim.hh"
@@ -66,6 +67,20 @@ reference simulation:
                        results are bit-identical for any --threads)
   --refsim-vectors N   activation vectors sampled per layer (default 48;
                        0 simulates every vector)
+
+fault injection / robustness:
+  --faults FILE.yaml   device fault spec (stuck_off_rate, stuck_on_rate,
+                       conductance_sigma, adc_offset, adc_noise_sigma,
+                       seed); applies to --refsim and the statistical
+                       pipeline alike
+  --fault-stuck-rate R total stuck-cell fraction in [0, 1], split evenly
+                       between stuck-off and stuck-on; overrides the
+                       fault spec's rates
+  --fault-sigma S      lognormal conductance variation sigma in [0, 0.8];
+                       overrides the fault spec's sigma
+  --keep-going         capture per-layer failures (e.g. unmappable
+                       layers) as diagnostics and continue with partial
+                       results instead of aborting
 )";
 }
 
@@ -156,6 +171,21 @@ parseArgs(const std::vector<std::string>& args)
             opts.refsim = true;
         } else if (flag == "--refsim-vectors") {
             opts.refsimVectors = parseInt(flag, value());
+        } else if (flag == "--faults") {
+            opts.faultsPath = value();
+        } else if (flag == "--fault-stuck-rate") {
+            opts.faultStuckRate = parseDouble(flag, value());
+            if (opts.faultStuckRate < 0.0 || opts.faultStuckRate > 1.0) {
+                CIM_FATAL("--fault-stuck-rate must be within [0, 1], "
+                          "got ", opts.faultStuckRate);
+            }
+        } else if (flag == "--fault-sigma") {
+            opts.faultSigma = parseDouble(flag, value());
+            if (opts.faultSigma < 0.0)
+                CIM_FATAL("--fault-sigma must be >= 0, got ",
+                          opts.faultSigma);
+        } else if (flag == "--keep-going") {
+            opts.keepGoing = true;
         } else {
             CIM_FATAL("unknown flag '", flag, "' (try --help)");
         }
@@ -221,6 +251,23 @@ buildArch(const CliOptions& opts)
     return arch;
 }
 
+faults::FaultModel
+buildFaults(const CliOptions& opts)
+{
+    faults::FaultModel model;
+    if (!opts.faultsPath.empty())
+        model = faults::FaultModel::fromFile(opts.faultsPath);
+    if (opts.faultStuckRate >= 0.0) {
+        // The flag gives the total stuck fraction, split evenly.
+        model.stuckOffRate = opts.faultStuckRate / 2.0;
+        model.stuckOnRate = opts.faultStuckRate / 2.0;
+    }
+    if (opts.faultSigma >= 0.0)
+        model.conductanceSigma = opts.faultSigma;
+    model.validate();
+    return model;
+}
+
 workload::Network
 buildWorkload(const CliOptions& opts)
 {
@@ -240,7 +287,8 @@ objectiveFromString(const std::string& s)
 }
 
 int
-runRefSim(const CliOptions& opts, std::ostream& out)
+runRefSim(const CliOptions& opts, const faults::FaultModel& fault_model,
+          std::ostream& out)
 {
     workload::Network net = buildWorkload(opts);
 
@@ -248,6 +296,7 @@ runRefSim(const CliOptions& opts, std::ostream& out)
     cfg.threads = opts.threads;
     cfg.seed = opts.seed;
     cfg.maxVectors = opts.refsimVectors;
+    cfg.faults = fault_model;
     if (opts.inputBits > 0)
         cfg.inputBits = opts.inputBits;
     if (opts.weightBits > 0)
@@ -259,17 +308,40 @@ runRefSim(const CliOptions& opts, std::ostream& out)
     if (opts.technologyNm > 0.0)
         cfg.technologyNm = opts.technologyNm;
 
+    const bool faulty = fault_model.enabled();
+
     out << "value-level reference vs statistical model on "
         << net.name << " (" << net.layers.size() << " layers, "
         << (cfg.maxVectors == 0 ? std::string("all")
                                 : std::to_string(cfg.maxVectors))
         << " vectors/layer, " << cfg.threads << " thread"
         << (cfg.threads == 1 ? "" : "s") << ", seed " << cfg.seed
-        << ")\n\n";
+        << ")\n";
+    if (faulty) {
+        out << "faults: stuck-off " << fault_model.stuckOffRate
+            << ", stuck-on " << fault_model.stuckOnRate << ", sigma "
+            << fault_model.conductanceSigma << ", adc offset "
+            << fault_model.adcOffset << ", adc noise "
+            << fault_model.adcNoiseSigma << ", seed "
+            << fault_model.seed << "\n";
+    }
+    out << "\n";
 
-    char line[160];
-    std::snprintf(line, sizeof(line), "%-24s %14s %14s %8s\n",
-                  "layer", "truth (pJ)", "model (pJ)", "err");
+    // With faults enabled, each layer runs a second, fault-free truth
+    // simulation so the report shows the energy degradation the injected
+    // faults cause next to the truth-vs-model agreement under faults.
+    refsim::RefSimConfig clean_cfg = cfg;
+    clean_cfg.faults = faults::FaultModel{};
+
+    char line[200];
+    if (faulty) {
+        std::snprintf(line, sizeof(line), "%-24s %14s %14s %8s %14s %8s\n",
+                      "layer", "truth (pJ)", "model (pJ)", "err",
+                      "clean (pJ)", "dE");
+    } else {
+        std::snprintf(line, sizeof(line), "%-24s %14s %14s %8s\n",
+                      "layer", "truth (pJ)", "model (pJ)", "err");
+    }
     out << line;
 
     double err_sum = 0.0;
@@ -282,9 +354,22 @@ runRefSim(const CliOptions& opts, std::ostream& out)
         double err =
             model.totalPj() / std::max(truth.totalPj(), 1e-300) - 1.0;
         err_sum += std::abs(err);
-        std::snprintf(line, sizeof(line), "%-24s %14.6g %14.6g %+7.2f%%\n",
-                      layer.name.c_str(), truth.totalPj(),
-                      model.totalPj(), err * 100.0);
+        if (faulty) {
+            refsim::RefSimResult clean =
+                refsim::simulateValueLevel(clean_cfg, layer, nullptr);
+            double de =
+                truth.totalPj() / std::max(clean.totalPj(), 1e-300) - 1.0;
+            std::snprintf(line, sizeof(line),
+                          "%-24s %14.6g %14.6g %+7.2f%% %14.6g %+7.2f%%\n",
+                          layer.name.c_str(), truth.totalPj(),
+                          model.totalPj(), err * 100.0, clean.totalPj(),
+                          de * 100.0);
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-24s %14.6g %14.6g %+7.2f%%\n",
+                          layer.name.c_str(), truth.totalPj(),
+                          model.totalPj(), err * 100.0);
+        }
         out << line;
     }
     std::snprintf(line, sizeof(line),
@@ -314,10 +399,12 @@ run(const std::vector<std::string>& args, std::ostream& out,
     }
 
     try {
+        faults::FaultModel fault_model = buildFaults(opts);
         if (opts.refsim)
-            return runRefSim(opts, out);
+            return runRefSim(opts, fault_model, out);
 
         engine::Arch arch = buildArch(opts);
+        arch.faults = fault_model;
         workload::Network net = buildWorkload(opts);
 
         out << "architecture: " << arch.name << " ("
@@ -355,7 +442,54 @@ run(const std::vector<std::string>& args, std::ostream& out,
                 << ", seed " << opts.seed << ")\n\n";
             ev = engine::evaluateNetworkParallel(
                 arch, net, opts.threads, opts.mappings, opts.seed,
-                objectiveFromString(opts.objective));
+                objectiveFromString(opts.objective), opts.keepGoing);
+        }
+
+        if (!ev.complete()) {
+            err << "warning: " << ev.diagnostics.size() << " of "
+                << net.layers.size()
+                << " layers failed; continuing with partial results:\n";
+            for (const engine::LayerDiagnostic& d : ev.diagnostics) {
+                err << "  layer '" << d.layer << "' (" << d.kind
+                    << "): " << d.message << "\n";
+            }
+        }
+
+        if (fault_model.enabled() && opts.mappingPath.empty()) {
+            // Degradation report: re-evaluate the same network fault-free
+            // (identical seed and mapping search) and show the per-layer
+            // energy delta the fault model predicts.
+            engine::Arch clean_arch = arch;
+            clean_arch.faults = faults::FaultModel{};
+            engine::NetworkEvaluation clean =
+                engine::evaluateNetworkParallel(
+                    clean_arch, net, opts.threads, opts.mappings,
+                    opts.seed, objectiveFromString(opts.objective),
+                    opts.keepGoing);
+            char fl[160];
+            out << "per-layer degradation vs fault-free baseline:\n";
+            std::snprintf(fl, sizeof(fl), "%-24s %14s %14s %8s\n",
+                          "layer", "clean (pJ)", "faulty (pJ)", "dE");
+            out << fl;
+            for (std::size_t i = 0; i < net.layers.size(); ++i) {
+                const engine::Evaluation& cb = clean.layers[i].best;
+                const engine::Evaluation& fb = ev.layers[i].best;
+                if (!cb.valid || !fb.valid) {
+                    std::snprintf(fl, sizeof(fl), "%-24s %14s %14s %8s\n",
+                                  net.layers[i].name.c_str(), "-", "-",
+                                  "-");
+                    out << fl;
+                    continue;
+                }
+                double de =
+                    fb.energyPj / std::max(cb.energyPj, 1e-300) - 1.0;
+                std::snprintf(fl, sizeof(fl),
+                              "%-24s %14.6g %14.6g %+7.2f%%\n",
+                              net.layers[i].name.c_str(), cb.energyPj,
+                              fb.energyPj, de * 100.0);
+                out << fl;
+            }
+            out << "\n";
         }
 
         if (!opts.ertPath.empty()) {

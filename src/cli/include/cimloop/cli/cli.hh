@@ -55,6 +55,23 @@ struct CliOptions
      */
     bool refsim = false;
     std::int64_t refsimVectors = 48; //!< --refsim-vectors N (0 = all)
+
+    /**
+     * Device fault / variation injection. --faults loads a YAML fault
+     * spec; --fault-stuck-rate and --fault-sigma override (or stand
+     * alone). Negative means "flag not given". With any fault enabled,
+     * both CLI modes print a per-layer degradation report against the
+     * fault-free baseline.
+     */
+    std::string faultsPath;      //!< --faults <file.yaml>
+    double faultStuckRate = -1.0; //!< --fault-stuck-rate R (off+on total)
+    double faultSigma = -1.0;     //!< --fault-sigma S (lognormal sigma)
+
+    /**
+     * --keep-going: capture per-layer evaluation failures as diagnostics
+     * and continue with the remaining layers instead of aborting.
+     */
+    bool keepGoing = false;
 };
 
 /**

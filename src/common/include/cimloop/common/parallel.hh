@@ -3,18 +3,29 @@
  * Minimal fork-join parallelism for the evaluation engine's fan-out loops.
  *
  * Exceptions thrown by workers never escape a thread lambda (which would
- * std::terminate the whole process): the first one is captured as an
- * std::exception_ptr, every worker is joined, and the exception is
+ * std::terminate the whole process): every failure is captured with the
+ * index that raised it, all workers are joined, and the failures are
  * rethrown on the calling thread — so an unmappable layer surfaces as the
- * same cimloop::FatalError the serial path gives.
+ * same cimloop::FatalError the serial path gives, and when several items
+ * fail concurrently the combined error names each of them instead of
+ * silently dropping all but the first.
  */
 #ifndef CIMLOOP_COMMON_PARALLEL_HH
 #define CIMLOOP_COMMON_PARALLEL_HH
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <vector>
 
 namespace cimloop {
+
+/** One captured worker failure: the item index and its exception. */
+struct WorkerError
+{
+    std::size_t index = 0;
+    std::exception_ptr error;
+};
 
 /**
  * Runs fn(i) for every i in [0, n) on up to @p threads workers.
@@ -25,11 +36,27 @@ namespace cimloop {
  * visible after return. threads <= 1 (or n <= 1) runs inline on the
  * calling thread.
  *
- * When a worker throws, remaining unclaimed items are abandoned, all
- * workers are joined, and the first captured exception is rethrown.
+ * When a worker throws, remaining unclaimed items are abandoned and all
+ * workers are joined. Every exception captured before the stop (several
+ * items can fail concurrently) is aggregated in ascending item order: a
+ * single failure rethrows the original exception unchanged; multiple
+ * failures throw one PanicError when any of them was a PanicError (a bug
+ * trumps bad input), otherwise one FatalError, whose message lists every
+ * failing item.
  */
 void parallelFor(int threads, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
+
+/**
+ * Keep-going variant: runs ALL n items even when some fail, and returns
+ * the captured failures in ascending item order instead of throwing.
+ * An empty result means every item succeeded. Used by graceful
+ * per-layer degradation, where one bad layer must not abandon the rest
+ * of the network.
+ */
+std::vector<WorkerError>
+parallelForAll(int threads, std::size_t n,
+               const std::function<void(std::size_t)>& fn);
 
 } // namespace cimloop
 

@@ -1,37 +1,51 @@
 #include "cimloop/common/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
-#include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
+
+#include "cimloop/common/error.hh"
 
 namespace cimloop {
 
-void
-parallelFor(int threads, std::size_t n,
-            const std::function<void(std::size_t)>& fn)
+namespace {
+
+/** Runs the claim loop; captures failures; optionally stops on failure. */
+std::vector<WorkerError>
+runPool(int threads, std::size_t n,
+        const std::function<void(std::size_t)>& fn, bool stop_on_failure)
 {
+    std::vector<WorkerError> errors;
     if (n == 0)
-        return;
-    std::size_t workers = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+        return errors;
+    std::size_t workers =
+        threads < 1 ? 1 : static_cast<std::size_t>(threads);
     workers = std::min(workers, n);
+
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors.push_back({i, std::current_exception()});
+                if (stop_on_failure)
+                    break;
+            }
+        }
+        return errors;
     }
 
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
     std::mutex error_mutex;
 
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t t = 0; t < workers; ++t) {
         pool.emplace_back([&] {
-            while (!failed.load(std::memory_order_acquire)) {
+            while (!(stop_on_failure &&
+                     failed.load(std::memory_order_acquire))) {
                 std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n)
                     break;
@@ -39,8 +53,7 @@ parallelFor(int threads, std::size_t n,
                     fn(i);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!first_error)
-                        first_error = std::current_exception();
+                    errors.push_back({i, std::current_exception()});
                     failed.store(true, std::memory_order_release);
                 }
             }
@@ -48,8 +61,54 @@ parallelFor(int threads, std::size_t n,
     }
     for (std::thread& t : pool)
         t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    std::sort(errors.begin(), errors.end(),
+              [](const WorkerError& a, const WorkerError& b) {
+                  return a.index < b.index;
+              });
+    return errors;
+}
+
+} // namespace
+
+void
+parallelFor(int threads, std::size_t n,
+            const std::function<void(std::size_t)>& fn)
+{
+    std::vector<WorkerError> errors =
+        runPool(threads, n, fn, /*stop_on_failure=*/true);
+    if (errors.empty())
+        return;
+    if (errors.size() == 1)
+        std::rethrow_exception(errors.front().error);
+
+    // Several items failed before the stop flag landed: aggregate them in
+    // item order so no failure is silently dropped.
+    bool any_panic = false;
+    std::string combined = std::to_string(errors.size()) +
+                           " parallel work items failed:";
+    for (const WorkerError& we : errors) {
+        combined += "\n  item " + std::to_string(we.index) + ": ";
+        try {
+            std::rethrow_exception(we.error);
+        } catch (const PanicError& e) {
+            any_panic = true;
+            combined += e.what();
+        } catch (const std::exception& e) {
+            combined += e.what();
+        } catch (...) {
+            combined += "unknown exception";
+        }
+    }
+    if (any_panic)
+        throw PanicError(combined);
+    throw FatalError(combined);
+}
+
+std::vector<WorkerError>
+parallelForAll(int threads, std::size_t n,
+               const std::function<void(std::size_t)>& fn)
+{
+    return runPool(threads, n, fn, /*stop_on_failure=*/false);
 }
 
 } // namespace cimloop

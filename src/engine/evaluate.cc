@@ -15,6 +15,7 @@
 #include "cimloop/common/log.hh"
 #include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
+#include "cimloop/faults/faults.hh"
 
 namespace cimloop::engine {
 
@@ -62,12 +63,28 @@ precompute(const Arch& arch, const workload::Layer& layer,
     EncodedTensor in_sliced = dist::sliceMixture(in_full, arch.rep.dacBits);
     EncodedTensor wt_sliced = dist::sliceMixture(wt_full, arch.rep.cellBits);
 
+    // Device faults perturb what the ANALOG domain sees: the weight-slice
+    // codes gain stuck-at atoms and variance-inflated levels. Digital
+    // storage (buffers, DRAM, shift-add) keeps the ideal representation —
+    // faults live in the array, not in what was written to it.
+    EncodedTensor wt_faulty = wt_sliced;
+    if (arch.faults.cellFaultsEnabled()) {
+        wt_faulty.codes = faults::perturbedCellCodes(
+            arch.faults, wt_sliced.codes, wt_sliced.maxCode());
+    }
+
     models::PluginRegistry& registry = models::PluginRegistry::instance();
     table.nodes.reserve(arch.hierarchy.nodes.size());
 
     for (const spec::SpecNode& node : arch.hierarchy.nodes) {
         std::string klass = node.klass.empty() ? "Wire" : node.klass;
         std::string klass_lower = toLower(klass);
+        bool analog = klass_lower == "sramcell" ||
+                      klass_lower == "reramcell" ||
+                      klass_lower == "capacitormac" ||
+                      klass_lower == "analogadder" ||
+                      klass_lower == "analogaccumulator" ||
+                      klass_lower == "adc";
 
         models::ComponentContext ctx;
         ctx.node = &node;
@@ -79,12 +96,17 @@ precompute(const Arch& arch, const workload::Layer& layer,
         // per-slice representation; output traffic is whole partial
         // words. The ADC digitizes column sums at its own resolution.
         ctx.tensors[kI] = in_sliced;
-        ctx.tensors[kW] = wt_sliced;
+        ctx.tensors[kW] = analog ? wt_faulty : wt_sliced;
         ctx.tensors[kO] = out_full;
         if (klass_lower == "adc") {
             int res = static_cast<int>(node.attrInt("resolution", 8));
             ctx.tensors[kO] = dist::encodeOperands(
                 table.profile.outputs, dist::Encoding::Offset, res);
+            if (arch.faults.adcFaultsEnabled()) {
+                ctx.tensors[kO].codes = faults::perturbedAdcCodes(
+                    arch.faults, ctx.tensors[kO].codes,
+                    ctx.tensors[kO].maxCode());
+            }
         }
 
         table.nodes.push_back(registry.require(klass).estimate(ctx));
@@ -111,6 +133,10 @@ perActionKey(const Arch& arch, const workload::Layer& layer)
         << arch.rep.outputBits << ' ' << arch.rep.dacBits << ' '
         << arch.rep.cellBits << ' ' << arch.technologyNm << ' '
         << arch.supplyVoltage << ' ' << arch.includeLeakage << '\x1f'
+        << arch.faults.stuckOffRate << ' ' << arch.faults.stuckOnRate << ' '
+        << arch.faults.conductanceSigma << ' ' << arch.faults.adcOffset
+        << ' ' << arch.faults.adcNoiseSigma << ' ' << arch.faults.seed
+        << '\x1f'
         << layer.network << '\x1f' << layer.name << '\x1f' << layer.index
         << ' ' << layer.networkLayers << ' ' << layer.inputBits << ' '
         << layer.weightBits << ' ' << layer.outputBits;
@@ -437,34 +463,93 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
     return result;
 }
 
+namespace {
+
+/** Classifies a captured exception for a LayerDiagnostic. */
+LayerDiagnostic
+classifyLayerError(std::size_t index, const workload::Layer& layer,
+                   std::exception_ptr error)
+{
+    LayerDiagnostic diag;
+    diag.layerIndex = index;
+    diag.layer = layer.name;
+    try {
+        std::rethrow_exception(error);
+    } catch (const FatalError& e) {
+        diag.kind = "fatal";
+        diag.message = e.what();
+    } catch (const PanicError& e) {
+        diag.kind = "panic";
+        diag.message = e.what();
+    } catch (const std::exception& e) {
+        diag.kind = "exception";
+        diag.message = e.what();
+    } catch (...) {
+        diag.kind = "exception";
+        diag.message = "unknown exception";
+    }
+    return diag;
+}
+
+/** Folds per-layer results (skipping invalid slots) into totals. */
+NetworkEvaluation
+accumulateNetwork(const workload::Network& network,
+                  std::vector<SearchResult> results,
+                  std::vector<LayerDiagnostic> diagnostics)
+{
+    NetworkEvaluation net;
+    net.layers.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].best.valid) {
+            double reps = static_cast<double>(network.layers[i].count);
+            net.energyPj += results[i].best.energyPj * reps;
+            net.latencyNs += results[i].best.latencyNs * reps;
+            net.macs += results[i].best.macs * reps;
+            net.areaUm2 = std::max(net.areaUm2, results[i].best.areaUm2);
+        }
+        net.layers.push_back(std::move(results[i]));
+    }
+    net.diagnostics = std::move(diagnostics);
+    return net;
+}
+
+} // namespace
+
 NetworkEvaluation
 evaluateNetwork(const Arch& arch, const workload::Network& network,
                 int mappings_per_layer, std::uint64_t seed,
-                Objective objective)
+                Objective objective, bool keep_going)
 {
-    NetworkEvaluation net;
-    net.layers.reserve(network.layers.size());
-    for (const workload::Layer& layer : network.layers) {
-        SearchResult sr = searchMappings(arch, layer, mappings_per_layer,
-                                         seed + layer.index, objective);
-        double reps = static_cast<double>(layer.count);
-        net.energyPj += sr.best.energyPj * reps;
-        net.latencyNs += sr.best.latencyNs * reps;
-        net.macs += sr.best.macs * reps;
-        net.areaUm2 = std::max(net.areaUm2, sr.best.areaUm2);
-        net.layers.push_back(std::move(sr));
+    std::vector<SearchResult> results(network.layers.size());
+    std::vector<LayerDiagnostic> diagnostics;
+    for (std::size_t i = 0; i < network.layers.size(); ++i) {
+        const workload::Layer& layer = network.layers[i];
+        if (!keep_going) {
+            results[i] = searchMappings(arch, layer, mappings_per_layer,
+                                        seed + layer.index, objective);
+            continue;
+        }
+        try {
+            results[i] = searchMappings(arch, layer, mappings_per_layer,
+                                        seed + layer.index, objective);
+        } catch (...) {
+            diagnostics.push_back(classifyLayerError(
+                i, layer, std::current_exception()));
+        }
     }
-    return net;
+    return accumulateNetwork(network, std::move(results),
+                             std::move(diagnostics));
 }
 
 NetworkEvaluation
 evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
                         int threads, int mappings_per_layer,
-                        std::uint64_t seed, Objective objective)
+                        std::uint64_t seed, Objective objective,
+                        bool keep_going)
 {
     if (threads <= 1 || network.layers.empty())
         return evaluateNetwork(arch, network, mappings_per_layer, seed,
-                               objective);
+                               objective, keep_going);
 
     // Layers fan out first; when the network has fewer distinct layers
     // than threads (one repeated transformer block, say), the leftover
@@ -474,26 +559,31 @@ evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
         std::min<std::size_t>(static_cast<std::size_t>(threads), n));
     const int inner = std::max(1, threads / outer);
 
-    // parallelFor captures the first worker exception and rethrows it
-    // here after joining, so an unmappable layer surfaces as the same
-    // FatalError the serial path gives instead of std::terminate.
     std::vector<SearchResult> results(n);
-    parallelFor(outer, n, [&](std::size_t i) {
+    auto work = [&](std::size_t i) {
         const workload::Layer& layer = network.layers[i];
         results[i] = searchMappings(arch, layer, mappings_per_layer,
                                     seed + layer.index, objective, inner);
-    });
+    };
 
-    NetworkEvaluation net;
-    for (std::size_t i = 0; i < network.layers.size(); ++i) {
-        double reps = static_cast<double>(network.layers[i].count);
-        net.energyPj += results[i].best.energyPj * reps;
-        net.latencyNs += results[i].best.latencyNs * reps;
-        net.macs += results[i].best.macs * reps;
-        net.areaUm2 = std::max(net.areaUm2, results[i].best.areaUm2);
-        net.layers.push_back(std::move(results[i]));
+    std::vector<LayerDiagnostic> diagnostics;
+    if (keep_going) {
+        // Every layer runs regardless of failures; each failure becomes
+        // a diagnostic on the result instead of an exception.
+        for (const WorkerError& we : parallelForAll(outer, n, work)) {
+            diagnostics.push_back(classifyLayerError(
+                we.index, network.layers[we.index], we.error));
+        }
+    } else {
+        // parallelFor aggregates the captured worker exceptions and
+        // rethrows after joining, so unmappable layers surface as the
+        // same FatalError surface the serial path gives instead of
+        // std::terminate.
+        parallelFor(outer, n, work);
     }
-    return net;
+
+    return accumulateNetwork(network, std::move(results),
+                             std::move(diagnostics));
 }
 
 std::string

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cimloop/dist/encoding.hh"
+#include "cimloop/faults/faults.hh"
 #include "cimloop/spec/hierarchy.hh"
 #include "cimloop/workload/layer.hh"
 
@@ -52,6 +53,16 @@ struct Arch
 
     /** Charge static (leakage) power over the layer execution time. */
     bool includeLeakage = true;
+
+    /**
+     * Device fault / variation injection (default: none). precompute()
+     * applies it analytically: analog components (cell arrays, analog
+     * adders/accumulators, the ADC) see the weight-slice PMF perturbed
+     * with stuck-at atoms and variance-inflated levels, and the ADC's
+     * output codes absorb the offset/noise; digital storage keeps the
+     * ideal codes (faults live in the analog array, not the buffers).
+     */
+    faults::FaultModel faults;
 
     /** Effective operand precisions for a layer (rep overrides layer). */
     int inputBitsFor(const workload::Layer& layer) const;

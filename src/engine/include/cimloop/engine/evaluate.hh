@@ -143,6 +143,18 @@ SearchResult searchMappings(const Arch& arch, const workload::Layer& layer,
                             Objective objective = Objective::Energy,
                             int threads = 1);
 
+/**
+ * One captured per-layer failure from a keep-going network evaluation:
+ * which layer failed, how (user error vs. internal bug), and the message.
+ */
+struct LayerDiagnostic
+{
+    std::size_t layerIndex = 0; //!< position in network.layers
+    std::string layer;          //!< layer name
+    std::string kind;           //!< "fatal" | "panic" | "exception"
+    std::string message;        //!< the exception's what()
+};
+
 /** Whole-network evaluation: best mapping per layer, then totals. */
 struct NetworkEvaluation
 {
@@ -152,16 +164,36 @@ struct NetworkEvaluation
     double macs = 0.0;
     double areaUm2 = 0.0;             //!< max over layers (same hardware)
 
+    /**
+     * Per-layer failures captured under keep-going evaluation, in layer
+     * order. Empty on a fully successful run. A failed layer's
+     * SearchResult slot stays default-constructed (best.valid == false)
+     * and contributes nothing to the totals.
+     */
+    std::vector<LayerDiagnostic> diagnostics;
+
+    /** True when every layer evaluated successfully. */
+    bool complete() const { return diagnostics.empty(); }
+
     double energyPerMacPj() const;
     double topsPerWatt() const;
 };
 
-/** Runs searchMappings for every layer of @p network. */
+/**
+ * Runs searchMappings for every layer of @p network.
+ *
+ * With @p keep_going, a layer whose search fails (unmappable layer, bad
+ * spec, internal bug) is captured as a LayerDiagnostic and evaluation
+ * continues with the remaining layers — the production-sweep behavior
+ * where one broken layer must not abort a large design-space run.
+ * Without it, the first failure propagates as before.
+ */
 NetworkEvaluation evaluateNetwork(const Arch& arch,
                                   const workload::Network& network,
                                   int mappings_per_layer = 200,
                                   std::uint64_t seed = 1,
-                                  Objective objective = Objective::Energy);
+                                  Objective objective = Objective::Energy,
+                                  bool keep_going = false);
 
 /**
  * Same as evaluateNetwork but distributes the work over @p threads worker
@@ -171,13 +203,15 @@ NetworkEvaluation evaluateNetwork(const Arch& arch,
  * budget via the sharded intra-layer search. Results are bit-identical to
  * the sequential version for the same seed. threads <= 1 falls through to
  * evaluateNetwork. A worker that hits an unmappable layer does not
- * terminate the process: the first exception is captured, all workers are
- * joined, and it is rethrown (the same FatalError the serial path gives).
+ * terminate the process: without @p keep_going every captured worker
+ * exception is aggregated and rethrown (the same FatalError surface the
+ * serial path gives, now listing every failing layer); with it, failures
+ * become per-layer diagnostics and every remaining layer still runs.
  */
 NetworkEvaluation evaluateNetworkParallel(
     const Arch& arch, const workload::Network& network, int threads,
     int mappings_per_layer = 200, std::uint64_t seed = 1,
-    Objective objective = Objective::Energy);
+    Objective objective = Objective::Energy, bool keep_going = false);
 
 /**
  * Renders a per-node report of one evaluation: energy share, accesses

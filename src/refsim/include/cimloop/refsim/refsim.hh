@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "cimloop/dist/operands.hh"
+#include "cimloop/faults/faults.hh"
 #include "cimloop/workload/layer.hh"
 
 namespace cimloop::refsim {
@@ -78,6 +79,17 @@ struct RefSimConfig
      * any value here.
      */
     int threads = 1;
+
+    /**
+     * Device fault / variation injection (default: none). The value-level
+     * simulator perturbs its precomputed conductance array per cell with
+     * counter-derived Rng::forStream(fault_seed, cell_index) streams and
+     * its ADC readouts per convert, so injection is bit-identical at any
+     * thread count; estimateStatistical() applies the same model
+     * analytically (stuck-at mixture atoms, variance-inflated conductance
+     * levels, offset/noise-adjusted column-sum Gaussian).
+     */
+    faults::FaultModel faults;
 };
 
 /** Energy totals (pJ, whole layer) with a per-component breakdown. */

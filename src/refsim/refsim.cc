@@ -8,6 +8,7 @@
 #include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/dist/encoding.hh"
+#include "cimloop/faults/faults.hh"
 #include "cimloop/models/tech.hh"
 
 namespace cimloop::refsim {
@@ -258,6 +259,23 @@ simulateVector(const RefSimConfig& config, const Physics& phys,
     const std::int64_t wt_half = std::int64_t{1} << (config.weightBits - 1);
     Rng rng = Rng::forStream(layer_seed, static_cast<std::uint64_t>(v));
 
+    // ADC non-idealities: every convert of this vector reads out shifted
+    // by the offset plus a fresh noise draw from the per-vector stream
+    // (serial within the vector, so still bit-identical at any thread
+    // count). Gated so fault-free runs draw nothing and stay bit-identical
+    // to the pre-fault baseline.
+    const bool adc_faulty = config.faults.adcFaultsEnabled();
+    const double adc_offset = config.faults.adcOffset;
+    const double adc_noise = config.faults.adcNoiseSigma;
+    auto adcReadout = [&](double sum_norm) {
+        if (adc_faulty) {
+            if (adc_noise > 0.0)
+                sum_norm += adc_noise * rng.gaussian();
+            sum_norm += adc_offset;
+        }
+        return sum_norm;
+    };
+
     // Per-worker scratch: reused across every vector a thread simulates.
     thread_local std::vector<double> x;
     thread_local std::vector<double> xn;
@@ -374,14 +392,15 @@ simulateVector(const RefSimConfig& config, const Physics& phys,
                         // (binary-weighted across cycles).
                         acc_s += dot_s * bit_weight[ib];
                     } else {
-                        part.adcPj += phys.adcPj(dot_s / rows_used);
+                        part.adcPj += phys.adcPj(
+                            adcReadout(dot_s / rows_used));
                         part.digitalPj += phys.shiftAddPj();
                         ++part.values;
                     }
                 }
                 if (config.accumulateAcrossInputBits) {
                     double norm = acc_s / (2.0 * rows_used);
-                    part.adcPj += phys.adcPj(norm);
+                    part.adcPj += phys.adcPj(adcReadout(norm));
                     part.digitalPj += phys.shiftAddPj();
                     ++part.values;
                 }
@@ -427,6 +446,7 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
     if (config.threads < 1) {
         CIM_FATAL("refsim threads must be >= 1, got ", config.threads);
     }
+    config.faults.validate();
     Physics phys(config);
     LayerShape shape(config, layer);
     GenParams gen(layer.network.empty() ? layer.name : layer.network,
@@ -472,6 +492,20 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                               config.weightBits);
             }
         }
+    }
+
+    // Inject device faults into the conductance array: each cell draws
+    // from its own counter-derived stream, so the pattern depends only on
+    // (fault model, layer identity, flat cell index) — never on thread
+    // scheduling. The recorded operand profile keeps the IDEAL weights:
+    // the statistical model receives clean marginals and applies the same
+    // fault model analytically, which is exactly the truth-vs-model
+    // comparison the fault tests assert.
+    if (config.faults.cellFaultsEnabled()) {
+        faults::perturbConductances(
+            config.faults,
+            faults::layerFaultSeed(config.faults, layer.name, layer.index),
+            g_norm);
     }
 
     // Binary cycle weights for the Macro-C analog accumulator.
@@ -599,13 +633,22 @@ struct StatEnergies
         ex /= n_slices;
         ex2 /= n_slices;
 
-        // Weights: offset-encode, slice at the cell width.
+        // Weights: offset-encode, slice at the cell width. Device faults
+        // perturb each slice's level PMF the same way the value-level
+        // simulator perturbs cells: stuck-at mass moves to the 0 / full
+        // atoms and surviving levels get the mean-preserving two-point
+        // variance inflation, whose first two moments exactly match the
+        // injected lognormal variation.
         EncodedTensor wt_full = dist::encodeOperands(
             profile.weights, dist::Encoding::Offset, config.weightBits);
         std::vector<EncodedTensor> wt_slices =
             wt_full.slices(config.cellBits);
         double eg = 0.0, eg2 = 0.0;
-        for (const EncodedTensor& s : wt_slices) {
+        for (EncodedTensor& s : wt_slices) {
+            if (config.faults.cellFaultsEnabled()) {
+                s.codes = faults::perturbedCellLevels(config.faults,
+                                                      s.codes, s.maxCode());
+            }
             eg += s.meanNormValue();
             eg2 += s.meanNormSquare();
         }
@@ -630,10 +673,21 @@ struct StatEnergies
         double var1 = (config.accumulateAcrossInputBits ? exf2 : ex2) *
                           eg2 -
                       mu1 * mu1;
-        double mu = mu1;
-        double sigma = std::sqrt(std::max(var1, 1e-12) / rows);
+        // ADC faults shift the readout mean by the offset and widen it by
+        // the per-convert noise variance (the value-level path draws both
+        // per convert). The quantization window widens with them so no
+        // perturbed mass clamps to the window ends.
+        double mu = mu1 + config.faults.adcOffset;
+        double sigma = std::sqrt(
+            std::max(var1, 1e-12) / rows +
+            config.faults.adcNoiseSigma * config.faults.adcNoiseSigma);
+        std::int64_t window_lo = -100, window_hi = 1100;
+        if (config.faults.adcFaultsEnabled()) {
+            window_lo = -1100;
+            window_hi = 2100;
+        }
         Pmf sum_pmf = Pmf::quantizedGaussian(mu * 1000.0, sigma * 1000.0,
-                                             -100, 1100);
+                                             window_lo, window_hi);
         adc_pj = sum_pmf.expectation(
             [&](double milli) { return phys.adcPj(milli / 1000.0); });
 
@@ -646,6 +700,7 @@ RefSimResult
 estimateFromProfile(const RefSimConfig& config, const Layer& layer,
                     const dist::OperandProfile& profile)
 {
+    config.faults.validate();
     LayerShape shape(config, layer);
     ActionCounts counts(shape, config.accumulateAcrossInputBits);
     StatEnergies e(config, shape, profile);

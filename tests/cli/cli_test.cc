@@ -277,6 +277,161 @@ TEST(Run, RefSimThreadsMatchSingle)
     EXPECT_EQ(a, b);
 }
 
+TEST(Parse, FaultFlags)
+{
+    CliOptions o = parse({"--macro", "base", "--network", "mvm",
+                          "--faults", "/tmp/f.yaml",
+                          "--fault-stuck-rate", "0.02",
+                          "--fault-sigma", "0.3", "--keep-going"});
+    EXPECT_EQ(o.faultsPath, "/tmp/f.yaml");
+    EXPECT_DOUBLE_EQ(o.faultStuckRate, 0.02);
+    EXPECT_DOUBLE_EQ(o.faultSigma, 0.3);
+    EXPECT_TRUE(o.keepGoing);
+
+    // Defaults: flags absent, faults disabled, strict mode.
+    CliOptions d = parse({"--macro", "base", "--network", "mvm"});
+    EXPECT_TRUE(d.faultsPath.empty());
+    EXPECT_DOUBLE_EQ(d.faultStuckRate, -1.0);
+    EXPECT_DOUBLE_EQ(d.faultSigma, -1.0);
+    EXPECT_FALSE(d.keepGoing);
+
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--fault-stuck-rate", "1.5"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--fault-stuck-rate", "-0.5"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--fault-sigma", "-0.1"}),
+                 FatalError);
+}
+
+TEST(Run, FaultSpecFileDrivesBothModes)
+{
+    const char* faults_path = "/tmp/cimloop_cli_faults.yaml";
+    {
+        std::ofstream f(faults_path);
+        f << "faults:\n"
+             "  stuck_off_rate: 0.02\n"
+             "  conductance_sigma: 0.2\n"
+             "  seed: 9\n";
+    }
+    std::ostringstream out, err;
+    int rc = run({"--refsim", "--network", "mvm", "--refsim-vectors", "8",
+                  "--faults", faults_path},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    std::string text = out.str();
+    // Fault header plus the degradation columns against the clean run.
+    EXPECT_NE(text.find("stuck-off 0.02"), std::string::npos);
+    EXPECT_NE(text.find("clean (pJ)"), std::string::npos);
+    EXPECT_NE(text.find("dE"), std::string::npos);
+
+    std::ostringstream out2, err2;
+    rc = run({"--macro", "base", "--network", "mvm", "--mappings", "15",
+              "--faults", faults_path},
+             out2, err2);
+    EXPECT_EQ(rc, 0) << err2.str();
+    EXPECT_NE(out2.str().find("per-layer degradation vs fault-free"),
+              std::string::npos);
+
+    // A broken spec fails loudly, naming the offending key.
+    {
+        std::ofstream f(faults_path);
+        f << "faults:\n  stuck_off_rate: 7\n";
+    }
+    std::ostringstream out3, err3;
+    EXPECT_EQ(run({"--refsim", "--network", "mvm", "--faults",
+                   faults_path},
+                  out3, err3),
+              1);
+    EXPECT_NE(err3.str().find("faults.stuck_off_rate"),
+              std::string::npos);
+}
+
+TEST(Run, ZeroRateFaultFlagsKeepOutputByteIdentical)
+{
+    std::ostringstream plain, zeroed, err;
+    ASSERT_EQ(run({"--macro", "base", "--network", "mvm", "--mappings",
+                   "20", "--seed", "5", "--threads", "2"},
+                  plain, err),
+              0);
+    ASSERT_EQ(run({"--macro", "base", "--network", "mvm", "--mappings",
+                   "20", "--seed", "5", "--threads", "2",
+                   "--fault-stuck-rate", "0", "--fault-sigma", "0",
+                   "--keep-going"},
+                  zeroed, err),
+              0);
+    EXPECT_EQ(plain.str(), zeroed.str());
+
+    std::ostringstream ref_plain, ref_zeroed;
+    ASSERT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "8"},
+                  ref_plain, err),
+              0);
+    ASSERT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "8", "--fault-stuck-rate", "0", "--fault-sigma", "0"},
+                  ref_zeroed, err),
+              0);
+    EXPECT_EQ(ref_plain.str(), ref_zeroed.str());
+}
+
+TEST(Run, FaultyStatisticalRunStillSucceeds)
+{
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "15", "--fault-stuck-rate", "0.04", "--fault-sigma",
+                  "0.2", "--threads", "2"},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("total energy"), std::string::npos);
+    EXPECT_NE(out.str().find("faulty (pJ)"), std::string::npos);
+}
+
+TEST(Run, KeepGoingReportsFailedLayersAndExitsZero)
+{
+    const char* arch_path = "/tmp/cimloop_cli_kg_arch.yaml";
+    const char* net_path = "/tmp/cimloop_cli_kg_net.yaml";
+    {
+        // An arch whose only temporal dims are P: the C-loop layer in
+        // the middle of the network is unmappable on it.
+        std::ofstream a(arch_path);
+        a << "!Component\n"
+             "name: dram\n"
+             "class: DRAM\n"
+             "temporal_reuse: [Inputs, Weights, Outputs]\n"
+             "temporal_dims: [P, IB, WB]\n"
+             "!Component\n"
+             "name: pe\n"
+             "class: DigitalMac\n"
+             "temporal_reuse: [Weights]\n"
+             "temporal_dims: [P, IB, WB]\n";
+        std::ofstream n(net_path);
+        n << "name: mixed\n"
+             "layers:\n"
+             "  - {name: ok1, dims: {P: 8}}\n"
+             "  - {name: bad, dims: {C: 8, P: 2}}\n"
+             "  - {name: ok2, dims: {P: 16}}\n";
+    }
+    // Strict mode aborts with exit 1...
+    std::ostringstream out1, err1;
+    EXPECT_EQ(run({"--arch", arch_path, "--workload", net_path,
+                   "--mappings", "30"},
+                  out1, err1),
+              1);
+    // ...keep-going completes, reports the bad layer, and exits 0.
+    std::ostringstream out2, err2;
+    int rc = run({"--arch", arch_path, "--workload", net_path,
+                  "--mappings", "30", "--keep-going", "--threads", "4"},
+                 out2, err2);
+    EXPECT_EQ(rc, 0) << err2.str();
+    EXPECT_NE(err2.str().find("1 of 3 layers failed"), std::string::npos)
+        << err2.str();
+    EXPECT_NE(err2.str().find("layer 'bad' (fatal)"), std::string::npos)
+        << err2.str();
+    EXPECT_NE(out2.str().find("total energy"), std::string::npos);
+}
+
 TEST(Run, ThreadsMatchSingle)
 {
     std::ostringstream out1, out4, err;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "cimloop/common/error.hh"
@@ -65,6 +66,106 @@ TEST(ParallelFor, AbandonsRemainingWorkAfterFailure)
     }
     // Not all 10000 items ran: workers saw the failure flag and stopped.
     EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ParallelFor, SingleFailureRethrowsTheOriginalMessage)
+{
+    try {
+        parallelFor(4, 8, [](std::size_t i) {
+            if (i == 5)
+                CIM_FATAL("item five is bad");
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        // One failure: the original exception, not a wrapped summary.
+        EXPECT_NE(std::string(e.what()).find("item five is bad"),
+                  std::string::npos);
+        EXPECT_EQ(std::string(e.what()).find("parallel work items"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParallelFor, AggregatesEveryConcurrentFailure)
+{
+    // Before the aggregation fix, only the first captured exception
+    // survived and concurrent failures were silently dropped. Both
+    // workers rendezvous inside their item before either throws, so
+    // both failures are guaranteed to land before the stop flag.
+    std::atomic<int> arrived{0};
+    try {
+        parallelFor(2, 2, [&](std::size_t i) {
+            ++arrived;
+            while (arrived.load() < 2)
+                std::this_thread::yield();
+            CIM_FATAL("worker failure on item ", i);
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("2 parallel work items failed"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("item 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("item 1"), std::string::npos) << msg;
+    }
+}
+
+TEST(ParallelFor, PanicTrumpsFatalInAggregation)
+{
+    // A bug (PanicError) must not be downgraded by co-failing bad input.
+    std::atomic<int> arrived{0};
+    EXPECT_THROW(parallelFor(2, 2,
+                             [&](std::size_t i) {
+                                 ++arrived;
+                                 while (arrived.load() < 2)
+                                     std::this_thread::yield();
+                                 if (i == 0)
+                                     CIM_FATAL("bad input");
+                                 CIM_PANIC("bug");
+                             }),
+                 PanicError);
+}
+
+TEST(ParallelForAll, RunsEveryItemDespiteFailures)
+{
+    std::vector<std::atomic<int>> visits(100);
+    std::vector<WorkerError> errors =
+        parallelForAll(4, 100, [&](std::size_t i) {
+            ++visits[i];
+            if (i % 10 == 3)
+                CIM_FATAL("item ", i, " failed");
+        });
+    // Keep-going: no early abandon, every item ran exactly once.
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    ASSERT_EQ(errors.size(), 10u);
+    // Failures come back sorted by item index with the exception intact.
+    for (std::size_t k = 0; k < errors.size(); ++k) {
+        EXPECT_EQ(errors[k].index, 10 * k + 3);
+        try {
+            std::rethrow_exception(errors[k].error);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError& e) {
+            EXPECT_NE(std::string(e.what()).find("failed"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(ParallelForAll, EmptyResultMeansSuccess)
+{
+    std::atomic<int> count{0};
+    EXPECT_TRUE(parallelForAll(4, 50, [&](std::size_t) { ++count; })
+                    .empty());
+    EXPECT_EQ(count.load(), 50);
+    // Serial path captures too.
+    std::vector<WorkerError> serial =
+        parallelForAll(1, 3, [](std::size_t i) {
+            if (i == 1)
+                CIM_FATAL("middle item");
+        });
+    ASSERT_EQ(serial.size(), 1u);
+    EXPECT_EQ(serial[0].index, 1u);
 }
 
 } // namespace

@@ -1,0 +1,179 @@
+/**
+ * End-to-end fault injection: zero-rate models are bit-identical to the
+ * fault-free baseline, injected refsim runs are bit-identical at any
+ * thread count, the statistical model is reproducible run to run, and
+ * truth vs model stay in agreement under faults (the paper's accuracy
+ * contract extended to non-ideal devices).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/faults/faults.hh"
+#include "cimloop/refsim/refsim.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::refsim {
+namespace {
+
+RefSimConfig
+smallConfig()
+{
+    RefSimConfig c;
+    c.rows = 32;
+    c.cols = 32;
+    c.inputBits = 8;
+    c.weightBits = 8;
+    c.adcBits = 5;
+    c.maxVectors = 16;
+    return c;
+}
+
+workload::Layer
+testLayer(int index = 3)
+{
+    workload::Network net = workload::resnet18();
+    workload::Layer l = net.layers[index];
+    l.dims[workload::dimIndex(workload::Dim::P)] = 4;
+    l.dims[workload::dimIndex(workload::Dim::Q)] = 4;
+    return l;
+}
+
+faults::FaultModel
+injected()
+{
+    faults::FaultModel m;
+    m.stuckOffRate = 0.02;
+    m.stuckOnRate = 0.01;
+    m.conductanceSigma = 0.2;
+    m.adcOffset = 0.01;
+    m.adcNoiseSigma = 0.01;
+    m.seed = 11;
+    return m;
+}
+
+void
+expectBitIdentical(const RefSimResult& a, const RefSimResult& b)
+{
+    EXPECT_DOUBLE_EQ(a.dacPj, b.dacPj);
+    EXPECT_DOUBLE_EQ(a.cellPj, b.cellPj);
+    EXPECT_DOUBLE_EQ(a.adcPj, b.adcPj);
+    EXPECT_DOUBLE_EQ(a.digitalPj, b.digitalPj);
+    EXPECT_DOUBLE_EQ(a.bufferPj, b.bufferPj);
+    EXPECT_EQ(a.valuesSimulated, b.valuesSimulated);
+}
+
+TEST(Injection, ZeroRateModelBitIdenticalToBaseline)
+{
+    RefSimConfig clean = smallConfig();
+    RefSimConfig zeroed = smallConfig();
+    // Enabled-looking model with every mechanism at zero must not
+    // disturb a single RNG draw or energy term.
+    zeroed.faults.seed = 42;
+    workload::Layer l = testLayer();
+    expectBitIdentical(simulateValueLevel(clean, l),
+                       simulateValueLevel(zeroed, l));
+
+    dist::OperandProfile prof;
+    simulateValueLevel(clean, l, &prof);
+    expectBitIdentical(estimateStatistical(clean, l, prof),
+                       estimateStatistical(zeroed, l, prof));
+}
+
+TEST(Injection, ValueLevelBitIdenticalAcrossThreads)
+{
+    RefSimConfig c = smallConfig();
+    c.faults = injected();
+    workload::Layer l = testLayer();
+    c.threads = 1;
+    RefSimResult serial = simulateValueLevel(c, l);
+    for (int threads : {2, 8}) {
+        c.threads = threads;
+        RefSimResult parallel = simulateValueLevel(c, l);
+        SCOPED_TRACE(threads);
+        expectBitIdentical(serial, parallel);
+    }
+}
+
+TEST(Injection, StatisticalReproducibleAcrossRuns)
+{
+    RefSimConfig c = smallConfig();
+    c.faults = injected();
+    workload::Layer l = testLayer();
+    dist::OperandProfile prof;
+    simulateValueLevel(c, l, &prof);
+    expectBitIdentical(estimateStatistical(c, l, prof),
+                       estimateStatistical(c, l, prof));
+}
+
+TEST(Injection, FaultSeedChangesThePattern)
+{
+    RefSimConfig c = smallConfig();
+    c.faults = injected();
+    workload::Layer l = testLayer();
+    RefSimResult a = simulateValueLevel(c, l);
+    c.faults.seed = 12;
+    RefSimResult b = simulateValueLevel(c, l);
+    // Different fault pattern, same data: totals differ but stay close.
+    EXPECT_NE(a.totalPj(), b.totalPj());
+    EXPECT_NEAR(a.totalPj() / b.totalPj(), 1.0, 0.2);
+}
+
+TEST(Injection, TruthAndModelAgreeUnderFaults)
+{
+    // The statistical perturbation matches the value-level injection's
+    // first two moments exactly, so the truth-vs-model error under
+    // faults stays in the same few-percent band as the clean comparison.
+    RefSimConfig c = smallConfig();
+    c.maxVectors = 24;
+    c.faults = injected();
+    for (int idx : {2, 5, 9}) {
+        workload::Layer l = testLayer(idx);
+        dist::OperandProfile prof;
+        RefSimResult truth = simulateValueLevel(c, l, &prof);
+        RefSimResult model = estimateStatistical(c, l, prof);
+        double err = model.totalPj() / truth.totalPj() - 1.0;
+        EXPECT_LT(std::abs(err), 0.10) << "layer index " << idx;
+    }
+}
+
+TEST(Injection, StuckOffCellsDrawLessCellEnergy)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    RefSimResult clean = simulateValueLevel(c, l);
+    c.faults.stuckOffRate = 0.5;
+    RefSimResult faulty = simulateValueLevel(c, l);
+    // Half the cells read as G_off: column currents (and the
+    // value-aware cell read energy) drop measurably.
+    EXPECT_LT(faulty.cellPj, clean.cellPj);
+}
+
+TEST(Injection, AdcOffsetShiftsAdcEnergy)
+{
+    RefSimConfig c = smallConfig();
+    workload::Layer l = testLayer();
+    RefSimResult clean = simulateValueLevel(c, l);
+    c.faults.adcOffset = 0.5;
+    RefSimResult faulty = simulateValueLevel(c, l);
+    // The value-aware ADC spends more on the systematically larger
+    // readout codes; everything else is untouched.
+    EXPECT_GT(faulty.adcPj, clean.adcPj);
+    EXPECT_DOUBLE_EQ(faulty.cellPj, clean.cellPj);
+    EXPECT_DOUBLE_EQ(faulty.dacPj, clean.dacPj);
+}
+
+TEST(Injection, InvalidModelIsFatalUpFront)
+{
+    RefSimConfig c = smallConfig();
+    c.faults.conductanceSigma = 5.0;
+    EXPECT_THROW(simulateValueLevel(c, testLayer()), FatalError);
+    dist::OperandProfile prof;
+    RefSimConfig ok = smallConfig();
+    simulateValueLevel(ok, testLayer(), &prof);
+    EXPECT_THROW(estimateStatistical(c, testLayer(), prof), FatalError);
+}
+
+} // namespace
+} // namespace cimloop::refsim
