@@ -17,6 +17,7 @@
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/macros/macros.hh"
+#include "cimloop/obs/obs.hh"
 #include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
 #include "cimloop/yaml/parser.hh"
@@ -301,6 +302,63 @@ BM_RefSimParallel(benchmark::State& state)
 }
 BENCHMARK(BM_RefSimParallel)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_ObsCounterAdd(benchmark::State& state)
+{
+    // The always-on cost at an instrumented call site: one relaxed
+    // fetch_add on a cache-line-aligned atomic, registry lookup hoisted
+    // into a function-local static exactly as instrumented code does it.
+    static obs::Counter& c = obs::counter("bench.obs.counter_add");
+    for (auto _ : state) {
+        c.add();
+    }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void
+BM_ObsSpanDisabled(benchmark::State& state)
+{
+    // The default path: timing off, a span is two branches and no clock
+    // reads. This is the overhead every CIM_SPAN site pays in normal
+    // (non---metrics) runs, quoted in docs/architecture.md.
+    obs::setTimingEnabled(false);
+    for (auto _ : state) {
+        CIM_SPAN("bench.obs.span_disabled");
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void
+BM_ObsSpanEnabled(benchmark::State& state)
+{
+    // With --metrics: two steady_clock reads plus a mutex-guarded
+    // aggregate update at span close.
+    obs::setTimingEnabled(true);
+    for (auto _ : state) {
+        CIM_SPAN("bench.obs.span_enabled");
+    }
+    obs::setTimingEnabled(false);
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void
+BM_ObsEvaluateOverhead(benchmark::State& state)
+{
+    // End-to-end guard for the "< 2% with obs disabled" budget: a full
+    // mapping evaluation with every counter live but timing off —
+    // compare against BM_Evaluate in a snapshot diff.
+    obs::setTimingEnabled(false);
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    mapping::Mapping m = mapper.greedy();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine::evaluate(benchArch(), table, m));
+    }
+}
+BENCHMARK(BM_ObsEvaluateOverhead);
 
 } // namespace
 

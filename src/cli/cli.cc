@@ -5,7 +5,9 @@
 #include <fstream>
 
 #include "cimloop/common/error.hh"
+#include "cimloop/common/util.hh"
 #include "cimloop/engine/evaluate.hh"
+#include "cimloop/obs/obs.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/models/devices.hh"
@@ -81,6 +83,15 @@ fault injection / robustness:
   --keep-going         capture per-layer failures (e.g. unmappable
                        layers) as diagnostics and continue with partial
                        results instead of aborting
+
+observability:
+  --metrics[=FILE]     print the run's counter/span summary table; with
+                       =FILE, write the metrics JSON instead. Counter
+                       values are deterministic at fixed --seed for any
+                       --threads (span timings are not)
+  --trace FILE         write a Chrome trace-event JSON of the run's
+                       timing spans; load it via chrome://tracing or
+                       ui.perfetto.dev (also accepts --trace=FILE)
 )";
 }
 
@@ -186,6 +197,19 @@ parseArgs(const std::vector<std::string>& args)
                           opts.faultSigma);
         } else if (flag == "--keep-going") {
             opts.keepGoing = true;
+        } else if (flag == "--metrics") {
+            opts.metrics = true;
+        } else if (startsWith(flag, "--metrics=")) {
+            opts.metrics = true;
+            opts.metricsPath = flag.substr(std::string("--metrics=").size());
+            if (opts.metricsPath.empty())
+                CIM_FATAL("--metrics= expects a file path");
+        } else if (flag == "--trace") {
+            opts.tracePath = value();
+        } else if (startsWith(flag, "--trace=")) {
+            opts.tracePath = flag.substr(std::string("--trace=").size());
+            if (opts.tracePath.empty())
+                CIM_FATAL("--trace= expects a file path");
         } else {
             CIM_FATAL("unknown flag '", flag, "' (try --help)");
         }
@@ -380,6 +404,56 @@ runRefSim(const CliOptions& opts, const faults::FaultModel& fault_model,
     return 0;
 }
 
+/**
+ * Arms span timing (and tracing) for one run and guarantees both are
+ * off again when the run leaves scope, whatever path it exits on, so a
+ * metrics run never leaks timing overhead into a later in-process run.
+ */
+struct ObsRunScope
+{
+    explicit ObsRunScope(const CliOptions& opts)
+    {
+        // Hermetic per-invocation numbers: counters are process-wide
+        // and the per-action cache would turn misses into hits across
+        // back-to-back runs.
+        obs::resetAll();
+        engine::clearPerActionCache();
+        obs::setTimingEnabled(opts.metrics || !opts.tracePath.empty());
+        obs::setTraceEnabled(!opts.tracePath.empty());
+    }
+    ~ObsRunScope()
+    {
+        obs::setTraceEnabled(false);
+        obs::setTimingEnabled(false);
+    }
+};
+
+/** Writes --trace / --metrics outputs at the end of a successful run. */
+void
+emitObservability(const CliOptions& opts, std::ostream& out)
+{
+    if (!opts.tracePath.empty()) {
+        std::ofstream trace(opts.tracePath);
+        if (!trace)
+            CIM_FATAL("cannot write trace to '", opts.tracePath, "'");
+        trace << obs::traceJson();
+        out << "wrote " << opts.tracePath << "\n";
+    }
+    if (opts.metrics) {
+        obs::MetricsSnapshot snap = obs::snapshot();
+        if (opts.metricsPath.empty()) {
+            out << "\n" << obs::summaryTable(snap);
+        } else {
+            std::ofstream mf(opts.metricsPath);
+            if (!mf)
+                CIM_FATAL("cannot write metrics to '", opts.metricsPath,
+                          "'");
+            mf << obs::metricsJson(snap);
+            out << "wrote " << opts.metricsPath << "\n";
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -399,9 +473,14 @@ run(const std::vector<std::string>& args, std::ostream& out,
     }
 
     try {
+        ObsRunScope obs_scope(opts);
         faults::FaultModel fault_model = buildFaults(opts);
-        if (opts.refsim)
-            return runRefSim(opts, fault_model, out);
+        if (opts.refsim) {
+            int rc = runRefSim(opts, fault_model, out);
+            if (rc == 0)
+                emitObservability(opts, out);
+            return rc;
+        }
 
         engine::Arch arch = buildArch(opts);
         arch.faults = fault_model;
@@ -533,6 +612,8 @@ run(const std::vector<std::string>& args, std::ostream& out,
             csv << engine::toCsv(ev, net);
             out << "wrote " << opts.csvPath << "\n";
         }
+
+        emitObservability(opts, out);
         return 0;
     } catch (const FatalError& e) {
         err << e.what() << "\n";

@@ -72,6 +72,19 @@ struct CliOptions
      * and continue with the remaining layers instead of aborting.
      */
     bool keepGoing = false;
+
+    /**
+     * Observability. --metrics prints the run's counter/span summary
+     * table; --metrics=FILE writes the metrics JSON instead (counters
+     * are deterministic at fixed seed for any --threads; span timings
+     * are not). --trace=FILE writes a Chrome trace-event JSON — load it
+     * via chrome://tracing or ui.perfetto.dev. Both flags reset the
+     * process-wide counters at the start of the run, so the output
+     * describes exactly one invocation.
+     */
+    bool metrics = false;    //!< --metrics[=FILE] given
+    std::string metricsPath; //!< empty = print summary to out
+    std::string tracePath;   //!< --trace=FILE (empty = tracing off)
 };
 
 /**

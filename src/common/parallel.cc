@@ -61,6 +61,10 @@ runPool(int threads, std::size_t n,
     }
     for (std::thread& t : pool)
         t.join();
+    // Capture order is thread-completion order, which is nondeterministic;
+    // diagnostics sort by item index so aggregated reports are stable
+    // (pinned by ParallelFor.AggregationListsFailuresInItemOrder and
+    // ParallelForAll.ErrorsSortedDespiteReverseCompletionOrder).
     std::sort(errors.begin(), errors.end(),
               [](const WorkerError& a, const WorkerError& b) {
                   return a.index < b.index;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cimloop/common/error.hh"
+#include "cimloop/obs/obs.hh"
 
 namespace cimloop::dist {
 
@@ -80,9 +81,14 @@ Pmf::uniformInt(std::int64_t lo, std::int64_t hi)
 Pmf
 Pmf::fromPoints(std::vector<Point> pts)
 {
+    static obs::Counter& lattice =
+        obs::counter("dist.pmf.from_points.lattice");
+    static obs::Counter& fallback =
+        obs::counter("dist.pmf.from_points.fallback");
     Pmf p;
     std::int64_t lo = 0, hi = 0;
     if (latticeBounds(pts, lo, hi) && denseEnough(lo, hi, pts.size())) {
+        lattice.add();
         // Integer-lattice fast path: merge duplicates through a dense
         // probability array (no sort; output is sorted by construction).
         std::vector<double> acc(hi - lo + 1, 0.0);
@@ -96,6 +102,7 @@ Pmf::fromPoints(std::vector<Point> pts)
                      acc[i]});
         }
     } else {
+        fallback.add();
         p.points_ = std::move(pts);
         p.sortMerge();
     }
@@ -239,12 +246,16 @@ Pmf::convolveWith(const Pmf& other, std::size_t max_points) const
 #ifndef NDEBUG
     const double exact_mean = mean() + other.mean();
 #endif
+    static obs::Counter& lattice = obs::counter("dist.pmf.convolve.lattice");
+    static obs::Counter& fallback =
+        obs::counter("dist.pmf.convolve.fallback");
     Pmf out;
     std::int64_t alo = 0, ahi = 0, blo = 0, bhi = 0;
     if (latticeBounds(points_, alo, ahi) &&
         latticeBounds(other.points_, blo, bhi) &&
         (ahi - alo) + (bhi - blo) < kMaxLatticeSpan &&
         denseEnough(blo, bhi, other.points_.size())) {
+        lattice.add();
         // Dense integer-lattice kernel: densify the second operand, then
         // each point of the first contributes one contiguous axpy over
         // the flat array — no point-pair list, no sort/merge.
@@ -272,6 +283,7 @@ Pmf::convolveWith(const Pmf& other, std::size_t max_points) const
         }
         out.normalize();
     } else {
+        fallback.add();
         std::vector<Point> pts;
         pts.reserve(points_.size() * other.points_.size());
         for (const Point& a : points_) {

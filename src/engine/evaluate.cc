@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <cstdio>
 #include <mutex>
-#include <shared_mutex>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -16,6 +16,7 @@
 #include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/faults/faults.hh"
+#include "cimloop/obs/obs.hh"
 
 namespace cimloop::engine {
 
@@ -35,6 +36,7 @@ PerActionTable
 precompute(const Arch& arch, const workload::Layer& layer,
            const dist::OperandProfile* profile_override)
 {
+    CIM_SPAN("engine.precompute");
     PerActionTable table;
     table.extLayer = arch.extendLayer(layer);
 
@@ -147,11 +149,18 @@ perActionKey(const Arch& arch, const workload::Layer& layer)
 
 struct PerActionCache
 {
-    std::shared_mutex mutex;
-    std::unordered_map<std::string, std::shared_ptr<const PerActionTable>>
+    std::mutex mutex;
+    // Single-flight: the entry is a shared future so concurrent misses on
+    // one key compute the table exactly once (the claimer) while racers
+    // wait on the result. Besides deduplicating work, this makes hit and
+    // miss counts scheduling-invariant (misses == unique keys), which the
+    // metrics determinism test relies on.
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const PerActionTable>>>
         entries;
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> misses{0};
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
 };
 
 PerActionCache&
@@ -166,41 +175,60 @@ perActionCache()
 std::shared_ptr<const PerActionTable>
 cachedPrecompute(const Arch& arch, const workload::Layer& layer)
 {
+    static obs::Counter& obs_hits =
+        obs::counter("engine.per_action_cache.hits");
+    static obs::Counter& obs_misses =
+        obs::counter("engine.per_action_cache.misses");
     PerActionCache& cache = perActionCache();
     const std::string key = perActionKey(arch, layer);
+    std::promise<std::shared_ptr<const PerActionTable>> promise;
+    std::shared_future<std::shared_ptr<const PerActionTable>> future;
+    bool claimed = false;
     {
-        std::shared_lock<std::shared_mutex> lock(cache.mutex);
-        auto it = cache.entries.find(key);
-        if (it != cache.entries.end()) {
-            cache.hits.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto [it, inserted] = cache.entries.try_emplace(key);
+        if (inserted) {
+            it->second = promise.get_future().share();
+            claimed = true;
+            ++cache.misses;
+            obs_misses.add();
+        } else {
+            ++cache.hits;
+            obs_hits.add();
+        }
+        future = it->second;
+    }
+    if (claimed) {
+        // Synthesize outside the lock; waiters block on the future.
+        try {
+            promise.set_value(std::make_shared<const PerActionTable>(
+                precompute(arch, layer)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            // Drop the poisoned entry so a later call can retry.
+            std::lock_guard<std::mutex> lock(cache.mutex);
+            cache.entries.erase(key);
         }
     }
-    // Synthesize outside the lock; concurrent misses on the same key both
-    // compute the (identical) table and the loser's copy is dropped.
-    auto table =
-        std::make_shared<const PerActionTable>(precompute(arch, layer));
-    std::unique_lock<std::shared_mutex> lock(cache.mutex);
-    cache.misses.fetch_add(1, std::memory_order_relaxed);
-    return cache.entries.emplace(key, std::move(table)).first->second;
+    return future.get();
 }
 
 PerActionCacheStats
 perActionCacheStats()
 {
     PerActionCache& cache = perActionCache();
-    std::shared_lock<std::shared_mutex> lock(cache.mutex);
-    return {cache.hits.load(), cache.misses.load(), cache.entries.size()};
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return {cache.hits, cache.misses, cache.entries.size()};
 }
 
 void
 clearPerActionCache()
 {
     PerActionCache& cache = perActionCache();
-    std::unique_lock<std::shared_mutex> lock(cache.mutex);
+    std::lock_guard<std::mutex> lock(cache.mutex);
     cache.entries.clear();
-    cache.hits.store(0);
-    cache.misses.store(0);
+    cache.hits = 0;
+    cache.misses = 0;
 }
 
 double
@@ -397,6 +425,7 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
                int num_mappings, std::uint64_t seed, Objective objective,
                int threads)
 {
+    CIM_SPAN("engine.search_layer");
     std::shared_ptr<const PerActionTable> table =
         cachedPrecompute(arch, layer);
     const mapping::Mapper mapper(arch.hierarchy, table->extLayer,
@@ -448,6 +477,17 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
         }
     }
 
+    // Counted once, post-merge, so the totals are scheduling-invariant.
+    static obs::Counter& c_eval = obs::counter("mapping.search.evaluated");
+    static obs::Counter& c_invalid = obs::counter("mapping.search.invalid");
+    static obs::Counter& c_rej = obs::counter("mapping.search.rejected");
+    static obs::Counter& c_exh =
+        obs::counter("mapping.search.exhausted_shards");
+    c_eval.add(static_cast<std::uint64_t>(result.evaluated));
+    c_invalid.add(static_cast<std::uint64_t>(result.invalid));
+    c_rej.add(static_cast<std::uint64_t>(result.rejected));
+    c_exh.add(static_cast<std::uint64_t>(result.exhausted));
+
     if (result.exhausted > 0) {
         warn("mapping search for layer '", layer.name, "' on arch '",
              arch.name, "' stopped early in ", result.exhausted, " of ",
@@ -497,10 +537,13 @@ accumulateNetwork(const workload::Network& network,
                   std::vector<SearchResult> results,
                   std::vector<LayerDiagnostic> diagnostics)
 {
+    static obs::Counter& c_ok = obs::counter("engine.layers.evaluated");
+    static obs::Counter& c_failed = obs::counter("engine.layers.failed");
     NetworkEvaluation net;
     net.layers.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (results[i].best.valid) {
+            c_ok.add();
             double reps = static_cast<double>(network.layers[i].count);
             net.energyPj += results[i].best.energyPj * reps;
             net.latencyNs += results[i].best.latencyNs * reps;
@@ -509,7 +552,10 @@ accumulateNetwork(const workload::Network& network,
         }
         net.layers.push_back(std::move(results[i]));
     }
+    c_failed.add(diagnostics.size());
     net.diagnostics = std::move(diagnostics);
+    // Library users get the run's metrics without going through the CLI.
+    net.metrics = obs::snapshot();
     return net;
 }
 
@@ -520,6 +566,7 @@ evaluateNetwork(const Arch& arch, const workload::Network& network,
                 int mappings_per_layer, std::uint64_t seed,
                 Objective objective, bool keep_going)
 {
+    CIM_SPAN("engine.evaluate_network");
     std::vector<SearchResult> results(network.layers.size());
     std::vector<LayerDiagnostic> diagnostics;
     for (std::size_t i = 0; i < network.layers.size(); ++i) {

@@ -25,6 +25,7 @@
 #include "cimloop/mapping/mapper.hh"
 #include "cimloop/mapping/nest.hh"
 #include "cimloop/models/component.hh"
+#include "cimloop/obs/obs.hh"
 
 namespace cimloop::engine {
 
@@ -171,6 +172,16 @@ struct NetworkEvaluation
      * and contributes nothing to the totals.
      */
     std::vector<LayerDiagnostic> diagnostics;
+
+    /**
+     * Observability snapshot taken when the totals were folded: every
+     * registered counter plus span aggregates (spans only when timing
+     * was enabled). Counter values are process-cumulative — call
+     * obs::resetAll() before the run for per-run numbers, as the CLI
+     * does. Counters are deterministic at fixed seed for any thread
+     * count; span times are wall-clock and are not.
+     */
+    obs::MetricsSnapshot metrics;
 
     /** True when every layer evaluated successfully. */
     bool complete() const { return diagnostics.empty(); }

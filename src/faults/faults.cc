@@ -6,6 +6,7 @@
 #include "cimloop/common/error.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/dist/operands.hh"
+#include "cimloop/obs/obs.hh"
 #include "cimloop/yaml/node.hh"
 #include "cimloop/yaml/parser.hh"
 
@@ -127,21 +128,33 @@ perturbConductances(const FaultModel& model, std::uint64_t fault_seed,
 {
     if (!model.cellFaultsEnabled())
         return;
+    static obs::Counter& c_total = obs::counter("faults.cells.total");
+    static obs::Counter& c_off = obs::counter("faults.cells.stuck_off");
+    static obs::Counter& c_on = obs::counter("faults.cells.stuck_on");
+    static obs::Counter& c_varied = obs::counter("faults.cells.varied");
     const double p_off = model.stuckOffRate;
     const double p_on = model.stuckOnRate;
     const double sigma = model.conductanceSigma;
     const double log_shift = -0.5 * sigma * sigma; // mean-preserving
+    std::uint64_t n_off = 0, n_on = 0, n_varied = 0;
     for (std::size_t i = 0; i < g_norm.size(); ++i) {
         Rng rng = Rng::forStream(fault_seed, i);
         double u = rng.uniform();
         if (u < p_off) {
             g_norm[i] = 0.0;
+            ++n_off;
         } else if (u < p_off + p_on) {
             g_norm[i] = 1.0;
+            ++n_on;
         } else if (sigma > 0.0) {
             g_norm[i] *= std::exp(sigma * rng.gaussian() + log_shift);
+            ++n_varied;
         }
     }
+    c_total.add(g_norm.size());
+    c_off.add(n_off);
+    c_on.add(n_on);
+    c_varied.add(n_varied);
 }
 
 namespace {
@@ -208,6 +221,9 @@ perturbedCellCodes(const FaultModel& model, const Pmf& codes,
 {
     if (!model.cellFaultsEnabled())
         return codes;
+    static obs::Counter& c =
+        obs::counter("faults.pmf.cell_perturbations");
+    c.add();
     Pmf continuous = perturbedCellLevels(model, codes, max_code);
     return quantizedToCodes(continuous.points(), max_code);
 }
@@ -218,6 +234,9 @@ perturbedAdcCodes(const FaultModel& model, const Pmf& codes,
 {
     if (!model.adcFaultsEnabled())
         return codes;
+    static obs::Counter& c =
+        obs::counter("faults.pmf.adc_perturbations");
+    c.add();
     const double shift = model.adcOffset * max_code;
     const double kick = model.adcNoiseSigma * max_code;
     std::vector<Pmf::Point> pts;

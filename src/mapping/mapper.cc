@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cimloop/common/error.hh"
+#include "cimloop/obs/obs.hh"
 
 namespace cimloop::mapping {
 
@@ -402,7 +403,9 @@ Mapper::next()
 std::optional<Mapping>
 Mapper::next(Rng& rng, int& rejected) const
 {
+    static obs::Counter& samples = obs::counter("mapping.mapper.samples");
     for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+        samples.add();
         Mapping m = sample(rng);
         if (m.check(hierarchy, layer).empty())
             return m;

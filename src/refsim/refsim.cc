@@ -10,6 +10,7 @@
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/models/tech.hh"
+#include "cimloop/obs/obs.hh"
 
 namespace cimloop::refsim {
 
@@ -433,6 +434,7 @@ RefSimResult
 simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                    dist::OperandProfile* out_profile)
 {
+    CIM_SPAN("refsim.simulate_layer");
     CIM_ASSERT(config.rows >= 1 && config.cols >= 1,
                "refsim needs a non-empty array");
     if (config.maxVectors < 0) {
@@ -556,6 +558,12 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                             part.outPts.end());
         }
     }
+
+    static obs::Counter& c_vectors =
+        obs::counter("refsim.vectors.simulated");
+    static obs::Counter& c_values = obs::counter("refsim.values.simulated");
+    c_vectors.add(static_cast<std::uint64_t>(sim_vectors));
+    c_values.add(static_cast<std::uint64_t>(res.valuesSimulated));
 
     // Scale the sampled vectors up to the full layer.
     res.dacPj *= scale;
@@ -700,6 +708,10 @@ RefSimResult
 estimateFromProfile(const RefSimConfig& config, const Layer& layer,
                     const dist::OperandProfile& profile)
 {
+    CIM_SPAN("refsim.estimate_statistical");
+    static obs::Counter& c_estimates =
+        obs::counter("refsim.statistical.estimates");
+    c_estimates.add();
     config.faults.validate();
     LayerShape shape(config, layer);
     ActionCounts counts(shape, config.accumulateAcrossInputBits);

@@ -1,5 +1,6 @@
 #include "cimloop/cli/cli.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -430,6 +431,143 @@ TEST(Run, KeepGoingReportsFailedLayersAndExitsZero)
     EXPECT_NE(err2.str().find("layer 'bad' (fatal)"), std::string::npos)
         << err2.str();
     EXPECT_NE(out2.str().find("total energy"), std::string::npos);
+}
+
+TEST(Parse, ObservabilityFlags)
+{
+    // Bare --metrics: summary table on stdout, no file.
+    CliOptions o = parse({"--macro", "base", "--network", "mvm",
+                          "--metrics"});
+    EXPECT_TRUE(o.metrics);
+    EXPECT_TRUE(o.metricsPath.empty());
+    EXPECT_TRUE(o.tracePath.empty());
+
+    // --metrics=FILE writes machine-readable JSON instead.
+    CliOptions f = parse({"--macro", "base", "--network", "mvm",
+                          "--metrics=/tmp/m.json"});
+    EXPECT_TRUE(f.metrics);
+    EXPECT_EQ(f.metricsPath, "/tmp/m.json");
+
+    // --trace takes a path in either flag style.
+    CliOptions t = parse({"--macro", "base", "--network", "mvm",
+                          "--trace", "/tmp/t.json"});
+    EXPECT_EQ(t.tracePath, "/tmp/t.json");
+    CliOptions t2 = parse({"--macro", "base", "--network", "mvm",
+                           "--trace=/tmp/t2.json"});
+    EXPECT_EQ(t2.tracePath, "/tmp/t2.json");
+
+    // Defaults: everything off.
+    CliOptions d = parse({"--macro", "base", "--network", "mvm"});
+    EXPECT_FALSE(d.metrics);
+    EXPECT_TRUE(d.metricsPath.empty());
+    EXPECT_TRUE(d.tracePath.empty());
+
+    // Empty paths are an error, not a silent no-op.
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--metrics="}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--trace="}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--trace"}),
+                 FatalError); // missing value
+}
+
+TEST(Run, MetricsSummaryTableOnStdout)
+{
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "15", "--metrics"},
+                 out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    std::string text = out.str();
+    EXPECT_NE(text.find("counter"), std::string::npos);
+    EXPECT_NE(text.find("mapping.search.evaluated"), std::string::npos);
+    EXPECT_NE(text.find("engine.layers.evaluated"), std::string::npos);
+    // --metrics arms span timing, so the table has a span section too.
+    EXPECT_NE(text.find("engine.evaluate_network"), std::string::npos);
+}
+
+TEST(Run, MetricsFileContainsCountersAndSpans)
+{
+    const char* path = "/tmp/cimloop_cli_metrics.json";
+    std::ostringstream out, err;
+    int rc = run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                  "4", "--metrics=" + std::string(path)},
+                 out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(json.find("{\n"), 0u);
+    EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"refsim.vectors.simulated\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"spans\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"refsim.simulate_layer\""), std::string::npos);
+    // JSON mode keeps stdout for the report only.
+    EXPECT_EQ(out.str().find("counter"), std::string::npos);
+    std::remove(path);
+}
+
+TEST(Run, TraceFileIsChromeLoadable)
+{
+    // The fig6 workload class: value-level refsim vs the statistical
+    // model. Structural validation of the Chrome trace-event format —
+    // the invariants chrome://tracing / Perfetto require to load it.
+    const char* path = "/tmp/cimloop_cli_trace.json";
+    std::ostringstream out, err;
+    int rc = run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                  "4", "--threads", "2",
+                  "--trace=" + std::string(path)},
+                 out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find(std::string("wrote ") + path),
+              std::string::npos);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    // Top-level object with the traceEvents array.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+
+    // Every event is a complete ("ph":"X") event with the required
+    // name/pid/tid/ts/dur fields; at least one refsim span shows up.
+    std::size_t events = 0;
+    for (std::size_t pos = json.find("{\"name\":");
+         pos != std::string::npos;
+         pos = json.find("{\"name\":", pos + 1)) {
+        std::size_t end = json.find('}', pos);
+        ASSERT_NE(end, std::string::npos);
+        std::string ev = json.substr(pos, end - pos + 1);
+        EXPECT_NE(ev.find("\"cat\":\"cimloop\""), std::string::npos);
+        EXPECT_NE(ev.find("\"ph\":\"X\""), std::string::npos);
+        EXPECT_NE(ev.find("\"pid\":1"), std::string::npos);
+        EXPECT_NE(ev.find("\"tid\":"), std::string::npos);
+        EXPECT_NE(ev.find("\"ts\":"), std::string::npos);
+        EXPECT_NE(ev.find("\"dur\":"), std::string::npos);
+        ++events;
+    }
+    EXPECT_GT(events, 0u);
+    EXPECT_NE(json.find("\"name\":\"refsim.simulate_layer\""),
+              std::string::npos);
+    std::remove(path);
+
+    // Tracing is a per-run switch: a following plain run must not
+    // inherit it (the scope disarms on exit).
+    std::ostringstream out2, err2;
+    ASSERT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "4"},
+                  out2, err2),
+              0);
+    EXPECT_EQ(out2.str().find("wrote"), std::string::npos);
 }
 
 TEST(Run, ThreadsMatchSingle)

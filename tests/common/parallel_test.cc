@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -150,6 +151,52 @@ TEST(ParallelForAll, RunsEveryItemDespiteFailures)
                       std::string::npos);
         }
     }
+}
+
+TEST(ParallelFor, AggregationListsFailuresInItemOrder)
+{
+    // Pins the diagnostic sort: item 1 fails (and is captured) first,
+    // item 0 only fails after seeing item 1's flag plus a grace sleep,
+    // so the raw capture order is reverse of the item order. The
+    // aggregated message must still list item 0 before item 1.
+    std::atomic<bool> one_threw{false};
+    try {
+        parallelFor(2, 2, [&](std::size_t i) {
+            if (i == 1) {
+                one_threw.store(true);
+                CIM_FATAL("late item one");
+            }
+            while (!one_threw.load())
+                std::this_thread::yield();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            CIM_FATAL("early item zero");
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string msg = e.what();
+        std::size_t p0 = msg.find("item 0: fatal: early item zero");
+        std::size_t p1 = msg.find("item 1: fatal: late item one");
+        ASSERT_NE(p0, std::string::npos) << msg;
+        ASSERT_NE(p1, std::string::npos) << msg;
+        EXPECT_LT(p0, p1) << msg;
+    }
+}
+
+TEST(ParallelForAll, ErrorsSortedDespiteReverseCompletionOrder)
+{
+    // Every item fails, with later items finishing earlier (staggered
+    // sleeps), so the capture order is roughly reversed. The returned
+    // diagnostics must come back in ascending item order regardless.
+    constexpr std::size_t n = 6;
+    std::vector<WorkerError> errors =
+        parallelForAll(static_cast<int>(n), n, [&](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5 * (n - i)));
+            CIM_FATAL("item ", i);
+        });
+    ASSERT_EQ(errors.size(), n);
+    for (std::size_t k = 0; k < n; ++k)
+        EXPECT_EQ(errors[k].index, k);
 }
 
 TEST(ParallelForAll, EmptyResultMeansSuccess)

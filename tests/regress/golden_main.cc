@@ -1,0 +1,31 @@
+/**
+ * Custom gtest main for the regression binary: recognizes
+ * --update-golden, which switches the golden-metrics tests from
+ * comparing against the checked-in files under tests/regress/golden/
+ * to regenerating them in place (see metrics_golden_test.cc).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace cimloop::regress {
+bool g_update_golden = false;
+}
+
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> keep;
+    keep.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--update-golden") == 0)
+            cimloop::regress::g_update_golden = true;
+        else
+            keep.push_back(argv[i]);
+    }
+    keep.push_back(nullptr);
+    int kept = static_cast<int>(keep.size()) - 1;
+    ::testing::InitGoogleTest(&kept, keep.data());
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,218 @@
+/**
+ * Golden-metrics harness: each scenario runs the CLI in-process with
+ * --metrics and diffs the run's observability counters (exact) and its
+ * headline result figures (tight relative tolerance) against a golden
+ * JSON checked in under tests/regress/golden/.
+ *
+ * Counters are deterministic at fixed seed for any --threads, so they
+ * pin pipeline *behavior* — which kernel path dispatched, how many
+ * mappings were really evaluated, how many cache misses a network costs
+ * — without any timing flakiness. Energies get a small tolerance
+ * because libm (exp/erfc) may differ in the last ulp across toolchains.
+ *
+ * Regenerating goldens after an intentional behavior change:
+ *
+ *     cmake --build build -j --target test_regress
+ *     ./build/tests/test_regress --update-golden \
+ *         --gtest_filter='GoldenMetrics.*'
+ *
+ * then review the diff of tests/regress/golden/*.json like any other
+ * code change: every counter delta should be explainable by the change
+ * you made.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "regress_util.hh"
+
+namespace cimloop::regress {
+
+extern bool g_update_golden; // set by golden_main.cc
+
+namespace {
+
+std::string
+goldenPath(const std::string& name)
+{
+    return std::string(CIMLOOP_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+/** Flat golden document: "counter:NAME" -> exact integer as string,
+ *  "result:NAME" -> double rendered at full precision. */
+std::map<std::string, std::string>
+loadGolden(const std::string& name)
+{
+    std::map<std::string, std::string> out;
+    std::ifstream in(goldenPath(name));
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t q1 = line.find('"');
+        std::size_t q2 = line.find('"', q1 + 1);
+        std::size_t colon = line.find(':', q2);
+        if (q1 == std::string::npos || q2 == std::string::npos ||
+            colon == std::string::npos)
+            continue;
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() &&
+               (value.back() == ',' || value.back() == ' ' ||
+                value.back() == '\r'))
+            value.pop_back();
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+        out[line.substr(q1 + 1, q2 - q1 - 1)] = value;
+    }
+    return out;
+}
+
+void
+saveGolden(const std::string& name,
+           const std::map<std::string, std::string>& doc)
+{
+    std::ofstream out(goldenPath(name));
+    ASSERT_TRUE(out) << "cannot write " << goldenPath(name);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : doc) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "  \"" << key << "\": " << value;
+    }
+    out << "\n}\n";
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << v;
+    return ss.str();
+}
+
+/**
+ * Runs one scenario, folds counters + results into a flat document,
+ * and either regenerates the golden (--update-golden) or diffs
+ * against it: counters exactly, results at @p rel_tol.
+ */
+void
+checkScenario(const std::string& name,
+              const std::map<std::string, double>& results,
+              const CliRun& run, double rel_tol = 2e-5)
+{
+    ASSERT_EQ(run.rc, 0) << run.err;
+    ASSERT_FALSE(run.counters.empty()) << "no counters block captured";
+
+    std::map<std::string, std::string> doc;
+    for (const auto& [counter, value] : parseCounters(run.counters))
+        doc["counter:" + counter] = std::to_string(value);
+    for (const auto& [key, value] : results)
+        doc["result:" + key] = formatDouble(value);
+
+    if (g_update_golden) {
+        saveGolden(name, doc);
+        SUCCEED() << "regenerated " << goldenPath(name);
+        return;
+    }
+
+    std::map<std::string, std::string> golden = loadGolden(name);
+    ASSERT_FALSE(golden.empty())
+        << goldenPath(name) << " missing or empty; regenerate with "
+        << "./build/tests/test_regress --update-golden";
+
+    // Exact counter equality, both directions: a new counter appearing
+    // for this scenario is as much a behavior change as one drifting.
+    for (const auto& [key, value] : golden) {
+        auto it = doc.find(key);
+        ASSERT_NE(it, doc.end()) << name << ": golden key '" << key
+                                 << "' missing from this run";
+        if (key.rfind("counter:", 0) == 0) {
+            EXPECT_EQ(it->second, value) << name << ": " << key;
+        } else {
+            double got = std::stod(it->second);
+            double want = std::stod(value);
+            EXPECT_NEAR(got, want, rel_tol * (1.0 + std::abs(want)))
+                << name << ": " << key;
+        }
+    }
+    for (const auto& [key, value] : doc) {
+        EXPECT_TRUE(golden.count(key))
+            << name << ": new key '" << key << "' = " << value
+            << " not in golden (regenerate if intentional)";
+    }
+}
+
+TEST(GoldenMetrics, EngineMvmBase)
+{
+    std::vector<std::string> args = {"--macro",    "base", "--network",
+                                     "mvm",        "--mappings", "60",
+                                     "--seed",     "1",    "--threads",
+                                     "2"};
+    CliRun run = runCliWithMetrics(args, "golden_engine_mvm");
+    checkScenario("engine_mvm_base",
+                  {{"total_energy_uj", parseTotalEnergyUj(run.out)}},
+                  run);
+}
+
+TEST(GoldenMetrics, EngineResnetFaults)
+{
+    // Engine path with analytic fault injection and the degradation
+    // report (second, fault-free evaluation) — the counters cover both.
+    std::vector<std::string> args = {
+        "--macro",    "base",  "--network",        "resnet18",
+        "--mappings", "40",    "--seed",           "2",
+        "--threads",  "2",     "--fault-stuck-rate", "0.02",
+        "--fault-sigma", "0.1"};
+    CliRun run = runCliWithMetrics(args, "golden_engine_resnet_faults");
+    checkScenario("engine_resnet_faults",
+                  {{"total_energy_uj", parseTotalEnergyUj(run.out)}},
+                  run);
+}
+
+TEST(GoldenMetrics, RefsimMvm)
+{
+    std::vector<std::string> args = {"--refsim", "--network", "mvm",
+                                     "--refsim-vectors", "8", "--seed",
+                                     "1"};
+    CliRun run = runCliWithMetrics(args, "golden_refsim_mvm");
+    checkScenario("refsim_mvm",
+                  {{"mean_abs_err_pct", parseMeanAbsErrPct(run.out)}},
+                  run, 0.02);
+}
+
+TEST(GoldenMetrics, RefsimMvmFaults)
+{
+    // Value-level fault injection: the per-cell stuck/varied counts are
+    // exact functions of (fault model, layer, cell index) and pin the
+    // injection pattern bit-for-bit.
+    std::vector<std::string> args = {
+        "--refsim",         "--network", "mvm",
+        "--refsim-vectors", "6",         "--seed",
+        "1",                "--fault-stuck-rate", "0.05",
+        "--fault-sigma",    "0.2"};
+    CliRun run = runCliWithMetrics(args, "golden_refsim_faults");
+    checkScenario("refsim_mvm_faults",
+                  {{"mean_abs_err_pct", parseMeanAbsErrPct(run.out)}},
+                  run, 0.02);
+}
+
+TEST(GoldenMetrics, GoldenFilesAreTracked)
+{
+    // The harness is only a regression oracle if the goldens exist.
+    for (const char* name :
+         {"engine_mvm_base", "engine_resnet_faults", "refsim_mvm",
+          "refsim_mvm_faults"}) {
+        if (g_update_golden)
+            continue;
+        std::ifstream in(goldenPath(name));
+        EXPECT_TRUE(in.good()) << goldenPath(name) << " is missing";
+    }
+}
+
+} // namespace
+} // namespace cimloop::regress
