@@ -6,13 +6,19 @@
  * reports the truth-vs-model error and the energy delta the injected
  * faults cause relative to the fault-free truth — the robustness
  * counterpart of the paper's Fig. 6 accuracy claim.
+ *
+ * The grid itself comes from cimloop::dse — the declarative spec
+ * enumerates (fault_stuck_rate, conductance_sigma) points in the same
+ * odometer order the old nested loops produced, and forEachPoint()
+ * provides the keep-going execution; this bench only supplies the
+ * refsim measurement per point.
  */
 #include <cmath>
 #include <vector>
 
 #include "common.hh"
 
-#include "cimloop/faults/faults.hh"
+#include "cimloop/dse/dse.hh"
 #include "cimloop/refsim/refsim.hh"
 #include "cimloop/workload/networks.hh"
 
@@ -45,6 +51,16 @@ sweepLayers()
     return layers;
 }
 
+/** One grid point's measurements. */
+struct PointRow
+{
+    double stuck = 0.0;
+    double sigma = 0.0;
+    double meanErrPct = 0.0;
+    double maxErrPct = 0.0;
+    double meanDeltaEPct = 0.0;
+};
+
 } // namespace
 
 int
@@ -63,16 +79,21 @@ main()
         clean_truth.push_back(
             refsim::simulateValueLevel(clean_cfg, l).totalPj());
 
-    benchutil::Table table({"stuck_rate", "sigma", "mean |err| %",
-                            "max |err| %", "mean dE %"});
-    for (double stuck : {0.0, 0.01, 0.05}) {
-        for (double sigma : {0.0, 0.1, 0.3, 0.5}) {
-            refsim::RefSimConfig cfg = sweepConfig();
-            cfg.faults.stuckOffRate = stuck / 2.0;
-            cfg.faults.stuckOnRate = stuck / 2.0;
-            cfg.faults.conductanceSigma = sigma;
+    dse::SweepSpec spec;
+    spec.name = "fault-grid";
+    spec.addAxis("fault_stuck_rate", {0.0, 0.01, 0.05});
+    spec.addAxis("conductance_sigma", {0.0, 0.1, 0.3, 0.5});
 
-            double err_sum = 0.0, err_max = 0.0, de_sum = 0.0;
+    std::vector<PointRow> rows(spec.pointCount());
+    std::vector<dse::PointResult> statuses = dse::forEachPoint(
+        spec, /*threads=*/1, [&](const dse::SweepPoint& point) {
+            refsim::RefSimConfig cfg = sweepConfig();
+            cfg.faults = point.faults;
+
+            PointRow& row = rows[point.index];
+            row.stuck = point.fieldValue("fault_stuck_rate");
+            row.sigma = point.fieldValue("conductance_sigma");
+            double err_sum = 0.0;
             for (std::size_t i = 0; i < layers.size(); ++i) {
                 dist::OperandProfile prof;
                 refsim::RefSimResult truth =
@@ -82,15 +103,30 @@ main()
                 double err = std::abs(
                     model.totalPj() / truth.totalPj() - 1.0);
                 err_sum += err;
-                err_max = std::max(err_max, err);
-                de_sum += truth.totalPj() / clean_truth[i] - 1.0;
+                row.maxErrPct = std::max(row.maxErrPct, err * 100.0);
+                row.meanDeltaEPct +=
+                    (truth.totalPj() / clean_truth[i] - 1.0) * 100.0;
             }
             double n = static_cast<double>(layers.size());
-            table.row({benchutil::num(stuck), benchutil::num(sigma),
-                       benchutil::num(err_sum / n * 100.0),
-                       benchutil::num(err_max * 100.0),
-                       benchutil::num(de_sum / n * 100.0)});
+            row.meanErrPct = err_sum / n * 100.0;
+            row.meanDeltaEPct /= n;
+        });
+
+    benchutil::Table table({"stuck_rate", "sigma", "mean |err| %",
+                            "max |err| %", "mean dE %"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (statuses[i].status != dse::PointStatus::Ok) {
+            std::printf("point #%zu [%s] %s: %s\n", i,
+                        statuses[i].point.label(spec).c_str(),
+                        dse::pointStatusName(statuses[i].status),
+                        statuses[i].statusDetail.c_str());
+            continue;
         }
+        table.row({benchutil::num(rows[i].stuck),
+                   benchutil::num(rows[i].sigma),
+                   benchutil::num(rows[i].meanErrPct),
+                   benchutil::num(rows[i].maxErrPct),
+                   benchutil::num(rows[i].meanDeltaEPct)});
     }
     table.print();
     std::printf("\nThe statistical perturbation matches the injected "

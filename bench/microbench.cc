@@ -14,6 +14,7 @@
 
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/dist/pmf.hh"
+#include "cimloop/dse/dse.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/macros/macros.hh"
@@ -359,6 +360,67 @@ BM_ObsEvaluateOverhead(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ObsEvaluateOverhead);
+
+/** Sweep-spec parse + grid materialization (no evaluation). */
+void
+BM_DseMaterializeGrid(benchmark::State& state)
+{
+    dse::SweepSpec spec;
+    spec.network = "mvm";
+    spec.scaledAdc = true;
+    spec.addAxis("array", {64, 128, 256, 512});
+    spec.addAxis("dac_bits", {1, 2, 3, 4});
+    spec.addAxis("conductance_sigma", {0.0, 0.1, 0.3});
+    spec.validate();
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < spec.pointCount(); ++i)
+            benchmark::DoNotOptimize(dse::materializePoint(spec, i));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(spec.pointCount()));
+}
+BENCHMARK(BM_DseMaterializeGrid);
+
+/** Pareto extraction over a synthetic 256-point 3-objective cloud. */
+void
+BM_DseParetoIndices(benchmark::State& state)
+{
+    std::vector<std::vector<double>> objectives;
+    Rng rng(42);
+    for (int i = 0; i < 256; ++i)
+        objectives.push_back(
+            {rng.uniform(), rng.uniform(), rng.uniform()});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dse::paretoIndices(objectives));
+    }
+}
+BENCHMARK(BM_DseParetoIndices);
+
+/**
+ * End-to-end sweep throughput (points/sec) on a small engine-backed
+ * grid — the number BENCH_*.json tracks for the dse executor.
+ */
+void
+BM_DseSweepMvm(benchmark::State& state)
+{
+    dse::SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 10;
+    spec.scaledAdc = true;
+    spec.addAxis("array", {128, 256});
+    spec.addAxis("dac_bits", {1, 2});
+    for (auto _ : state) {
+        // Clear the per-action cache so every iteration measures real
+        // precompute + search work, not 100% cache hits.
+        engine::clearPerActionCache();
+        benchmark::DoNotOptimize(dse::runSweep(spec));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(spec.pointCount()));
+}
+BENCHMARK(BM_DseSweepMvm);
 
 } // namespace
 

@@ -1,13 +1,20 @@
 /**
  * @file
- * Energy/latency trade-space exploration: instead of a single best
- * mapping, expose the Pareto frontier of a layer on two macros and show
- * how the frontier shifts with architecture — the kind of exploration
- * the paper's fast statistical model makes cheap (thousands of mappings
- * per second).
+ * Pareto-frontier exploration at two scales:
+ *
+ *  - Across designs: a cimloop::dse sweep over array sizes extracts the
+ *    energy/latency frontier of the design space itself — which array
+ *    sizes are worth building at all.
+ *  - Within one design: engine::paretoFrontier exposes the trade space
+ *    of mappings on a fixed architecture — what a compiler can still
+ *    trade after the hardware is chosen.
+ *
+ * Both are cheap because of the paper's statistical model (thousands of
+ * mappings per second).
  */
 #include <cstdio>
 
+#include "cimloop/dse/dse.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/workload/networks.hh"
@@ -17,8 +24,8 @@ using namespace cimloop;
 namespace {
 
 void
-printFrontier(const char* label, const engine::Arch& arch,
-              const workload::Layer& layer)
+printMappingFrontier(const char* label, const engine::Arch& arch,
+                     const workload::Layer& layer)
 {
     std::vector<engine::ParetoPoint> frontier =
         engine::paretoFrontier(arch, layer, 2000, 1);
@@ -38,20 +45,41 @@ printFrontier(const char* label, const engine::Arch& arch,
 int
 main()
 {
+    // Design-level frontier: sweep the base macro's array size on the
+    // max-utilization MVM workload and keep the nondominated designs.
+    dse::SweepSpec spec;
+    spec.name = "array-size-frontier";
+    spec.macro = "base";
+    spec.network = "mvm";
+    spec.mappings = 200;
+    spec.scaledAdc = true;
+    spec.paretoObjectives = {"energy_per_mac", "latency"};
+    spec.addAxis("array", {128, 256, 512, 1024});
+
+    dse::SweepResult result = dse::runSweep(spec);
+    std::printf("design-level frontier (%zu of %zu designs "
+                "nondominated on pJ/MAC vs latency):\n",
+                result.frontier.size(), result.points.size());
+    std::printf("  %-18s  %12s  %12s\n", "design", "pJ/MAC",
+                "latency (ns)");
+    for (std::size_t idx : result.frontier) {
+        const dse::PointResult& pr = result.points[idx];
+        std::printf("  %-18s  %12.4f  %12.4f\n",
+                    pr.point.label(spec).c_str(), pr.energyPerMacPj,
+                    pr.latencyNs);
+    }
+
+    // Mapping-level frontier on two of those designs: rebuild the exact
+    // architectures the sweep evaluated from their materialized points.
     workload::Layer layer = workload::resnet18().layers[8];
-    std::printf("layer %s (%s)\n", layer.name.c_str(),
-                layer.shapeString().c_str());
-
-    macros::MacroParams small = macros::baseDefaults();
-    small.rows = 128;
-    small.cols = 128;
-    printFrontier("base macro, 128x128", macros::baseMacro(small), layer);
-
-    macros::MacroParams large = macros::baseDefaults();
-    large.rows = 512;
-    large.cols = 512;
-    large.adcBits = macros::scaledAdcBits(512);
-    printFrontier("base macro, 512x512", macros::baseMacro(large), layer);
+    std::printf("\nmapping-level trade space on layer %s (%s):\n",
+                layer.name.c_str(), layer.shapeString().c_str());
+    for (std::size_t idx : {std::size_t{0}, std::size_t{2}}) {
+        dse::SweepPoint point = dse::materializePoint(spec, idx);
+        engine::Arch arch =
+            macros::macroByName(point.macroName, point.params);
+        printMappingFrontier(point.label(spec).c_str(), arch, layer);
+    }
 
     std::printf("\nthe frontier, not a single optimum, is what a "
                 "co-design loop consumes: a mapping that wins on energy "

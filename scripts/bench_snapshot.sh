@@ -7,7 +7,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
-FILTER="${FILTER:-Convolve|Precompute|RefSim|SliceMixture|Evaluate|Fault|Obs}"
+FILTER="${FILTER:-Convolve|Precompute|RefSim|SliceMixture|Evaluate|Fault|Obs|Dse}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 if [ ! -x "${BUILD_DIR}/bench/microbench" ]; then

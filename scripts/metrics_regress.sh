@@ -54,5 +54,9 @@ run_case engine_mvm_faults \
     --fault-stuck-rate 0.02 --fault-sigma 0.1
 run_case refsim_mvm \
     --refsim --network mvm --refsim-vectors 4 --seed 1 --threads 2
+# The example sweep grid: 50 points including a failing design and
+# cross-point per-action cache reuse (dse.cache.hits pins the economy).
+run_case sweep_mvm \
+    --sweep examples/sweep.yaml --seed 1 --threads 2
 
 exit "${status}"

@@ -6,6 +6,7 @@
 
 #include "cimloop/common/error.hh"
 #include "cimloop/common/util.hh"
+#include "cimloop/dse/dse.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/obs/obs.hh"
 #include "cimloop/faults/faults.hh"
@@ -69,6 +70,18 @@ reference simulation:
                        results are bit-identical for any --threads)
   --refsim-vectors N   activation vectors sampled per layer (default 48;
                        0 simulates every vector)
+
+design-space exploration:
+  --sweep FILE.yaml    run the declarative sweep the file describes
+                       (axes over macro/fault/network/mapper knobs; see
+                       docs/architecture.md) instead of one evaluation;
+                       needs no architecture or workload flags. Prints
+                       the point table, failed points (with their axis
+                       values), the Pareto frontier, and the best point.
+                       Honors --threads (output is byte-identical for
+                       any value at fixed seed), --seed (overrides the
+                       spec's seed), --csv, --json, --metrics, --trace
+  --json FILE          write the sweep result as a JSON artifact
 
 fault injection / robustness:
   --faults FILE.yaml   device fault spec (stuck_off_rate, stuck_on_rate,
@@ -152,6 +165,7 @@ parseArgs(const std::vector<std::string>& args)
             opts.mappings = static_cast<int>(parseInt(flag, value()));
         } else if (flag == "--seed") {
             opts.seed = static_cast<std::uint64_t>(parseInt(flag, value()));
+            opts.seedGiven = true;
         } else if (flag == "--threads") {
             opts.threads = static_cast<int>(parseInt(flag, value()));
         } else if (flag == "--objective") {
@@ -197,6 +211,14 @@ parseArgs(const std::vector<std::string>& args)
                           opts.faultSigma);
         } else if (flag == "--keep-going") {
             opts.keepGoing = true;
+        } else if (flag == "--sweep") {
+            opts.sweepPath = value();
+        } else if (startsWith(flag, "--sweep=")) {
+            opts.sweepPath = flag.substr(std::string("--sweep=").size());
+            if (opts.sweepPath.empty())
+                CIM_FATAL("--sweep= expects a file path");
+        } else if (flag == "--json") {
+            opts.jsonPath = value();
         } else if (flag == "--metrics") {
             opts.metrics = true;
         } else if (startsWith(flag, "--metrics=")) {
@@ -215,6 +237,25 @@ parseArgs(const std::vector<std::string>& args)
         }
     }
     if (!opts.help) {
+        if (!opts.sweepPath.empty()) {
+            // The sweep spec names the architecture and workload; mixing
+            // the single-run selection flags in would be ambiguous.
+            if (!opts.macroName.empty() || !opts.archPath.empty() ||
+                !opts.networkName.empty() || !opts.workloadPath.empty()) {
+                CIM_FATAL("--sweep takes its architecture and workload "
+                          "from the sweep spec; drop --macro/--arch/"
+                          "--network/--workload");
+            }
+            if (opts.refsim)
+                CIM_FATAL("--sweep and --refsim are mutually exclusive");
+            if (!opts.mappingPath.empty())
+                CIM_FATAL("--sweep and --mapping are mutually exclusive");
+            if (opts.threads < 1)
+                CIM_FATAL("--threads must be >= 1");
+            return opts;
+        }
+        if (!opts.jsonPath.empty())
+            CIM_FATAL("--json is only meaningful with --sweep");
         if (opts.refsim) {
             // The reference simulator models the base macro directly; an
             // architecture flag is allowed but not required.
@@ -428,6 +469,45 @@ struct ObsRunScope
     }
 };
 
+/**
+ * --sweep mode: loads the spec, runs the grid, and prints the report.
+ * Every byte written here (table, CSV, JSON) is identical for any
+ * --threads at fixed seed — the determinism harness compares them.
+ */
+int
+runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
+{
+    dse::SweepSpec spec = dse::SweepSpec::fromFile(opts.sweepPath);
+    if (opts.seedGiven)
+        spec.seed = opts.seed;
+
+    dse::SweepOptions sweep_opts;
+    sweep_opts.threads = opts.threads;
+    dse::SweepResult result = dse::runSweep(spec, sweep_opts);
+    out << dse::formatTable(result);
+
+    if (!opts.csvPath.empty()) {
+        std::ofstream csv(opts.csvPath);
+        if (!csv)
+            CIM_FATAL("cannot write CSV to '", opts.csvPath, "'");
+        csv << dse::toCsv(result);
+        out << "wrote " << opts.csvPath << "\n";
+    }
+    if (!opts.jsonPath.empty()) {
+        std::ofstream json(opts.jsonPath);
+        if (!json)
+            CIM_FATAL("cannot write JSON to '", opts.jsonPath, "'");
+        json << dse::toJson(result);
+        out << "wrote " << opts.jsonPath << "\n";
+    }
+    if (result.evaluated == 0) {
+        err << "sweep '" << result.name
+            << "' evaluated no points successfully\n";
+        return 1;
+    }
+    return 0;
+}
+
 /** Writes --trace / --metrics outputs at the end of a successful run. */
 void
 emitObservability(const CliOptions& opts, std::ostream& out)
@@ -474,6 +554,12 @@ run(const std::vector<std::string>& args, std::ostream& out,
 
     try {
         ObsRunScope obs_scope(opts);
+        if (!opts.sweepPath.empty()) {
+            int rc = runSweepCli(opts, out, err);
+            if (rc == 0)
+                emitObservability(opts, out);
+            return rc;
+        }
         faults::FaultModel fault_model = buildFaults(opts);
         if (opts.refsim) {
             int rc = runRefSim(opts, fault_model, out);

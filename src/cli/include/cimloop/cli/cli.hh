@@ -30,6 +30,7 @@ struct CliOptions
 
     int mappings = 500;       //!< --mappings N
     std::uint64_t seed = 1;   //!< --seed N
+    bool seedGiven = false;   //!< --seed was on the command line
     int threads = 1;          //!< --threads N (layer + intra-layer workers)
     std::string objective = "energy"; //!< --objective energy|edp|delay
 
@@ -72,6 +73,17 @@ struct CliOptions
      * and continue with the remaining layers instead of aborting.
      */
     bool keepGoing = false;
+
+    /**
+     * --sweep FILE: run the declarative design-space sweep the YAML file
+     * describes (see cimloop::dse) instead of a single evaluation. No
+     * architecture/workload flags are needed — the spec names them.
+     * Honors --threads (byte-identical output for any value), --seed
+     * (overrides the spec's seed when given), --csv (per-point CSV),
+     * --json (sweep JSON artifact), --metrics, and --trace.
+     */
+    std::string sweepPath;
+    std::string jsonPath; //!< --json <file>: sweep JSON artifact
 
     /**
      * Observability. --metrics prints the run's counter/span summary

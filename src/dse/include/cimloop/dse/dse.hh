@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Declarative design-space exploration (the paper's motivating use case,
+ * Sec. II-B; every sweep figure — 2a/2b, 7-16 — is an instance).
+ *
+ * A SweepSpec names axes over the macro knobs (rows/cols, DAC/ADC/cell
+ * bits, voltage), the fault-model knobs, the network choice, and the
+ * mapper budget; the executor materializes the Cartesian grid, shards it
+ * over worker threads, evaluates every point through the keep-going
+ * network evaluator (one unmappable design never kills the sweep), and
+ * merges results in point-index order — so the sweep table, the CSV/JSON
+ * artifacts, and every obs counter are byte-identical for any thread
+ * count at a fixed seed.
+ *
+ * Because each point evaluates with the same seed a standalone
+ * evaluateNetwork() call would use, a sweep reproduces the exact numbers
+ * of the hand-rolled nested loops it replaces, and points that share an
+ * (arch, layer) pair — e.g. the same design at two mapper budgets — reuse
+ * the process-wide per-action cache instead of re-running precompute.
+ */
+#ifndef CIMLOOP_DSE_DSE_HH
+#define CIMLOOP_DSE_DSE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/faults/faults.hh"
+#include "cimloop/macros/macros.hh"
+
+namespace cimloop::yaml {
+class Node;
+} // namespace cimloop::yaml
+
+namespace cimloop::dse {
+
+/** One axis value: a number for the numeric fields, a string for the
+ *  `macro` / `network` fields. `text` is the rendered form used in point
+ *  labels and the CSV/JSON exporters. */
+struct AxisValue
+{
+    double num = 0.0;
+    std::string text;
+    bool isString = false;
+};
+
+/** One sweep axis: a field name plus the values it takes. */
+struct Axis
+{
+    std::string field;
+    std::vector<AxisValue> values;
+};
+
+/** Per-point validity bound on a numeric field (a declarative
+ *  predicate): points whose materialized field value falls outside
+ *  [min, max] are skipped, not failed. */
+struct Constraint
+{
+    std::string field;
+    bool hasMin = false;
+    bool hasMax = false;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+struct SweepPoint;
+
+/**
+ * A declarative sweep: base design + axes + constraints + objectives.
+ *
+ * YAML form (either bare or under a top-level `sweep:` key):
+ *
+ *   sweep:
+ *     name: codesign-grid
+ *     macro: base                 # base | A | B | C | D | digital
+ *     network: resnet18           # exactly one of network / workload
+ *     # workload: net.yaml
+ *     mappings: 100               # mapper budget per layer
+ *     seed: 1
+ *     objective: energy           # energy | edp | delay
+ *     scaled_adc: true            # adc_bits tracks the array size
+ *     pareto: [energy_per_mac, latency]
+ *     axes:
+ *       - field: array            # sets rows and cols together
+ *         values: [64, 128, 256]  # explicit list...
+ *       - field: dac_bits
+ *         range: {from: 1, to: 8, mult: 2}   # ...or a grid range
+ *     constraints:
+ *       - {field: adc_bits, max: 14}
+ *     faults:                     # base fault model (axes override)
+ *       conductance_sigma: 0.1
+ *
+ * Axis fields: rows, cols, array, dac_bits, adc_bits, cell_bits,
+ * input_bits, weight_bits, voltage, tech_nm, buffer_kb, mappings,
+ * fault_stuck_rate, stuck_off_rate, stuck_on_rate, fault_sigma,
+ * adc_offset, adc_noise_sigma, fault_seed, and the string-valued
+ * macro / network.
+ */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    std::string macro = "base";
+    std::string network;      //!< bundled network name
+    std::string workloadPath; //!< or a workload YAML file
+
+    int mappings = 100;      //!< mapper budget per layer
+    std::uint64_t seed = 1;  //!< search seed, identical for every point
+    engine::Objective objective = engine::Objective::Energy;
+
+    /**
+     * When set, each point's adc_bits is derived after the axes apply:
+     * scaledAdcBits(rows, scaledAdcAnchor) + max(0, dac_bits - 3) — the
+     * RAELLA-style truncation rule the co-design sweeps (Fig. 2b) use,
+     * so ADC resolution tracks the array instead of being its own axis.
+     */
+    bool scaledAdc = false;
+    int scaledAdcAnchor = 5;
+
+    /** Base fault model; fault axes override individual fields. */
+    faults::FaultModel faults;
+
+    std::vector<Axis> axes;
+    std::vector<Constraint> constraints;
+
+    /** Pareto objectives, all minimized: energy, energy_per_mac,
+     *  latency, area, accuracy (the accuracy-loss proxy). */
+    std::vector<std::string> paretoObjectives = {"energy_per_mac",
+                                                 "latency"};
+
+    /** Optional programmatic per-point predicate (C++ API only; runs
+     *  after the declarative constraints). Return false to skip. */
+    std::function<bool(const SweepPoint&)> validity;
+
+    /** Appends a numeric axis. */
+    void addAxis(const std::string& field, std::vector<double> values);
+
+    /** Appends a string axis (macro / network). */
+    void addAxis(const std::string& field,
+                 std::vector<std::string> values);
+
+    /** Number of grid points (product of axis sizes; 1 when no axes). */
+    std::size_t pointCount() const;
+
+    /**
+     * Checks the grid: known axis fields, non-empty values, no
+     * duplicate axes, well-formed constraints, a sane point count.
+     * CIM_FATAL naming the offending spec key (sweep.axes[i].field,
+     * sweep.constraints[j], ...) on failure.
+     */
+    void validateGrid() const;
+
+    /** validateGrid() plus the evaluation half: exactly one of
+     *  network / workload, mappings >= 1, known pareto objectives. */
+    void validate() const;
+
+    /** Parses a spec from YAML (bare mapping or `sweep:` document).
+     *  Fatal on unknown keys, with the full sweep.* key path. */
+    static SweepSpec fromYaml(const yaml::Node& node);
+
+    /** Loads a spec from a YAML file; fatal when unreadable. */
+    static SweepSpec fromFile(const std::string& path);
+};
+
+/** One materialized grid point: the resolved design + evaluation knobs. */
+struct SweepPoint
+{
+    std::size_t index = 0;             //!< flat grid index
+    std::vector<std::size_t> coords;   //!< per-axis value index
+    std::vector<std::string> axisText; //!< per-axis rendered value
+
+    macros::MacroParams params;
+    faults::FaultModel faults;
+    std::string macroName;
+    std::string networkName;
+    std::string workloadPath;
+    int mappings = 100;
+    std::uint64_t seed = 1;
+    engine::Objective objective = engine::Objective::Energy;
+
+    /** "array=64, dac_bits=2" — the axis values, for labels and error
+     *  text (every per-point diagnostic carries this). */
+    std::string label(const SweepSpec& spec) const;
+
+    /** Value of a numeric axis/constraint field on this point; fatal on
+     *  unknown field names. */
+    double fieldValue(const std::string& field) const;
+};
+
+/**
+ * Materializes grid point @p index of @p spec: axis values apply in
+ * declaration order (string axes resolve the macro defaults first), the
+ * last axis varying fastest — the same odometer order a hand-written
+ * nested loop enumerates. Deterministic: depends only on (spec, index).
+ */
+SweepPoint materializePoint(const SweepSpec& spec, std::size_t index);
+
+/** Checks a point against the declarative constraints and the
+ *  programmatic validity predicate. On skip, @p reason names the
+ *  violated constraint and the offending value. */
+bool pointIsValid(const SweepSpec& spec, const SweepPoint& point,
+                  std::string* reason = nullptr);
+
+/**
+ * Heuristic accuracy-loss proxy for Pareto trade-offs, in
+ * "bits-of-precision-equivalent" units (lower is better):
+ *
+ *   clipped column-sum bits: max(0, log2(rows) + dac + cell - 2 - adc)
+ *   + 8 * (stuck_off_rate + stuck_on_rate)
+ *   + conductance_sigma + 4 * adc_noise_sigma + 2 * |adc_offset|
+ *
+ * It is NOT a simulated accuracy — it ranks designs by how much analog
+ * information they discard (ADC truncation) and how severe the injected
+ * non-idealities are, which is what the co-design loop trades against
+ * energy. Use the value-level refsim for calibrated accuracy numbers.
+ */
+double accuracyLossProxy(const macros::MacroParams& params,
+                         const faults::FaultModel& faults);
+
+/** Point outcome. */
+enum class PointStatus { Ok, Skipped, Failed };
+
+/** Human-readable status ("ok" | "skipped" | "failed"). */
+const char* pointStatusName(PointStatus s);
+
+/** One evaluated (or skipped/failed) grid point. */
+struct PointResult
+{
+    SweepPoint point;
+    PointStatus status = PointStatus::Skipped;
+
+    /** Skip reason, or "kind: message" failure text (the CLI prefixes
+     *  it with the point label). */
+    std::string statusDetail;
+
+    /** Per-layer keep-going diagnostics behind a Failed status. */
+    std::vector<engine::LayerDiagnostic> layerDiagnostics;
+
+    /** @name Metrics (valid when status == Ok) @{ */
+    double energyPj = 0.0;
+    double energyPerMacPj = 0.0;
+    double latencyNs = 0.0;
+    double areaUm2 = 0.0;
+    double macs = 0.0;
+    double topsPerWatt = 0.0;
+    double accuracyLoss = 0.0;
+    /** @} */
+
+    bool onFrontier = false; //!< nondominated under spec.paretoObjectives
+};
+
+/** Executor options. */
+struct SweepOptions
+{
+    /**
+     * Worker threads: points fan out first; when the grid has fewer
+     * points than threads the leftover threads split each point's
+     * per-layer/mapping work, exactly like evaluateNetworkParallel.
+     * Results are bit-identical for any value.
+     */
+    int threads = 1;
+};
+
+/** A complete sweep run. */
+struct SweepResult
+{
+    std::string name;
+    std::vector<std::string> axisFields;    //!< axis order, for exporters
+    std::vector<std::string> paretoObjectives;
+
+    std::vector<PointResult> points; //!< in grid (point-index) order
+
+    std::size_t evaluated = 0; //!< status == Ok
+    std::size_t failed = 0;
+    std::size_t skipped = 0;
+
+    /** Indices of the Pareto-nondominated Ok points, ascending. */
+    std::vector<std::size_t> frontier;
+
+    /** Index of the best Ok point under the first Pareto objective
+     *  (ties keep the lowest index); npos when nothing evaluated. */
+    std::size_t bestIndex = static_cast<std::size_t>(-1);
+
+    /** Per-action cache traffic measured across this sweep. Points are
+     *  the only cachedPrecompute callers here and no single network
+     *  evaluation repeats an (arch, layer) key, so every hit is a
+     *  cross-point reuse. Deterministic at fixed seed (single-flight
+     *  cache: misses == unique keys). */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/**
+ * Runs the sweep: validates the spec, enumerates the grid, evaluates
+ * every point with keep-going degradation (a failed point is recorded
+ * as a per-point diagnostic carrying its axis values), and extracts the
+ * Pareto frontier. Obs counters: dse.points_total / evaluated / failed
+ * / skipped / pareto, all bumped post-merge so they are identical for
+ * any thread count.
+ */
+SweepResult runSweep(const SweepSpec& spec, const SweepOptions& opts = {});
+
+/**
+ * Grid runner without the engine: materializes every point, checks
+ * constraints, and calls @p fn for each valid one on up to @p threads
+ * workers (keep-going: one throwing point never aborts the rest).
+ * Returns per-point status/diagnostics in grid order. Benches that
+ * compute their own per-point metrics (e.g. the refsim fault sweep)
+ * use this instead of hand-rolled nested loops; @p fn must write any
+ * output it produces into caller-owned slots indexed by point.index.
+ */
+std::vector<PointResult>
+forEachPoint(const SweepSpec& spec, int threads,
+             const std::function<void(const SweepPoint&)>& fn);
+
+/**
+ * Indices of the nondominated rows of @p objectives (all dimensions
+ * minimized), ascending. A row is dominated when another row is <= in
+ * every dimension and < in at least one; equal rows are both kept.
+ */
+std::vector<std::size_t>
+paretoIndices(const std::vector<std::vector<double>>& objectives);
+
+/** Per-point CSV: point, axis columns, status, metrics, pareto flag,
+ *  and a quoted detail column for skipped/failed points. */
+std::string toCsv(const SweepResult& result);
+
+/** JSON artifact: axes, per-point records, frontier, summary. */
+std::string toJson(const SweepResult& result);
+
+/** Human-readable sweep report: point table, failures with axis-value
+ *  labels, the Pareto frontier, the best point, and the cross-point
+ *  cache economy. Byte-identical for any thread count. */
+std::string formatTable(const SweepResult& result);
+
+} // namespace cimloop::dse
+
+#endif // CIMLOOP_DSE_DSE_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Sweep result exporters: CSV, JSON, and the human-readable report.
+ *
+ * All three render from the merged, grid-ordered SweepResult and print
+ * no thread counts or wall-clock times, so their bytes are part of the
+ * determinism contract (identical for any --threads at fixed seed).
+ */
+#include "cimloop/dse/dse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace cimloop::dse {
+
+namespace {
+
+/** Fixed-notation-free numeric rendering shared by CSV/JSON/table. */
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Escapes a CSV field (quotes it when it holds , " or newline). */
+std::string
+csvField(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Escapes a JSON string payload. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** "array=64, dac_bits=2" from the result's own axis metadata. */
+std::string
+joinLabel(const SweepResult& result, const PointResult& pr)
+{
+    if (result.axisFields.empty())
+        return "defaults";
+    std::string out;
+    for (std::size_t a = 0; a < result.axisFields.size(); ++a) {
+        if (a)
+            out += ", ";
+        out += result.axisFields[a];
+        out += '=';
+        out += pr.point.axisText[a];
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toCsv(const SweepResult& result)
+{
+    std::ostringstream oss;
+    oss << "point";
+    for (const std::string& field : result.axisFields)
+        oss << ',' << field;
+    oss << ",status,energy_pj,energy_per_mac_pj,latency_ns,area_um2,"
+           "macs,tops_per_watt,accuracy_loss,pareto,detail\n";
+    for (const PointResult& pr : result.points) {
+        oss << pr.point.index;
+        for (const std::string& text : pr.point.axisText)
+            oss << ',' << csvField(text);
+        oss << ',' << pointStatusName(pr.status);
+        if (pr.status == PointStatus::Ok) {
+            oss << ',' << fmtNum(pr.energyPj) << ','
+                << fmtNum(pr.energyPerMacPj) << ','
+                << fmtNum(pr.latencyNs) << ',' << fmtNum(pr.areaUm2)
+                << ',' << fmtNum(pr.macs) << ','
+                << fmtNum(pr.topsPerWatt) << ','
+                << fmtNum(pr.accuracyLoss) << ','
+                << (pr.onFrontier ? 1 : 0) << ',';
+        } else {
+            oss << ",,,,,,,,0," << csvField(pr.statusDetail);
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+toJson(const SweepResult& result)
+{
+    std::ostringstream oss;
+    oss << "{\n  \"sweep\": \"" << jsonEscape(result.name) << "\",\n";
+    oss << "  \"axes\": [";
+    for (std::size_t i = 0; i < result.axisFields.size(); ++i)
+        oss << (i ? ", " : "") << '"' << jsonEscape(result.axisFields[i])
+            << '"';
+    oss << "],\n  \"pareto_objectives\": [";
+    for (std::size_t i = 0; i < result.paretoObjectives.size(); ++i)
+        oss << (i ? ", " : "") << '"'
+            << jsonEscape(result.paretoObjectives[i]) << '"';
+    oss << "],\n";
+    oss << "  \"summary\": {\"points\": " << result.points.size()
+        << ", \"evaluated\": " << result.evaluated
+        << ", \"failed\": " << result.failed
+        << ", \"skipped\": " << result.skipped << ", \"best\": "
+        << (result.bestIndex == static_cast<std::size_t>(-1)
+                ? -1
+                : static_cast<long long>(result.bestIndex))
+        << ", \"cache_hits\": " << result.cacheHits
+        << ", \"cache_misses\": " << result.cacheMisses << "},\n";
+    oss << "  \"frontier\": [";
+    for (std::size_t i = 0; i < result.frontier.size(); ++i)
+        oss << (i ? ", " : "") << result.frontier[i];
+    oss << "],\n  \"points\": [\n";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const PointResult& pr = result.points[i];
+        oss << "    {\"point\": " << pr.point.index << ", \"axes\": {";
+        for (std::size_t a = 0; a < result.axisFields.size(); ++a) {
+            oss << (a ? ", " : "") << '"'
+                << jsonEscape(result.axisFields[a]) << "\": \""
+                << jsonEscape(pr.point.axisText[a]) << '"';
+        }
+        oss << "}, \"status\": \"" << pointStatusName(pr.status) << '"';
+        if (pr.status == PointStatus::Ok) {
+            oss << ", \"energy_pj\": " << fmtNum(pr.energyPj)
+                << ", \"energy_per_mac_pj\": "
+                << fmtNum(pr.energyPerMacPj)
+                << ", \"latency_ns\": " << fmtNum(pr.latencyNs)
+                << ", \"area_um2\": " << fmtNum(pr.areaUm2)
+                << ", \"macs\": " << fmtNum(pr.macs)
+                << ", \"tops_per_watt\": " << fmtNum(pr.topsPerWatt)
+                << ", \"accuracy_loss\": " << fmtNum(pr.accuracyLoss)
+                << ", \"pareto\": "
+                << (pr.onFrontier ? "true" : "false");
+        } else {
+            oss << ", \"detail\": \"" << jsonEscape(pr.statusDetail)
+                << '"';
+        }
+        oss << '}' << (i + 1 < result.points.size() ? "," : "") << '\n';
+    }
+    oss << "  ]\n}\n";
+    return oss.str();
+}
+
+std::string
+formatTable(const SweepResult& result)
+{
+    std::ostringstream oss;
+    oss << "sweep '" << result.name << "': " << result.points.size()
+        << " points (" << result.evaluated << " ok, " << result.failed
+        << " failed, " << result.skipped << " skipped)\n\n";
+
+    // Column widths from the data so the table stays aligned for any
+    // axis naming.
+    std::vector<std::size_t> axisWidth;
+    for (std::size_t a = 0; a < result.axisFields.size(); ++a) {
+        std::size_t w = result.axisFields[a].size();
+        for (const PointResult& pr : result.points)
+            w = std::max(w, pr.point.axisText[a].size());
+        axisWidth.push_back(w);
+    }
+
+    oss << std::setw(5) << "point";
+    for (std::size_t a = 0; a < result.axisFields.size(); ++a)
+        oss << "  " << std::setw(static_cast<int>(axisWidth[a]))
+            << result.axisFields[a];
+    oss << "  " << std::setw(7) << "status" << "  " << std::setw(12)
+        << "pJ/MAC" << "  " << std::setw(12) << "latency ns" << "  "
+        << std::setw(10) << "TOPS/W" << "  " << std::setw(9)
+        << "acc loss" << "  pareto\n";
+    for (const PointResult& pr : result.points) {
+        oss << std::setw(5) << pr.point.index;
+        for (std::size_t a = 0; a < result.axisFields.size(); ++a)
+            oss << "  " << std::setw(static_cast<int>(axisWidth[a]))
+                << pr.point.axisText[a];
+        oss << "  " << std::setw(7) << pointStatusName(pr.status);
+        if (pr.status == PointStatus::Ok) {
+            oss << "  " << std::setw(12) << fmtNum(pr.energyPerMacPj)
+                << "  " << std::setw(12) << fmtNum(pr.latencyNs) << "  "
+                << std::setw(10) << fmtNum(pr.topsPerWatt) << "  "
+                << std::setw(9) << fmtNum(pr.accuracyLoss) << "  "
+                << (pr.onFrontier ? "*" : "");
+        }
+        oss << '\n';
+    }
+
+    bool anyBad = false;
+    for (const PointResult& pr : result.points)
+        anyBad = anyBad || pr.status != PointStatus::Ok;
+    if (anyBad) {
+        oss << "\ndiagnostics:\n";
+        for (const PointResult& pr : result.points) {
+            if (pr.status == PointStatus::Ok)
+                continue;
+            oss << "  #" << pr.point.index << " ["
+                << joinLabel(result, pr) << "] "
+                << pointStatusName(pr.status) << ": " << pr.statusDetail
+                << '\n';
+        }
+    }
+
+    oss << "\npareto frontier (";
+    for (std::size_t i = 0; i < result.paretoObjectives.size(); ++i)
+        oss << (i ? ", " : "") << result.paretoObjectives[i];
+    oss << "): " << result.frontier.size() << " of " << result.evaluated
+        << " evaluated points";
+    if (!result.frontier.empty()) {
+        oss << ":";
+        for (std::size_t idx : result.frontier)
+            oss << " #" << idx;
+    }
+    oss << '\n';
+
+    if (result.bestIndex != static_cast<std::size_t>(-1)) {
+        const PointResult& best = result.points[result.bestIndex];
+        oss << "best (" << result.paretoObjectives[0] << "): #"
+            << best.point.index << " [" << joinLabel(result, best)
+            << "] " << fmtNum(best.energyPerMacPj) << " pJ/MAC, "
+            << fmtNum(best.latencyNs) << " ns, "
+            << fmtNum(best.topsPerWatt) << " TOPS/W\n";
+    }
+    oss << "per-action cache across points: " << result.cacheHits
+        << " hits, " << result.cacheMisses << " misses\n";
+    return oss.str();
+}
+
+} // namespace cimloop::dse

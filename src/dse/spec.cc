@@ -1,0 +1,653 @@
+/**
+ * @file
+ * Sweep specification: YAML parsing, validation, and grid-point
+ * materialization. Everything here is deterministic — a point depends
+ * only on (spec, index), never on threads or evaluation order.
+ */
+#include "cimloop/dse/dse.hh"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/util.hh"
+#include "cimloop/yaml/node.hh"
+#include "cimloop/yaml/parser.hh"
+
+namespace cimloop::dse {
+
+namespace {
+
+constexpr const char* kNumericFields =
+    "rows, cols, array, dac_bits, adc_bits, cell_bits, input_bits, "
+    "weight_bits, voltage, tech_nm, buffer_kb, mappings, "
+    "fault_stuck_rate, stuck_off_rate, stuck_on_rate, "
+    "conductance_sigma, adc_offset, adc_noise_sigma, fault_seed";
+
+constexpr const char* kStringFields = "macro, network";
+
+bool
+isStringField(const std::string& field)
+{
+    return field == "macro" || field == "network";
+}
+
+bool
+isNumericField(const std::string& field)
+{
+    return field == "rows" || field == "cols" || field == "array" ||
+           field == "dac_bits" || field == "adc_bits" ||
+           field == "cell_bits" || field == "input_bits" ||
+           field == "weight_bits" || field == "voltage" ||
+           field == "tech_nm" || field == "buffer_kb" ||
+           field == "mappings" || field == "fault_stuck_rate" ||
+           field == "stuck_off_rate" || field == "stuck_on_rate" ||
+           field == "conductance_sigma" || field == "fault_sigma" ||
+           field == "adc_offset" || field == "adc_noise_sigma" ||
+           field == "fault_seed";
+}
+
+/** One rendering for axis values everywhere (labels, CSV, JSON), shared
+ *  by the YAML and programmatic construction paths. */
+std::string
+renderNum(double v)
+{
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::ostringstream oss;
+        oss << static_cast<long long>(v);
+        return oss.str();
+    }
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+/** Writes one numeric axis value onto a materialized point. */
+void
+applyNumericField(SweepPoint& point, const std::string& field, double v)
+{
+    macros::MacroParams& p = point.params;
+    faults::FaultModel& f = point.faults;
+    if (field == "rows") {
+        p.rows = static_cast<std::int64_t>(v);
+    } else if (field == "cols") {
+        p.cols = static_cast<std::int64_t>(v);
+    } else if (field == "array") {
+        p.rows = static_cast<std::int64_t>(v);
+        p.cols = static_cast<std::int64_t>(v);
+    } else if (field == "dac_bits") {
+        p.dacBits = static_cast<int>(v);
+    } else if (field == "adc_bits") {
+        p.adcBits = static_cast<int>(v);
+    } else if (field == "cell_bits") {
+        p.cellBits = static_cast<int>(v);
+    } else if (field == "input_bits") {
+        p.inputBits = static_cast<int>(v);
+    } else if (field == "weight_bits") {
+        p.weightBits = static_cast<int>(v);
+    } else if (field == "voltage") {
+        p.supplyVoltage = v;
+    } else if (field == "tech_nm") {
+        p.technologyNm = v;
+    } else if (field == "buffer_kb") {
+        p.bufferKb = static_cast<std::int64_t>(v);
+    } else if (field == "mappings") {
+        point.mappings = static_cast<int>(v);
+    } else if (field == "fault_stuck_rate") {
+        // Total stuck-cell rate, split evenly between the two polarities
+        // (the convention bench/fault_sweep established).
+        f.stuckOffRate = v / 2.0;
+        f.stuckOnRate = v / 2.0;
+    } else if (field == "stuck_off_rate") {
+        f.stuckOffRate = v;
+    } else if (field == "stuck_on_rate") {
+        f.stuckOnRate = v;
+    } else if (field == "conductance_sigma" || field == "fault_sigma") {
+        f.conductanceSigma = v;
+    } else if (field == "adc_offset") {
+        f.adcOffset = v;
+    } else if (field == "adc_noise_sigma") {
+        f.adcNoiseSigma = v;
+    } else if (field == "fault_seed") {
+        f.seed = static_cast<std::uint64_t>(v);
+    } else {
+        CIM_PANIC("unvalidated numeric sweep field '", field, "'");
+    }
+}
+
+engine::Objective
+objectiveFromName(const std::string& name, const char* key)
+{
+    std::string n = toLower(name);
+    if (n == "energy")
+        return engine::Objective::Energy;
+    if (n == "edp")
+        return engine::Objective::Edp;
+    if (n == "delay")
+        return engine::Objective::Delay;
+    CIM_FATAL("unknown objective '", name, "' at ", key,
+              " (expected energy, edp, or delay)");
+}
+
+bool
+isParetoObjective(const std::string& name)
+{
+    return name == "energy" || name == "energy_per_mac" ||
+           name == "latency" || name == "area" || name == "accuracy";
+}
+
+/** Parses one sweep.axes[i] entry. */
+Axis
+axisFromYaml(const yaml::Node& node, std::size_t i)
+{
+    std::ostringstream path;
+    path << "sweep.axes[" << i << "]";
+    const std::string at = path.str();
+    if (!node.isMapping())
+        CIM_FATAL(at, " must be a YAML mapping with a 'field' key");
+
+    Axis axis;
+    const yaml::Node* values = nullptr;
+    const yaml::Node* range = nullptr;
+    for (const auto& [key, value] : node.items()) {
+        if (key == "field") {
+            axis.field = value.asString();
+        } else if (key == "values") {
+            values = &value;
+        } else if (key == "range") {
+            range = &value;
+        } else {
+            CIM_FATAL("unknown sweep axis key '", at, ".", key,
+                      "' (known: field, values, range)");
+        }
+    }
+    if (axis.field.empty())
+        CIM_FATAL(at, ".field must be set");
+    if ((values == nullptr) == (range == nullptr)) {
+        CIM_FATAL(at, " must have exactly one of 'values' and 'range'");
+    }
+
+    if (values) {
+        if (!values->isSequence())
+            CIM_FATAL(at, ".values must be a YAML sequence");
+        for (const yaml::Node& v : values->elements()) {
+            AxisValue av;
+            if (v.kind() == yaml::Kind::String) {
+                av.isString = true;
+                av.text = v.asString();
+            } else {
+                av.num = v.asDouble();
+                av.text = renderNum(av.num);
+            }
+            axis.values.push_back(std::move(av));
+        }
+        return axis;
+    }
+
+    // range: {from, to, step} (additive) or {from, to, mult} (geometric)
+    if (!range->isMapping())
+        CIM_FATAL(at, ".range must be a YAML mapping "
+                  "{from, to, step | mult}");
+    for (const auto& [key, value] : range->items()) {
+        (void)value;
+        if (key != "from" && key != "to" && key != "step" &&
+            key != "mult") {
+            CIM_FATAL("unknown sweep range key '", at, ".range.", key,
+                      "' (known: from, to, step, mult)");
+        }
+    }
+    if (!range->has("from") || !range->has("to"))
+        CIM_FATAL(at, ".range needs both 'from' and 'to'");
+    const double from = (*range)["from"].asDouble();
+    const double to = (*range)["to"].asDouble();
+    const bool hasStep = range->has("step");
+    const bool hasMult = range->has("mult");
+    if (hasStep == hasMult) {
+        CIM_FATAL(at, ".range must have exactly one of 'step' and "
+                  "'mult'");
+    }
+    if (from > to)
+        CIM_FATAL(at, ".range.from must be <= range.to, got ", from,
+                  " > ", to);
+    const double step = hasStep ? (*range)["step"].asDouble() : 0.0;
+    const double mult = hasMult ? (*range)["mult"].asDouble() : 0.0;
+    if (hasStep && step <= 0.0)
+        CIM_FATAL(at, ".range.step must be > 0, got ", step);
+    if (hasMult && mult <= 1.0)
+        CIM_FATAL(at, ".range.mult must be > 1, got ", mult);
+    if (hasMult && from <= 0.0)
+        CIM_FATAL(at, ".range.from must be > 0 with 'mult', got ", from);
+    // Tiny tolerance so e.g. {from: 0.1, to: 0.5, step: 0.1} includes 0.5
+    // despite binary rounding.
+    const double tol = 1e-9 * std::max(1.0, std::abs(to));
+    for (double v = from; v <= to + tol;
+         v = hasStep ? v + step : v * mult) {
+        axis.values.push_back({v, renderNum(v), false});
+        if (axis.values.size() > 1000000)
+            CIM_FATAL(at, ".range enumerates more than 1e6 values");
+    }
+    return axis;
+}
+
+Constraint
+constraintFromYaml(const yaml::Node& node, std::size_t j)
+{
+    std::ostringstream path;
+    path << "sweep.constraints[" << j << "]";
+    const std::string at = path.str();
+    if (!node.isMapping())
+        CIM_FATAL(at, " must be a YAML mapping "
+                  "{field, min and/or max}");
+    Constraint c;
+    for (const auto& [key, value] : node.items()) {
+        if (key == "field") {
+            c.field = value.asString();
+        } else if (key == "min") {
+            c.hasMin = true;
+            c.min = value.asDouble();
+        } else if (key == "max") {
+            c.hasMax = true;
+            c.max = value.asDouble();
+        } else {
+            CIM_FATAL("unknown sweep constraint key '", at, ".", key,
+                      "' (known: field, min, max)");
+        }
+    }
+    if (c.field.empty())
+        CIM_FATAL(at, ".field must be set");
+    return c;
+}
+
+} // namespace
+
+void
+SweepSpec::addAxis(const std::string& field, std::vector<double> values)
+{
+    Axis axis;
+    axis.field = field;
+    axis.values.reserve(values.size());
+    for (double v : values)
+        axis.values.push_back({v, renderNum(v), false});
+    axes.push_back(std::move(axis));
+}
+
+void
+SweepSpec::addAxis(const std::string& field,
+                   std::vector<std::string> values)
+{
+    Axis axis;
+    axis.field = field;
+    axis.values.reserve(values.size());
+    for (std::string& v : values)
+        axis.values.push_back({0.0, std::move(v), true});
+    axes.push_back(std::move(axis));
+}
+
+std::size_t
+SweepSpec::pointCount() const
+{
+    std::size_t n = 1;
+    for (const Axis& axis : axes)
+        n *= axis.values.size();
+    return n;
+}
+
+void
+SweepSpec::validateGrid() const
+{
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        const Axis& axis = axes[i];
+        std::ostringstream path;
+        path << "sweep.axes[" << i << "]";
+        const std::string at = path.str();
+        if (axis.field.empty())
+            CIM_FATAL(at, ".field must be set");
+        const bool stringField = isStringField(axis.field);
+        if (!stringField && !isNumericField(axis.field)) {
+            CIM_FATAL("unknown sweep axis field '", axis.field, "' at ",
+                      at, ".field (numeric: ", kNumericFields,
+                      "; string: ", kStringFields, ")");
+        }
+        if (axis.values.empty())
+            CIM_FATAL(at, ".values must not be empty (field '",
+                      axis.field, "')");
+        for (std::size_t v = 0; v < axis.values.size(); ++v) {
+            if (axis.values[v].isString != stringField) {
+                CIM_FATAL(at, ".values[", v, "]: field '", axis.field,
+                          "' takes ",
+                          stringField ? "string" : "numeric",
+                          " values, got '", axis.values[v].text, "'");
+            }
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (axes[j].field == axis.field) {
+                CIM_FATAL("duplicate sweep axis field '", axis.field,
+                          "' at sweep.axes[", j, "] and sweep.axes[", i,
+                          "]");
+            }
+        }
+    }
+    for (std::size_t j = 0; j < constraints.size(); ++j) {
+        const Constraint& c = constraints[j];
+        std::ostringstream path;
+        path << "sweep.constraints[" << j << "]";
+        const std::string at = path.str();
+        if (!isNumericField(c.field)) {
+            CIM_FATAL("unknown sweep constraint field '", c.field,
+                      "' at ", at, ".field (known: ", kNumericFields,
+                      ")");
+        }
+        if (!c.hasMin && !c.hasMax)
+            CIM_FATAL(at, " needs at least one of 'min' and 'max' "
+                      "(field '", c.field, "')");
+        if (c.hasMin && c.hasMax && c.min > c.max)
+            CIM_FATAL(at, ".min must be <= max, got ", c.min, " > ",
+                      c.max, " (field '", c.field, "')");
+    }
+    if (pointCount() > 1000000) {
+        CIM_FATAL("sweep '", name, "' enumerates ", pointCount(),
+                  " points; the executor caps grids at 1e6 (split the "
+                  "sweep or thin the axes)");
+    }
+}
+
+void
+SweepSpec::validate() const
+{
+    validateGrid();
+    const bool hasNetworkAxis = [&] {
+        for (const Axis& axis : axes)
+            if (axis.field == "network")
+                return true;
+        return false;
+    }();
+    if (!hasNetworkAxis && network.empty() == workloadPath.empty()) {
+        CIM_FATAL("sweep '", name, "': exactly one of sweep.network and "
+                  "sweep.workload must be set (network names a bundled "
+                  "network; workload is a YAML file path)");
+    }
+    if (hasNetworkAxis && !workloadPath.empty()) {
+        CIM_FATAL("sweep '", name, "': sweep.workload cannot be "
+                  "combined with a 'network' axis");
+    }
+    if (mappings < 1)
+        CIM_FATAL("sweep.mappings must be >= 1, got ", mappings);
+    if (scaledAdcAnchor < 1)
+        CIM_FATAL("sweep.scaled_adc_anchor must be >= 1, got ",
+                  scaledAdcAnchor);
+    if (paretoObjectives.empty())
+        CIM_FATAL("sweep.pareto must name at least one objective");
+    for (const std::string& obj : paretoObjectives) {
+        if (!isParetoObjective(obj)) {
+            CIM_FATAL("unknown pareto objective '", obj,
+                      "' at sweep.pareto (known: energy, "
+                      "energy_per_mac, latency, area, accuracy)");
+        }
+    }
+    faults.validate();
+    // The macro name resolves lazily per point (a 'macro' axis may
+    // override it), but a bad base name should fail at spec time.
+    macros::defaultsByName(macro);
+}
+
+SweepSpec
+SweepSpec::fromYaml(const yaml::Node& node)
+{
+    if (!node.isMapping())
+        CIM_FATAL("sweep spec must be a YAML mapping (bare keys or "
+                  "under a top-level 'sweep:')");
+    const yaml::Node* body = node.find("sweep");
+    const yaml::Node& map = body ? *body : node;
+    if (!map.isMapping())
+        CIM_FATAL("sweep: must hold a YAML mapping");
+
+    SweepSpec spec;
+    for (const auto& [key, value] : map.items()) {
+        if (key == "name") {
+            spec.name = value.asString();
+        } else if (key == "macro") {
+            spec.macro = value.asString();
+        } else if (key == "network") {
+            spec.network = value.asString();
+        } else if (key == "workload") {
+            spec.workloadPath = value.asString();
+        } else if (key == "mappings") {
+            std::int64_t m = value.asInt();
+            if (m < 1)
+                CIM_FATAL("sweep.mappings must be >= 1, got ", m);
+            spec.mappings = static_cast<int>(m);
+        } else if (key == "seed") {
+            std::int64_t s = value.asInt();
+            if (s < 0)
+                CIM_FATAL("sweep.seed must be >= 0, got ", s);
+            spec.seed = static_cast<std::uint64_t>(s);
+        } else if (key == "objective") {
+            spec.objective =
+                objectiveFromName(value.asString(), "sweep.objective");
+        } else if (key == "scaled_adc") {
+            spec.scaledAdc = value.asBool();
+        } else if (key == "scaled_adc_anchor") {
+            spec.scaledAdcAnchor = static_cast<int>(value.asInt());
+        } else if (key == "pareto") {
+            if (!value.isSequence())
+                CIM_FATAL("sweep.pareto must be a YAML sequence of "
+                          "objective names");
+            spec.paretoObjectives.clear();
+            for (const yaml::Node& obj : value.elements())
+                spec.paretoObjectives.push_back(obj.asString());
+        } else if (key == "axes") {
+            if (!value.isSequence())
+                CIM_FATAL("sweep.axes must be a YAML sequence");
+            for (std::size_t i = 0; i < value.size(); ++i)
+                spec.axes.push_back(axisFromYaml(value[i], i));
+        } else if (key == "constraints") {
+            if (!value.isSequence())
+                CIM_FATAL("sweep.constraints must be a YAML sequence");
+            for (std::size_t j = 0; j < value.size(); ++j)
+                spec.constraints.push_back(
+                    constraintFromYaml(value[j], j));
+        } else if (key == "faults") {
+            spec.faults = faults::FaultModel::fromYaml(value);
+        } else {
+            CIM_FATAL("unknown sweep spec key 'sweep.", key,
+                      "' (known: name, macro, network, workload, "
+                      "mappings, seed, objective, scaled_adc, "
+                      "scaled_adc_anchor, pareto, axes, constraints, "
+                      "faults)");
+        }
+    }
+    spec.validate();
+    return spec;
+}
+
+SweepSpec
+SweepSpec::fromFile(const std::string& path)
+{
+    return fromYaml(yaml::parseFile(path));
+}
+
+std::string
+SweepPoint::label(const SweepSpec& spec) const
+{
+    if (axisText.empty())
+        return "defaults";
+    std::string out;
+    for (std::size_t i = 0; i < axisText.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += spec.axes[i].field;
+        out += '=';
+        out += axisText[i];
+    }
+    return out;
+}
+
+double
+SweepPoint::fieldValue(const std::string& field) const
+{
+    if (field == "rows" || field == "array")
+        return static_cast<double>(params.rows);
+    if (field == "cols")
+        return static_cast<double>(params.cols);
+    if (field == "dac_bits")
+        return params.dacBits;
+    if (field == "adc_bits")
+        return params.adcBits;
+    if (field == "cell_bits")
+        return params.cellBits;
+    if (field == "input_bits")
+        return params.inputBits;
+    if (field == "weight_bits")
+        return params.weightBits;
+    if (field == "voltage")
+        return params.supplyVoltage;
+    if (field == "tech_nm")
+        return params.technologyNm;
+    if (field == "buffer_kb")
+        return static_cast<double>(params.bufferKb);
+    if (field == "mappings")
+        return mappings;
+    if (field == "fault_stuck_rate")
+        return faults.stuckOffRate + faults.stuckOnRate;
+    if (field == "stuck_off_rate")
+        return faults.stuckOffRate;
+    if (field == "stuck_on_rate")
+        return faults.stuckOnRate;
+    if (field == "conductance_sigma" || field == "fault_sigma")
+        return faults.conductanceSigma;
+    if (field == "adc_offset")
+        return faults.adcOffset;
+    if (field == "adc_noise_sigma")
+        return faults.adcNoiseSigma;
+    if (field == "fault_seed")
+        return static_cast<double>(faults.seed);
+    CIM_FATAL("unknown sweep field '", field, "' (known: ",
+              kNumericFields, ")");
+}
+
+SweepPoint
+materializePoint(const SweepSpec& spec, std::size_t index)
+{
+    CIM_ASSERT(index < spec.pointCount(), "sweep point index ", index,
+               " out of range (grid has ", spec.pointCount(),
+               " points)");
+    SweepPoint point;
+    point.index = index;
+    point.coords.resize(spec.axes.size());
+    std::size_t rem = index;
+    for (std::size_t i = spec.axes.size(); i-- > 0;) {
+        point.coords[i] = rem % spec.axes[i].values.size();
+        rem /= spec.axes[i].values.size();
+    }
+
+    point.macroName = spec.macro;
+    point.networkName = spec.network;
+    point.workloadPath = spec.workloadPath;
+    point.mappings = spec.mappings;
+    point.seed = spec.seed;
+    point.objective = spec.objective;
+    point.faults = spec.faults;
+
+    point.axisText.reserve(spec.axes.size());
+    for (std::size_t i = 0; i < spec.axes.size(); ++i)
+        point.axisText.push_back(
+            spec.axes[i].values[point.coords[i]].text);
+
+    // String axes resolve first so the macro defaults they select form
+    // the base the numeric axes then override.
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const Axis& axis = spec.axes[i];
+        const AxisValue& v = axis.values[point.coords[i]];
+        if (axis.field == "macro") {
+            point.macroName = v.text;
+        } else if (axis.field == "network") {
+            point.networkName = v.text;
+            point.workloadPath.clear();
+        }
+    }
+    point.params = macros::defaultsByName(point.macroName);
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const Axis& axis = spec.axes[i];
+        if (isStringField(axis.field))
+            continue;
+        applyNumericField(point, axis.field,
+                          axis.values[point.coords[i]].num);
+    }
+    if (spec.scaledAdc) {
+        point.params.adcBits =
+            macros::scaledAdcBits(point.params.rows,
+                                  spec.scaledAdcAnchor) +
+            std::max(0, point.params.dacBits - 3);
+    }
+    return point;
+}
+
+bool
+pointIsValid(const SweepSpec& spec, const SweepPoint& point,
+             std::string* reason)
+{
+    for (std::size_t j = 0; j < spec.constraints.size(); ++j) {
+        const Constraint& c = spec.constraints[j];
+        const double v = point.fieldValue(c.field);
+        const bool ok = (!c.hasMin || v >= c.min) &&
+                        (!c.hasMax || v <= c.max);
+        if (ok)
+            continue;
+        if (reason) {
+            std::ostringstream oss;
+            oss << "constraint sweep.constraints[" << j << "] ("
+                << c.field;
+            if (c.hasMin)
+                oss << " >= " << c.min;
+            if (c.hasMin && c.hasMax)
+                oss << " and";
+            if (c.hasMax)
+                oss << " <= " << c.max;
+            oss << ") violated: " << c.field << " = " << renderNum(v);
+            *reason = oss.str();
+        }
+        return false;
+    }
+    if (spec.validity && !spec.validity(point)) {
+        if (reason)
+            *reason = "validity predicate rejected the point";
+        return false;
+    }
+    return true;
+}
+
+double
+accuracyLossProxy(const macros::MacroParams& params,
+                  const faults::FaultModel& faults)
+{
+    // Bits of column-sum information the ADC discards: a rows-deep
+    // analog sum of dac*cell-bit products needs about
+    // log2(rows) + dac + cell - 2 bits to digitize losslessly.
+    const double needed =
+        std::log2(static_cast<double>(std::max<std::int64_t>(
+            params.rows, 1))) +
+        params.dacBits + params.cellBits - 2.0;
+    const double clip = std::max(0.0, needed - params.adcBits);
+    const double faultLoss =
+        8.0 * (faults.stuckOffRate + faults.stuckOnRate) +
+        faults.conductanceSigma + 4.0 * faults.adcNoiseSigma +
+        2.0 * std::abs(faults.adcOffset);
+    return clip + faultLoss;
+}
+
+const char*
+pointStatusName(PointStatus s)
+{
+    switch (s) {
+    case PointStatus::Ok:
+        return "ok";
+    case PointStatus::Skipped:
+        return "skipped";
+    case PointStatus::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+} // namespace cimloop::dse

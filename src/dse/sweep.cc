@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The parallel sweep executor and Pareto extraction.
+ *
+ * Determinism: points are claimed dynamically but every worker writes
+ * only its own slot of the result vector, and every order-sensitive
+ * step — counting, frontier extraction, best-point selection, counter
+ * bumps, cache-delta measurement — happens on the calling thread after
+ * the join, over the slots in grid order. Combined with the engine's
+ * scheduling-invariant search and single-flight per-action cache, a
+ * sweep's table, CSV/JSON artifacts, and obs counters are byte-identical
+ * for any --threads at a fixed seed.
+ */
+#include "cimloop/dse/dse.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/parallel.hh"
+#include "cimloop/obs/obs.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::dse {
+
+namespace {
+
+/** Key of the network a point runs ("name:mvm" / "file:net.yaml"). */
+std::string
+networkKey(const SweepPoint& point)
+{
+    return point.workloadPath.empty() ? "name:" + point.networkName
+                                      : "file:" + point.workloadPath;
+}
+
+/**
+ * Loads every distinct network the grid can reference, serially and up
+ * front: a bad network name or unreadable workload file is a spec-level
+ * error (fatal before any point runs), not a per-point failure, and
+ * workers then share immutable Network objects.
+ */
+std::map<std::string, workload::Network>
+preloadNetworks(const SweepSpec& spec)
+{
+    std::map<std::string, workload::Network> nets;
+    auto load = [&](const SweepPoint& point) {
+        std::string key = networkKey(point);
+        if (nets.count(key))
+            return;
+        nets.emplace(key, point.workloadPath.empty()
+                              ? workload::networkByName(point.networkName)
+                              : workload::networkFromFile(
+                                    point.workloadPath));
+    };
+    bool hasNetworkAxis = false;
+    for (const Axis& axis : spec.axes)
+        hasNetworkAxis = hasNetworkAxis || axis.field == "network";
+    if (!hasNetworkAxis) {
+        load(materializePoint(spec, 0));
+        return nets;
+    }
+    // One probe per network-axis value is enough: the network choice
+    // depends only on that axis's coordinate.
+    for (std::size_t i = 0; i < spec.pointCount(); ++i)
+        load(materializePoint(spec, i));
+    return nets;
+}
+
+/**
+ * Prefixes a message with its kind unless the message already starts
+ * with it — CIM_FATAL/CIM_PANIC texts carry "fatal: "/"panic: ".
+ */
+std::string
+kindPrefixed(const std::string& kind, const std::string& message)
+{
+    const std::string prefix = kind + ": ";
+    if (message.rfind(prefix, 0) == 0)
+        return message;
+    return prefix + message;
+}
+
+/** "layer 3 (conv4_x): fatal: ..." summary of keep-going diagnostics. */
+std::string
+describeDiagnostics(const std::vector<engine::LayerDiagnostic>& diags)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        if (i)
+            oss << "; ";
+        oss << "layer " << diags[i].layerIndex << " (" << diags[i].layer
+            << "): " << kindPrefixed(diags[i].kind, diags[i].message);
+    }
+    return oss.str();
+}
+
+/** Classifies a caught exception the way LayerDiagnostic.kind does. */
+std::string
+classifyFailure(std::exception_ptr error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const FatalError& e) {
+        return kindPrefixed("fatal", e.what());
+    } catch (const PanicError& e) {
+        return kindPrefixed("panic", e.what());
+    } catch (const std::exception& e) {
+        return kindPrefixed("exception", e.what());
+    }
+}
+
+/** Reads one Pareto objective off an evaluated point. */
+double
+objectiveValue(const PointResult& pr, const std::string& name)
+{
+    if (name == "energy")
+        return pr.energyPj;
+    if (name == "energy_per_mac")
+        return pr.energyPerMacPj;
+    if (name == "latency")
+        return pr.latencyNs;
+    if (name == "area")
+        return pr.areaUm2;
+    if (name == "accuracy")
+        return pr.accuracyLoss;
+    CIM_PANIC("unvalidated pareto objective '", name, "'");
+}
+
+/** Evaluates one point in place; never throws. */
+void
+evaluatePoint(const SweepSpec& spec,
+              const std::map<std::string, workload::Network>& networks,
+              int inner_threads, PointResult& pr)
+{
+    std::string reason;
+    if (!pointIsValid(spec, pr.point, &reason)) {
+        pr.status = PointStatus::Skipped;
+        pr.statusDetail = reason;
+        return;
+    }
+    try {
+        // Per-point fault values come from axes, so out-of-range ones
+        // are a point failure (with the axis values in the label), not
+        // a spec failure.
+        pr.point.faults.validate();
+        engine::Arch arch =
+            macros::macroByName(pr.point.macroName, pr.point.params);
+        arch.faults = pr.point.faults;
+        const workload::Network& net =
+            networks.at(networkKey(pr.point));
+        engine::NetworkEvaluation ev = engine::evaluateNetworkParallel(
+            arch, net, inner_threads, pr.point.mappings, pr.point.seed,
+            pr.point.objective, /*keep_going=*/true);
+        if (!ev.complete()) {
+            pr.status = PointStatus::Failed;
+            pr.layerDiagnostics = ev.diagnostics;
+            pr.statusDetail = describeDiagnostics(ev.diagnostics);
+            return;
+        }
+        pr.status = PointStatus::Ok;
+        pr.energyPj = ev.energyPj;
+        pr.energyPerMacPj = ev.energyPerMacPj();
+        pr.latencyNs = ev.latencyNs;
+        pr.areaUm2 = ev.areaUm2;
+        pr.macs = ev.macs;
+        pr.topsPerWatt = ev.topsPerWatt();
+        pr.accuracyLoss =
+            accuracyLossProxy(pr.point.params, pr.point.faults);
+    } catch (...) {
+        pr.status = PointStatus::Failed;
+        pr.statusDetail = classifyFailure(std::current_exception());
+    }
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoIndices(const std::vector<std::vector<double>>& objectives)
+{
+    const std::size_t n = objectives.size();
+    if (n == 0)
+        return {};
+    for (const std::vector<double>& row : objectives) {
+        CIM_ASSERT(row.size() == objectives.front().size(),
+                   "pareto rows must have equal dimensionality");
+    }
+    auto dominates = [&](std::size_t a, std::size_t b) {
+        bool strict = false;
+        for (std::size_t k = 0; k < objectives[a].size(); ++k) {
+            if (objectives[a][k] > objectives[b][k])
+                return false;
+            if (objectives[a][k] < objectives[b][k])
+                strict = true;
+        }
+        return strict;
+    };
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < n && !dominated; ++j)
+            dominated = j != i && dominates(j, i);
+        if (!dominated)
+            out.push_back(i);
+    }
+    return out;
+}
+
+SweepResult
+runSweep(const SweepSpec& spec, const SweepOptions& opts)
+{
+    static obs::Counter& c_total = obs::counter("dse.points_total");
+    static obs::Counter& c_eval = obs::counter("dse.points_evaluated");
+    static obs::Counter& c_failed = obs::counter("dse.points_failed");
+    static obs::Counter& c_skipped = obs::counter("dse.points_skipped");
+    static obs::Counter& c_pareto = obs::counter("dse.points_pareto");
+    static obs::Counter& c_hits = obs::counter("dse.cache.hits");
+    static obs::Counter& c_misses = obs::counter("dse.cache.misses");
+
+    spec.validate();
+    CIM_SPAN("dse.sweep");
+    const std::size_t n = spec.pointCount();
+    const auto networks = preloadNetworks(spec);
+
+    SweepResult result;
+    result.name = spec.name;
+    result.paretoObjectives = spec.paretoObjectives;
+    for (const Axis& axis : spec.axes)
+        result.axisFields.push_back(axis.field);
+
+    const engine::PerActionCacheStats before =
+        engine::perActionCacheStats();
+
+    // Points fan out first; leftover threads split each point's
+    // per-layer/mapping work (same policy as evaluateNetworkParallel).
+    const int threads = std::max(1, opts.threads);
+    const int outer = static_cast<int>(std::min<std::size_t>(
+        threads, std::max<std::size_t>(n, 1)));
+    const int inner = std::max(1, threads / outer);
+
+    result.points.resize(n);
+    std::vector<WorkerError> errors =
+        parallelForAll(outer, n, [&](std::size_t i) {
+            PointResult& pr = result.points[i];
+            pr.point = materializePoint(spec, i);
+            evaluatePoint(spec, networks, inner, pr);
+        });
+    // evaluatePoint() swallows everything, so only materializePoint()
+    // can leak an exception here; record it as a point failure rather
+    // than aborting a mostly-finished sweep.
+    for (const WorkerError& we : errors) {
+        PointResult& pr = result.points[we.index];
+        pr.status = PointStatus::Failed;
+        pr.statusDetail = classifyFailure(we.error);
+    }
+
+    // Everything below runs post-join in grid order, so counts,
+    // frontier, best point, and counters are scheduling-invariant.
+    for (const PointResult& pr : result.points) {
+        switch (pr.status) {
+        case PointStatus::Ok:
+            ++result.evaluated;
+            break;
+        case PointStatus::Failed:
+            ++result.failed;
+            break;
+        case PointStatus::Skipped:
+            ++result.skipped;
+            break;
+        }
+    }
+
+    std::vector<std::size_t> okIndices;
+    std::vector<std::vector<double>> objectives;
+    for (std::size_t i = 0; i < n; ++i) {
+        const PointResult& pr = result.points[i];
+        if (pr.status != PointStatus::Ok)
+            continue;
+        okIndices.push_back(i);
+        std::vector<double> row;
+        row.reserve(spec.paretoObjectives.size());
+        for (const std::string& name : spec.paretoObjectives)
+            row.push_back(objectiveValue(pr, name));
+        objectives.push_back(std::move(row));
+    }
+    for (std::size_t row : paretoIndices(objectives)) {
+        result.frontier.push_back(okIndices[row]);
+        result.points[okIndices[row]].onFrontier = true;
+    }
+    for (std::size_t row = 0; row < okIndices.size(); ++row) {
+        if (result.bestIndex == static_cast<std::size_t>(-1) ||
+            objectives[row][0] <
+                objectiveValue(result.points[result.bestIndex],
+                               spec.paretoObjectives[0])) {
+            result.bestIndex = okIndices[row];
+        }
+    }
+
+    const engine::PerActionCacheStats after =
+        engine::perActionCacheStats();
+    result.cacheHits = after.hits - before.hits;
+    result.cacheMisses = after.misses - before.misses;
+
+    c_total.add(n);
+    c_eval.add(result.evaluated);
+    c_failed.add(result.failed);
+    c_skipped.add(result.skipped);
+    c_pareto.add(result.frontier.size());
+    c_hits.add(result.cacheHits);
+    c_misses.add(result.cacheMisses);
+    return result;
+}
+
+std::vector<PointResult>
+forEachPoint(const SweepSpec& spec, int threads,
+             const std::function<void(const SweepPoint&)>& fn)
+{
+    spec.validateGrid();
+    const std::size_t n = spec.pointCount();
+    std::vector<PointResult> results(n);
+    parallelForAll(std::max(1, threads), n, [&](std::size_t i) {
+        PointResult& pr = results[i];
+        pr.point = materializePoint(spec, i);
+        std::string reason;
+        if (!pointIsValid(spec, pr.point, &reason)) {
+            pr.status = PointStatus::Skipped;
+            pr.statusDetail = reason;
+            return;
+        }
+        try {
+            fn(pr.point);
+            pr.status = PointStatus::Ok;
+        } catch (...) {
+            pr.status = PointStatus::Failed;
+            pr.statusDetail = classifyFailure(std::current_exception());
+        }
+    });
+    return results;
+}
+
+} // namespace cimloop::dse

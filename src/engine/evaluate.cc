@@ -204,10 +204,14 @@ cachedPrecompute(const Arch& arch, const workload::Layer& layer)
             promise.set_value(std::make_shared<const PerActionTable>(
                 precompute(arch, layer)));
         } catch (...) {
+            // Keep the poisoned entry: the inputs are immutable, so a
+            // retry would fail identically, and dropping it would make
+            // hit/miss counts depend on whether a second caller arrived
+            // before or after the failure — breaking the
+            // misses == unique keys invariant sweeps over failing
+            // design points rely on. Later callers rethrow the cached
+            // exception (and count as hits).
             promise.set_exception(std::current_exception());
-            // Drop the poisoned entry so a later call can retry.
-            std::lock_guard<std::mutex> lock(cache.mutex);
-            cache.entries.erase(key);
         }
     }
     return future.get();

@@ -73,26 +73,46 @@ FaultModel
 FaultModel::fromYaml(const yaml::Node& node)
 {
     if (!node.isMapping())
-        CIM_FATAL("fault spec must be a YAML mapping");
+        CIM_FATAL("fault spec must be a YAML mapping holding a 'faults:' "
+                  "key or the fault keys themselves (stuck_off_rate, "
+                  "stuck_on_rate, conductance_sigma, adc_offset, "
+                  "adc_noise_sigma, seed)");
     const yaml::Node* body = node.find("faults");
     const yaml::Node& map = body ? *body : node;
     if (!map.isMapping())
-        CIM_FATAL("faults: must hold a YAML mapping");
+        CIM_FATAL("'faults' must hold a YAML mapping of fault keys, not "
+                  "a scalar or sequence");
+
+    // Re-raise kind mismatches from the YAML layer with the offending
+    // key path attached, so "expected number" names the bad key.
+    auto num = [](const std::string& key,
+                  const yaml::Node& value) -> double {
+        try {
+            return value.asDouble();
+        } catch (const FatalError& e) {
+            CIM_FATAL("faults.", key, ": ", e.what());
+        }
+    };
 
     FaultModel m;
     for (const auto& [key, value] : map.items()) {
         if (key == "stuck_off_rate") {
-            m.stuckOffRate = value.asDouble();
+            m.stuckOffRate = num(key, value);
         } else if (key == "stuck_on_rate") {
-            m.stuckOnRate = value.asDouble();
+            m.stuckOnRate = num(key, value);
         } else if (key == "conductance_sigma") {
-            m.conductanceSigma = value.asDouble();
+            m.conductanceSigma = num(key, value);
         } else if (key == "adc_offset") {
-            m.adcOffset = value.asDouble();
+            m.adcOffset = num(key, value);
         } else if (key == "adc_noise_sigma") {
-            m.adcNoiseSigma = value.asDouble();
+            m.adcNoiseSigma = num(key, value);
         } else if (key == "seed") {
-            std::int64_t s = value.asInt();
+            std::int64_t s = 0;
+            try {
+                s = value.asInt();
+            } catch (const FatalError& e) {
+                CIM_FATAL("faults.seed: ", e.what());
+            }
             if (s < 0)
                 CIM_FATAL("faults.seed must be >= 0, got ", s);
             m.seed = static_cast<std::uint64_t>(s);

@@ -78,6 +78,11 @@ engine::Arch digitalCim(const MacroParams& p = digitalCimDefaults());
  *  unknown. */
 engine::Arch macroByName(const std::string& name);
 
+/** Same, but with explicit params instead of the Table III defaults —
+ *  the design-space sweeps resolve (axis macro name, swept params)
+ *  pairs through this. */
+engine::Arch macroByName(const std::string& name, const MacroParams& p);
+
 /** Table III defaults by the same names. */
 MacroParams defaultsByName(const std::string& name);
 

@@ -492,19 +492,25 @@ defaultsByName(const std::string& name)
 engine::Arch
 macroByName(const std::string& name)
 {
+    return macroByName(name, defaultsByName(name));
+}
+
+engine::Arch
+macroByName(const std::string& name, const MacroParams& p)
+{
     std::string n = toLower(name);
     if (n == "base")
-        return baseMacro();
+        return baseMacro(p);
     if (n == "a" || n == "macro_a")
-        return macroA();
+        return macroA(p);
     if (n == "b" || n == "macro_b")
-        return macroB();
+        return macroB(p);
     if (n == "c" || n == "macro_c")
-        return macroC();
+        return macroC(p);
     if (n == "d" || n == "macro_d")
-        return macroD();
+        return macroD(p);
     if (n == "digital" || n == "digital_cim")
-        return digitalCim();
+        return digitalCim(p);
     CIM_FATAL("unknown macro '", name,
               "' (expected base, A, B, C, D, or digital)");
 }

@@ -71,8 +71,16 @@ class AdcModel : public ComponentModel
     estimate(const ComponentContext& ctx) const override
     {
         int bits = static_cast<int>(ctx.attrInt("resolution", 8));
-        CIM_ASSERT(bits >= 1 && bits <= 14, "ADC resolution out of range: ",
-                   bits);
+        // A user-reachable limit, not an invariant: design sweeps over
+        // array size / DAC width can push the derived resolution past
+        // the survey's 14-bit ceiling, and that point must fail as a
+        // spec error (FatalError) the keep-going paths can report.
+        if (bits < 1 || bits > 14) {
+            CIM_FATAL("ADC attribute 'resolution' must be within "
+                      "[1, 14], got ", bits,
+                      " (the survey regression has no data beyond "
+                      "14 bits)");
+        }
         // Survey regression: a Walden term (E ~ 2^bits) plus a
         // thermal-noise term (E ~ 4^bits) that dominates at high
         // resolution — the reason ADC cost stops amortizing as CiM

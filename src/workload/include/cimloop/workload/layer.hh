@@ -173,9 +173,12 @@ namespace cimloop::workload {
  *   weight_bits: 8     # optional
  *   count: 1           # optional repetitions
  *
- * Unlisted dims default to 1. Fatal on unknown keys or dims.
+ * Unlisted dims default to 1. Fatal on unknown keys or dims; error
+ * messages cite @p path (e.g. "workload.layers[3]") so the offending
+ * spot in a multi-layer file is findable.
  */
-Layer layerFromYaml(const yaml::Node& node);
+Layer layerFromYaml(const yaml::Node& node,
+                    const std::string& path = "workload layer");
 
 /**
  * Parses a network from a YAML document:

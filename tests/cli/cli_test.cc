@@ -570,6 +570,125 @@ TEST(Run, TraceFileIsChromeLoadable)
     EXPECT_EQ(out2.str().find("wrote"), std::string::npos);
 }
 
+namespace {
+
+/** Writes a small sweep spec and returns its path. */
+std::string
+writeSweepSpec(const char* path)
+{
+    std::ofstream f(path);
+    f << "sweep:\n"
+         "  name: cli-sweep\n"
+         "  network: mvm\n"
+         "  mappings: 6\n"
+         "  scaled_adc: true\n"
+         "  axes:\n"
+         "    - field: array\n"
+         "      values: [64, 4096]\n"
+         "    - field: dac_bits\n"
+         "      values: [1, 8]\n";
+    return path;
+}
+
+} // namespace
+
+TEST(Parse, SweepFlags)
+{
+    CliOptions o = parse({"--sweep", "/tmp/s.yaml", "--threads", "4",
+                          "--seed", "7", "--json", "/tmp/s.json"});
+    EXPECT_EQ(o.sweepPath, "/tmp/s.yaml");
+    EXPECT_EQ(o.jsonPath, "/tmp/s.json");
+    EXPECT_EQ(o.threads, 4);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_TRUE(o.seedGiven);
+
+    CliOptions eq = parse({"--sweep=/tmp/s.yaml"});
+    EXPECT_EQ(eq.sweepPath, "/tmp/s.yaml");
+    EXPECT_FALSE(eq.seedGiven);
+
+    // The spec names the architecture and workload; the single-run
+    // selection flags conflict with it.
+    EXPECT_THROW(parse({"--sweep", "/tmp/s.yaml", "--macro", "base"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--sweep", "/tmp/s.yaml", "--network", "mvm"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--sweep", "/tmp/s.yaml", "--refsim"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--sweep="}), FatalError);
+    // --json is a sweep artifact; alone it is an error.
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm", "--json",
+                        "/tmp/x.json"}),
+                 FatalError);
+}
+
+TEST(Run, SweepEndToEndWithArtifacts)
+{
+    const char* spec_path = "/tmp/cimloop_cli_sweep.yaml";
+    const char* csv_path = "/tmp/cimloop_cli_sweep.csv";
+    const char* json_path = "/tmp/cimloop_cli_sweep.json";
+    writeSweepSpec(spec_path);
+
+    std::ostringstream out, err;
+    int rc = run({"--sweep", spec_path, "--threads", "2", "--csv",
+                  csv_path, "--json", json_path},
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    std::string text = out.str();
+    // 4 points; the (4096, dac 8) corner derives a 15-bit ADC and fails
+    // as a per-point diagnostic carrying its axis values.
+    EXPECT_NE(text.find("4 points (3 ok, 1 failed"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("array=4096, dac_bits=8"), std::string::npos);
+    EXPECT_NE(text.find("pareto frontier"), std::string::npos);
+    EXPECT_NE(text.find("best ("), std::string::npos);
+
+    std::ifstream csv(csv_path);
+    ASSERT_TRUE(csv.good());
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_NE(header.find("array"), std::string::npos);
+    EXPECT_NE(header.find("energy_per_mac_pj"), std::string::npos);
+
+    std::ifstream json(json_path);
+    ASSERT_TRUE(json.good());
+    std::string doc((std::istreambuf_iterator<char>(json)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(doc.find("\"sweep\": \"cli-sweep\""), std::string::npos);
+    EXPECT_NE(doc.find("\"failed\": 1"), std::string::npos);
+    std::remove(csv_path);
+    std::remove(json_path);
+}
+
+TEST(Run, SweepThreadsMatchSingle)
+{
+    const char* spec_path = "/tmp/cimloop_cli_sweep_t.yaml";
+    writeSweepSpec(spec_path);
+    std::ostringstream out1, out8, err;
+    ASSERT_EQ(run({"--sweep", spec_path, "--seed", "3"}, out1, err), 0);
+    ASSERT_EQ(run({"--sweep", spec_path, "--seed", "3", "--threads",
+                   "8"},
+                  out8, err),
+              0);
+    EXPECT_EQ(out1.str(), out8.str());
+}
+
+TEST(Run, SweepBadSpecExitsOneWithKeyPath)
+{
+    const char* spec_path = "/tmp/cimloop_cli_sweep_bad.yaml";
+    {
+        std::ofstream f(spec_path);
+        f << "sweep:\n"
+             "  network: mvm\n"
+             "  axes:\n"
+             "    - field: gremlins\n"
+             "      values: [1]\n";
+    }
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--sweep", spec_path}, out, err), 1);
+    EXPECT_NE(err.str().find("sweep.axes[0].field"), std::string::npos)
+        << err.str();
+}
+
 TEST(Run, ThreadsMatchSingle)
 {
     std::ostringstream out1, out4, err;

@@ -1,0 +1,249 @@
+/**
+ * Sweep executor: the grid reproduces the exact numbers of the
+ * hand-rolled nested loops it replaces, keep-going turns an unmappable
+ * design into a per-point diagnostic carrying its axis values, points
+ * sharing an (arch, layer) pair reuse the per-action cache, and every
+ * artifact (table, CSV, JSON) is byte-identical for any thread count.
+ */
+#include "cimloop/dse/dse.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::dse {
+namespace {
+
+TEST(DseSweep, CrossCheckMatchesHandRolledLoop)
+{
+    // The fig-2b-style grid: array size x DAC resolution with the
+    // scaled-ADC rule. Every point must reproduce the pJ/MAC a
+    // standalone evaluateNetworkParallel() call computes for the same
+    // design — the sweep is a refactor of the nested loops, not an
+    // approximation of them.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 8;
+    spec.seed = 1;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2});
+
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.points.size(), 4u);
+    ASSERT_EQ(result.evaluated, 4u);
+
+    workload::Network net = workload::networkByName("mvm");
+    std::size_t i = 0;
+    for (std::int64_t array : {64, 128}) {
+        for (int dac : {1, 2}) {
+            macros::MacroParams p = macros::defaultsByName("base");
+            p.rows = array;
+            p.cols = array;
+            p.dacBits = dac;
+            p.adcBits = macros::scaledAdcBits(array, 5) +
+                        std::max(0, dac - 3);
+            engine::Arch arch = macros::macroByName("base", p);
+            engine::NetworkEvaluation ev =
+                engine::evaluateNetworkParallel(
+                    arch, net, 1, spec.mappings, spec.seed,
+                    engine::Objective::Energy);
+            const PointResult& pr = result.points[i++];
+            ASSERT_EQ(pr.status, PointStatus::Ok)
+                << pr.point.label(spec) << ": " << pr.statusDetail;
+            EXPECT_DOUBLE_EQ(pr.energyPj, ev.energyPj)
+                << pr.point.label(spec);
+            EXPECT_DOUBLE_EQ(pr.energyPerMacPj, ev.energyPerMacPj())
+                << pr.point.label(spec);
+            EXPECT_DOUBLE_EQ(pr.latencyNs, ev.latencyNs)
+                << pr.point.label(spec);
+        }
+    }
+}
+
+TEST(DseSweep, KeepGoingRecordsUnmappablePointWithAxisValues)
+{
+    // adc_bits = 15 exceeds the ADC survey regression's range, so that
+    // design CIM_FATALs inside precompute. The sweep must finish, keep
+    // the good point, and pin the failure to its axis values.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("adc_bits", std::vector<double>{6, 15});
+
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.points.size(), 2u);
+    EXPECT_EQ(result.evaluated, 1u);
+    EXPECT_EQ(result.failed, 1u);
+
+    const PointResult& bad = result.points[1];
+    EXPECT_EQ(bad.status, PointStatus::Failed);
+    EXPECT_NE(bad.statusDetail.find("resolution"), std::string::npos)
+        << bad.statusDetail;
+    ASSERT_FALSE(bad.layerDiagnostics.empty());
+    EXPECT_EQ(bad.layerDiagnostics[0].kind, "fatal");
+
+    // Every artifact names the failing design by its axis values.
+    EXPECT_NE(formatTable(result).find("adc_bits=15"),
+              std::string::npos);
+    EXPECT_NE(toCsv(result).find("failed"), std::string::npos);
+
+    EXPECT_EQ(result.bestIndex, 0u);
+    EXPECT_EQ(result.frontier, (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(result.points[0].onFrontier);
+    EXPECT_FALSE(result.points[1].onFrontier);
+}
+
+TEST(DseSweep, ConstraintSkipsInsteadOfFailing)
+{
+    // Same out-of-range design, but declared invalid: it must be
+    // skipped (never sent to the engine), not failed.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("adc_bits", std::vector<double>{6, 15});
+    Constraint c;
+    c.field = "adc_bits";
+    c.hasMax = true;
+    c.max = 14.0;
+    spec.constraints.push_back(c);
+
+    SweepResult result = runSweep(spec);
+    EXPECT_EQ(result.evaluated, 1u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.skipped, 1u);
+    EXPECT_EQ(result.points[1].status, PointStatus::Skipped);
+    EXPECT_NE(result.points[1].statusDetail.find("constraint"),
+              std::string::npos);
+}
+
+TEST(DseSweep, SharedDesignsReuseThePerActionCache)
+{
+    // Two points differing only in mapper budget share the per-action
+    // key, so the second one's precompute is a cache hit — the
+    // cross-point economy the sweep is built around.
+    engine::clearPerActionCache();
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.addAxis("array", std::vector<double>{64});
+    spec.addAxis("mappings", std::vector<double>{4, 8});
+
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.evaluated, 2u);
+    EXPECT_EQ(result.cacheMisses, 1u); // mvm is a single layer
+    EXPECT_EQ(result.cacheHits, 1u);
+    EXPECT_EQ(result.points[0].point.mappings, 4);
+    EXPECT_EQ(result.points[1].point.mappings, 8);
+}
+
+TEST(DseSweep, ArtifactsByteIdenticalAcrossThreadCounts)
+{
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 6;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 8});
+
+    std::string table, csv, json;
+    for (int threads : {1, 4, 8}) {
+        // Reset the process-wide cache so each run sees the same
+        // hit/miss economy (the CLI does this per run too).
+        engine::clearPerActionCache();
+        SweepOptions opts;
+        opts.threads = threads;
+        SweepResult result = runSweep(spec, opts);
+        if (threads == 1) {
+            table = formatTable(result);
+            csv = toCsv(result);
+            json = toJson(result);
+        } else {
+            EXPECT_EQ(formatTable(result), table)
+                << "table differs at --threads " << threads;
+            EXPECT_EQ(toCsv(result), csv)
+                << "CSV differs at --threads " << threads;
+            EXPECT_EQ(toJson(result), json)
+                << "JSON differs at --threads " << threads;
+        }
+    }
+}
+
+TEST(DseSweep, ForEachPointKeepsGoingAndReportsStatuses)
+{
+    SweepSpec spec;
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 3, 4});
+    Constraint c;
+    c.field = "dac_bits";
+    c.hasMax = true;
+    c.max = 3.0;
+    spec.constraints.push_back(c);
+
+    std::vector<std::size_t> visited;
+    std::vector<PointResult> statuses = forEachPoint(
+        spec, /*threads=*/1, [&](const SweepPoint& point) {
+            visited.push_back(point.index);
+            if (point.params.dacBits == 2)
+                CIM_FATAL("dac_bits = 2 is cursed");
+        });
+
+    ASSERT_EQ(statuses.size(), 4u);
+    EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(statuses[0].status, PointStatus::Ok);
+    EXPECT_EQ(statuses[1].status, PointStatus::Failed);
+    EXPECT_NE(statuses[1].statusDetail.find("cursed"),
+              std::string::npos);
+    EXPECT_EQ(statuses[2].status, PointStatus::Ok);
+    EXPECT_EQ(statuses[3].status, PointStatus::Skipped);
+}
+
+TEST(DseSweep, CsvAndJsonCarryTheGrid)
+{
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("dac_bits", std::vector<double>{1, 2});
+
+    SweepResult result = runSweep(spec);
+    const std::string csv = toCsv(result);
+    EXPECT_EQ(csv.compare(0, 6, "point,"), 0) << csv.substr(0, 40);
+    EXPECT_NE(csv.find("dac_bits"), std::string::npos);
+    // Header plus one row per point, newline-terminated.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+
+    const std::string json = toJson(result);
+    EXPECT_NE(json.find("\"summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"frontier\""), std::string::npos);
+    EXPECT_NE(json.find("\"dac_bits\": \"2\""), std::string::npos);
+}
+
+TEST(DseSweep, CountsAreConsistent)
+{
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 4096});
+    spec.addAxis("dac_bits", std::vector<double>{1, 8});
+    // (4096, dac 8) derives a 15-bit ADC and fails; everything else is
+    // evaluable.
+    SweepResult result = runSweep(spec);
+    EXPECT_EQ(result.evaluated + result.failed + result.skipped,
+              result.points.size());
+    EXPECT_EQ(result.failed, 1u);
+    for (std::size_t idx : result.frontier)
+        EXPECT_TRUE(result.points[idx].onFrontier);
+    ASSERT_NE(result.bestIndex, static_cast<std::size_t>(-1));
+    EXPECT_TRUE(result.points[result.bestIndex].onFrontier)
+        << "the best point under the first objective is nondominated "
+           "by construction";
+}
+
+} // namespace
+} // namespace cimloop::dse

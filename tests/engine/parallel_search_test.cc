@@ -196,6 +196,32 @@ TEST(PerActionCache, DistinguishesOperatingPoints)
     clearPerActionCache();
 }
 
+TEST(PerActionCache, PoisonedEntriesStayCachedForDeterminism)
+{
+    // A design whose precompute fails (15-bit ADC exceeds the survey
+    // regression) must poison its cache entry, not erase it: later
+    // callers of the same key rethrow the cached failure as a *hit*, so
+    // hit/miss counts stay a pure function of the unique-key set — the
+    // invariant the sweep executor's byte-identical cache line relies
+    // on when several grid points share a failing design.
+    clearPerActionCache();
+    macros::MacroParams params = macros::defaultsByName("base");
+    params.adcBits = 15;
+    Arch arch = macros::macroByName("base", params);
+    workload::Layer layer = workload::resnet18().layers[5];
+
+    EXPECT_THROW(cachedPrecompute(arch, layer), cimloop::FatalError);
+    PerActionCacheStats first = perActionCacheStats();
+    EXPECT_EQ(first.misses, 1u);
+    EXPECT_EQ(first.hits, 0u);
+
+    EXPECT_THROW(cachedPrecompute(arch, layer), cimloop::FatalError);
+    PerActionCacheStats second = perActionCacheStats();
+    EXPECT_EQ(second.misses, 1u) << "poisoned entry was re-missed";
+    EXPECT_EQ(second.hits, 1u);
+    clearPerActionCache();
+}
+
 TEST(PerActionCache, MatchesUncachedPrecompute)
 {
     clearPerActionCache();

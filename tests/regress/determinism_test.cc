@@ -12,6 +12,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,29 @@ struct Scenario
     const char* name;
     std::vector<std::string> args; // without --seed/--threads/--metrics
 };
+
+/** Writes the sweep spec the dse scenario runs (includes a design that
+ *  fails keep-going, so the diagnostic path is in the sweep too). */
+std::string
+sweepSpecPath()
+{
+    static const std::string path = [] {
+        const std::string p = "/tmp/cimloop_det_sweep.yaml";
+        std::ofstream out(p);
+        out << "sweep:\n"
+               "  name: det\n"
+               "  network: mvm\n"
+               "  mappings: 8\n"
+               "  scaled_adc: true\n"
+               "  axes:\n"
+               "    - field: array\n"
+               "      values: [64, 128, 4096]\n"
+               "    - field: dac_bits\n"
+               "      values: [1, 8]\n";
+        return p;
+    }();
+    return path;
+}
 
 std::vector<Scenario>
 scenarios()
@@ -40,6 +64,7 @@ scenarios()
         {"refsim_faults",
          {"--refsim", "--network", "mvm", "--refsim-vectors", "4",
           "--fault-stuck-rate", "0.05", "--fault-sigma", "0.2"}},
+        {"sweep", {"--sweep", sweepSpecPath()}},
     };
 }
 
