@@ -398,6 +398,34 @@ BM_DseParetoIndices(benchmark::State& state)
 BENCHMARK(BM_DseParetoIndices);
 
 /**
+ * Streaming frontier maintenance at million-point scale: inserts per
+ * second into an incrementally pruned ParetoFront — the structure that
+ * replaced the O(n^2) end-of-run scan. The argument sweeps the insert
+ * count so the report shows how cost tracks the (small, self-pruning)
+ * frontier rather than the stream length.
+ */
+void
+BM_DseParetoFrontInsert(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(42);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rows.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    for (auto _ : state) {
+        dse::ParetoFront front(3);
+        for (std::size_t i = 0; i < n; ++i)
+            front.insert(i, rows[i]);
+        benchmark::DoNotOptimize(front.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DseParetoFrontInsert)->Arg(1024)->Arg(16384)->Arg(131072);
+
+/**
  * End-to-end sweep throughput (points/sec) on a small engine-backed
  * grid — the number BENCH_*.json tracks for the dse executor.
  */

@@ -82,6 +82,17 @@ design-space exploration:
                        any value at fixed seed), --seed (overrides the
                        spec's seed), --csv, --json, --metrics, --trace
   --json FILE          write the sweep result as a JSON artifact
+  --resume DIR         journal completed chunks to DIR and, when DIR
+                       already holds a journal of the same spec, skip
+                       the journaled ranges — an interrupted sweep
+                       resumes where it stopped, with artifacts
+                       byte-identical to an uninterrupted run
+  --chunk-size N       points per journal/commit chunk (default 1024;
+                       never changes result bytes, only checkpoint
+                       granularity)
+  --max-chunks N       stop cleanly after N freshly executed chunks (a
+                       controlled interruption: combine with --resume
+                       to checkpoint, then rerun to continue)
 
 fault injection / robustness:
   --faults FILE.yaml   device fault spec (stuck_off_rate, stuck_on_rate,
@@ -217,6 +228,22 @@ parseArgs(const std::vector<std::string>& args)
             opts.sweepPath = flag.substr(std::string("--sweep=").size());
             if (opts.sweepPath.empty())
                 CIM_FATAL("--sweep= expects a file path");
+        } else if (flag == "--resume") {
+            opts.resumeDir = value();
+        } else if (startsWith(flag, "--resume=")) {
+            opts.resumeDir = flag.substr(std::string("--resume=").size());
+            if (opts.resumeDir.empty())
+                CIM_FATAL("--resume= expects a directory path");
+        } else if (flag == "--chunk-size") {
+            const std::int64_t v = parseInt(flag, value());
+            if (v < 1)
+                CIM_FATAL("--chunk-size must be >= 1, got ", v);
+            opts.chunkSize = static_cast<std::size_t>(v);
+        } else if (flag == "--max-chunks") {
+            const std::int64_t v = parseInt(flag, value());
+            if (v < 1)
+                CIM_FATAL("--max-chunks must be >= 1, got ", v);
+            opts.maxChunks = static_cast<std::size_t>(v);
         } else if (flag == "--json") {
             opts.jsonPath = value();
         } else if (flag == "--metrics") {
@@ -256,6 +283,12 @@ parseArgs(const std::vector<std::string>& args)
         }
         if (!opts.jsonPath.empty())
             CIM_FATAL("--json is only meaningful with --sweep");
+        if (!opts.resumeDir.empty())
+            CIM_FATAL("--resume is only meaningful with --sweep");
+        if (opts.chunkSize != 0)
+            CIM_FATAL("--chunk-size is only meaningful with --sweep");
+        if (opts.maxChunks != 0)
+            CIM_FATAL("--max-chunks is only meaningful with --sweep");
         if (opts.refsim) {
             // The reference simulator models the base macro directly; an
             // architecture flag is allowed but not required.
@@ -483,6 +516,9 @@ runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
 
     dse::SweepOptions sweep_opts;
     sweep_opts.threads = opts.threads;
+    sweep_opts.chunkSize = opts.chunkSize;
+    sweep_opts.resumeDir = opts.resumeDir;
+    sweep_opts.maxChunks = opts.maxChunks;
     dse::SweepResult result = dse::runSweep(spec, sweep_opts);
     out << dse::formatTable(result);
 
@@ -499,6 +535,16 @@ runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
             CIM_FATAL("cannot write JSON to '", opts.jsonPath, "'");
         json << dse::toJson(result);
         out << "wrote " << opts.jsonPath << "\n";
+    }
+    if (result.stoppedEarly) {
+        out << "sweep paused after "
+            << result.chunksExecuted + result.chunksResumed << " of "
+            << result.chunksTotal << " chunks";
+        if (!opts.resumeDir.empty())
+            out << "; rerun with --resume " << opts.resumeDir
+                << " to continue";
+        out << "\n";
+        return 0;
     }
     if (result.evaluated == 0) {
         err << "sweep '" << result.name

@@ -86,6 +86,19 @@ struct CliOptions
     std::string jsonPath; //!< --json <file>: sweep JSON artifact
 
     /**
+     * --resume DIR: journal completed sweep chunks to DIR and skip the
+     * ranges already journaled there, so an interrupted sweep rerun
+     * with the same spec and directory picks up where it stopped and
+     * still produces byte-identical artifacts. --chunk-size sets the
+     * commit granularity (0 = default 1024 points); --max-chunks stops
+     * cleanly after N freshly executed chunks (a controlled
+     * interruption for tests/CI; 0 = run to completion).
+     */
+    std::string resumeDir;     //!< --resume DIR (empty = no journal)
+    std::size_t chunkSize = 0; //!< --chunk-size N
+    std::size_t maxChunks = 0; //!< --max-chunks N
+
+    /**
      * Observability. --metrics prints the run's counter/span summary
      * table; --metrics=FILE writes the metrics JSON instead (counters
      * are deterministic at fixed seed for any --threads; span timings

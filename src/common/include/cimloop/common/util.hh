@@ -49,6 +49,29 @@ const std::vector<std::int64_t>& divisorsOf(std::int64_t n);
 /** Uncached divisor computation backing divisorsOf() (exposed for tests). */
 std::vector<std::int64_t> computeDivisors(std::int64_t n);
 
+/**
+ * FNV-1a 64-bit hash of a byte string. Stable across platforms, runs,
+ * and process restarts (unlike std::hash), so it is usable wherever a
+ * fingerprint is persisted — e.g. the sweep journal keys its manifest
+ * by a content hash of the materialized spec.
+ */
+constexpr std::uint64_t
+fnv1a64(const char* data, std::size_t size)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a64(const std::string& s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
 /** Strips leading and trailing whitespace. */
 std::string trim(const std::string& s);
 

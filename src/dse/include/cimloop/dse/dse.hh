@@ -196,6 +196,37 @@ struct SweepPoint
  */
 SweepPoint materializePoint(const SweepSpec& spec, std::size_t index);
 
+/**
+ * The grid-identity half of materializePoint(): index, coords, and
+ * axisText only, via pure odometer arithmetic that cannot throw. The
+ * executor labels points whose full materialization failed (e.g. a bad
+ * macro name on a `macro` axis) with a shell so exporters still print
+ * the right index and axis columns instead of indexing an empty
+ * axisText.
+ */
+SweepPoint pointShell(const SweepSpec& spec, std::size_t index);
+
+/**
+ * Content hash of the materialized spec (16 lowercase hex digits of an
+ * FNV-1a 64 fingerprint): every field that affects what a grid index
+ * evaluates to — name, base design, axes with full-precision values,
+ * constraints, objectives, fault model, seed. The sweep journal keys
+ * its manifest by this so a resume against a drifted spec fails fast
+ * instead of merging incompatible results. The programmatic `validity`
+ * predicate is not hashable and is NOT covered — callers who resume
+ * programmatic sweeps must keep it stable themselves.
+ */
+std::string specFingerprint(const SweepSpec& spec);
+
+/**
+ * Keys of every distinct network the grid can reference
+ * ("name:<network>" / "file:<path>"): one per `network`-axis value when
+ * that axis exists (the network choice depends only on that coordinate),
+ * else the single spec-level network/workload. Preload is O(#networks),
+ * not O(#points).
+ */
+std::vector<std::string> sweepNetworkKeys(const SweepSpec& spec);
+
 /** Checks a point against the declarative constraints and the
  *  programmatic validity predicate. On skip, @p reason names the
  *  violated constraint and the offending value. */
@@ -248,18 +279,60 @@ struct PointResult
     /** @} */
 
     bool onFrontier = false; //!< nondominated under spec.paretoObjectives
+
+    /** True when the engine actually ran for this point (Ok, or Failed
+     *  after reaching evaluation — per-layer diagnostics or non-finite
+     *  metrics). False for Skipped and for failures before the engine
+     *  (bad macro name, invalid faults, failed materialization). The
+     *  cache-economy accounting counts per-action lookups only for
+     *  engine-touched points. */
+    bool engineTouched = false;
 };
+
+/** True when @p pr carries a non-finite (NaN/inf) exported metric;
+ *  returns the metric's CSV/JSON field name, else nullptr. Points that
+ *  evaluate to non-finite objectives are demoted to Failed — NaN
+ *  compares false against everything, so it would otherwise sit on the
+ *  Pareto frontier unnoticed. */
+const char* nonFiniteMetric(const PointResult& pr);
 
 /** Executor options. */
 struct SweepOptions
 {
     /**
-     * Worker threads: points fan out first; when the grid has fewer
+     * Worker threads: points fan out first; when a chunk has fewer
      * points than threads the leftover threads split each point's
      * per-layer/mapping work, exactly like evaluateNetworkParallel.
      * Results are bit-identical for any value.
      */
     int threads = 1;
+
+    /** Points per execution chunk (0 = default 1024). Chunks run in
+     *  grid order; all order-sensitive folding happens post-join per
+     *  chunk, so the chunk size never changes result bytes — only the
+     *  journal commit granularity. */
+    std::size_t chunkSize = 0;
+
+    /**
+     * Journal / resume directory. When set, every completed chunk is
+     * committed to <dir>/results.jsonl + <dir>/manifest.jsonl, and a
+     * rerun of the same spec against the same directory skips the
+     * journaled ranges, merging their recorded results back in grid
+     * order — artifacts come out byte-identical to an uninterrupted
+     * run. A fingerprint mismatch (different spec) is fatal.
+     */
+    std::string resumeDir;
+
+    /** Stop cleanly after this many live (non-resumed) chunks; 0 = run
+     *  to completion. Sets SweepResult::stoppedEarly. With a journal
+     *  this is a controlled interruption — tests and CI use it to
+     *  exercise kill-and-resume without killing processes. */
+    std::size_t maxChunks = 0;
+
+    /** Grids larger than this run memory-bounded: per-point results are
+     *  folded into the frontier/summary (and journal) as chunks finish
+     *  instead of being stored, so RAM stays O(frontier), not O(n). */
+    std::size_t maxPointsInMemory = 262144;
 };
 
 /** A complete sweep run. */
@@ -269,11 +342,29 @@ struct SweepResult
     std::vector<std::string> axisFields;    //!< axis order, for exporters
     std::vector<std::string> paretoObjectives;
 
-    std::vector<PointResult> points; //!< in grid (point-index) order
+    /**
+     * Per-point results in grid (point-index) order. In memory-bounded
+     * mode (pointsStored == false) this holds only the frontier points;
+     * everything else was folded into the summary as chunks completed.
+     */
+    std::vector<PointResult> points;
+
+    std::size_t totalPoints = 0; //!< grid size (== pointCount())
+    bool pointsStored = true;    //!< false: points holds the frontier only
+
+    /** Memory-bounded mode: the first few non-Ok points, kept so the
+     *  report can still show representative diagnostics. */
+    std::vector<PointResult> failureSamples;
 
     std::size_t evaluated = 0; //!< status == Ok
     std::size_t failed = 0;
     std::size_t skipped = 0;
+
+    bool stoppedEarly = false;      //!< hit SweepOptions::maxChunks
+    std::size_t chunksTotal = 0;    //!< ceil(totalPoints / chunkSize)
+    std::size_t chunksExecuted = 0; //!< evaluated live this run
+    std::size_t chunksResumed = 0;  //!< restored from the journal
+    std::size_t resumedPoints = 0;  //!< points restored, not re-run
 
     /** Indices of the Pareto-nondominated Ok points, ascending. */
     std::vector<std::size_t> frontier;
@@ -282,22 +373,40 @@ struct SweepResult
      *  (ties keep the lowest index); npos when nothing evaluated. */
     std::size_t bestIndex = static_cast<std::size_t>(-1);
 
-    /** Per-action cache traffic measured across this sweep. Points are
-     *  the only cachedPrecompute callers here and no single network
-     *  evaluation repeats an (arch, layer) key, so every hit is a
-     *  cross-point reuse. Deterministic at fixed seed (single-flight
-     *  cache: misses == unique keys). */
+    /**
+     * Per-action cache economy across this sweep: misses = unique
+     * (design, network) fingerprints times their layer counts, hits =
+     * the remaining lookups. Computed analytically from the point
+     * stream (a pure function of which points reached the engine), not
+     * measured live — a resumed run's process-local cache starts cold,
+     * so a live delta could never match the uninterrupted run's bytes.
+     * Matches the single-flight cache's own counters on any cold
+     * uninterrupted run. Cross-point reuse only: no single network
+     * evaluation repeats an (arch, layer) key.
+     */
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+
+    /** The stored result for grid index @p index (binary search over
+     *  the grid-ordered points), or nullptr when it is not in memory
+     *  (memory-bounded mode, or a chunk past an early stop). */
+    const PointResult* findPoint(std::size_t index) const;
 };
 
 /**
- * Runs the sweep: validates the spec, enumerates the grid, evaluates
- * every point with keep-going degradation (a failed point is recorded
- * as a per-point diagnostic carrying its axis values), and extracts the
- * Pareto frontier. Obs counters: dse.points_total / evaluated / failed
- * / skipped / pareto, all bumped post-merge so they are identical for
- * any thread count.
+ * Runs the sweep: validates the spec, shards the grid into fixed-size
+ * chunks executed in grid order, evaluates every point with keep-going
+ * degradation (a failed point is recorded as a per-point diagnostic
+ * carrying its axis values), and maintains the Pareto frontier
+ * incrementally as chunks fold in. With SweepOptions::resumeDir,
+ * completed chunks journal to disk and a rerun skips them, producing
+ * byte-identical artifacts to an uninterrupted run. Obs counters:
+ * dse.points_total / evaluated / failed / skipped / pareto,
+ * dse.cache.hits / misses, dse.chunks_total / executed / resumed, and
+ * dse.resume.points_skipped — all bumped post-merge so they are
+ * identical for any thread count (the chunks_executed / chunks_resumed
+ * / resume.points_skipped triple necessarily differs between an
+ * uninterrupted and a resumed run; everything else matches).
  */
 SweepResult runSweep(const SweepSpec& spec, const SweepOptions& opts = {});
 
@@ -315,9 +424,51 @@ forEachPoint(const SweepSpec& spec, int threads,
              const std::function<void(const SweepPoint&)>& fn);
 
 /**
+ * Incrementally maintained Pareto frontier (all dimensions minimized).
+ * insert() is dominance-prune: a candidate dominated by a member is
+ * rejected; members the candidate dominates are evicted. Equal rows are
+ * both kept. The nondominated set is independent of insertion order, so
+ * streaming chunks through this matches a batch pass over the full
+ * grid. Cost per insert is O(frontier * dims) — for a million-point
+ * sweep that replaces the old O(n²) end-of-run scan.
+ */
+class ParetoFront
+{
+  public:
+    /** Outcome of one insert. */
+    struct Insertion
+    {
+        bool added = false;
+        std::vector<std::size_t> evicted; //!< indices pruned by this add
+    };
+
+    explicit ParetoFront(std::size_t dims) : dims_(dims) {}
+
+    /** Offers (index, objectives) to the frontier. Fatal (panic) when
+     *  the row's dimensionality differs from the front's. */
+    Insertion insert(std::size_t index, const std::vector<double>& row);
+
+    std::size_t size() const { return members_.size(); }
+
+    /** Current member indices, ascending. */
+    std::vector<std::size_t> indices() const;
+
+  private:
+    struct Member
+    {
+        std::size_t index;
+        std::vector<double> row;
+    };
+    std::size_t dims_;
+    std::vector<Member> members_;
+};
+
+/**
  * Indices of the nondominated rows of @p objectives (all dimensions
  * minimized), ascending. A row is dominated when another row is <= in
  * every dimension and < in at least one; equal rows are both kept.
+ * Implemented by streaming the rows through a ParetoFront, O(n * f)
+ * instead of the former O(n²) all-pairs scan.
  */
 std::vector<std::size_t>
 paretoIndices(const std::vector<std::vector<double>>& objectives);

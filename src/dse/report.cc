@@ -4,21 +4,27 @@
  *
  * All three render from the merged, grid-ordered SweepResult and print
  * no thread counts or wall-clock times, so their bytes are part of the
- * determinism contract (identical for any --threads at fixed seed).
+ * determinism contract (identical for any --threads at fixed seed, and
+ * identical between an uninterrupted and an interrupted-then-resumed
+ * run). In memory-bounded mode the per-point sections render from the
+ * retained frontier (plus failure samples); the summary still covers
+ * the whole grid.
  */
 #include "cimloop/dse/dse.hh"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
+#include "detail.hh"
+
 namespace cimloop::dse {
 
-namespace {
+namespace detail {
 
-/** Fixed-notation-free numeric rendering shared by CSV/JSON/table. */
 std::string
 fmtNum(double v)
 {
@@ -27,11 +33,18 @@ fmtNum(double v)
     return buf;
 }
 
-/** Escapes a CSV field (quotes it when it holds , " or newline). */
+std::string
+fmtFull(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
 std::string
 csvField(const std::string& s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
         return s;
     std::string out = "\"";
     for (char c : s) {
@@ -43,7 +56,6 @@ csvField(const std::string& s)
     return out;
 }
 
-/** Escapes a JSON string payload. */
 std::string
 jsonEscape(const std::string& s)
 {
@@ -76,6 +88,68 @@ jsonEscape(const std::string& s)
     return out;
 }
 
+std::string
+jsonUnescape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        const char e = s[++i];
+        switch (e) {
+        case '"':
+            out += '"';
+            break;
+        case '\\':
+            out += '\\';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        case 't':
+            out += '\t';
+            break;
+        case 'u':
+            if (i + 4 < s.size()) {
+                const std::string hex = s.substr(i + 1, 4);
+                out += static_cast<char>(
+                    std::strtol(hex.c_str(), nullptr, 16));
+                i += 4;
+            }
+            break;
+        default:
+            // Not something jsonEscape emits; keep it verbatim.
+            out += '\\';
+            out += e;
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+
+namespace {
+
+using detail::csvField;
+using detail::fmtNum;
+using detail::jsonEscape;
+
+/**
+ * Axis column @p a of a point, or "" when the point carries fewer axis
+ * texts than the sweep has axes. The executor always fills the shell,
+ * but hand-built PointResults (API users, old artifacts) may not —
+ * exporters must pad, never index out of bounds.
+ */
+const std::string&
+axisTextAt(const PointResult& pr, std::size_t a)
+{
+    static const std::string empty;
+    return a < pr.point.axisText.size() ? pr.point.axisText[a] : empty;
+}
+
 /** "array=64, dac_bits=2" from the result's own axis metadata. */
 std::string
 joinLabel(const SweepResult& result, const PointResult& pr)
@@ -88,7 +162,7 @@ joinLabel(const SweepResult& result, const PointResult& pr)
             out += ", ";
         out += result.axisFields[a];
         out += '=';
-        out += pr.point.axisText[a];
+        out += axisTextAt(pr, a);
     }
     return out;
 }
@@ -106,8 +180,10 @@ toCsv(const SweepResult& result)
            "macs,tops_per_watt,accuracy_loss,pareto,detail\n";
     for (const PointResult& pr : result.points) {
         oss << pr.point.index;
-        for (const std::string& text : pr.point.axisText)
-            oss << ',' << csvField(text);
+        // One column per axis field, padded with empty cells when the
+        // point has no axis text (never under-emit columns).
+        for (std::size_t a = 0; a < result.axisFields.size(); ++a)
+            oss << ',' << csvField(axisTextAt(pr, a));
         oss << ',' << pointStatusName(pr.status);
         if (pr.status == PointStatus::Ok) {
             oss << ',' << fmtNum(pr.energyPj) << ','
@@ -139,7 +215,7 @@ toJson(const SweepResult& result)
         oss << (i ? ", " : "") << '"'
             << jsonEscape(result.paretoObjectives[i]) << '"';
     oss << "],\n";
-    oss << "  \"summary\": {\"points\": " << result.points.size()
+    oss << "  \"summary\": {\"points\": " << result.totalPoints
         << ", \"evaluated\": " << result.evaluated
         << ", \"failed\": " << result.failed
         << ", \"skipped\": " << result.skipped << ", \"best\": "
@@ -147,7 +223,10 @@ toJson(const SweepResult& result)
                 ? -1
                 : static_cast<long long>(result.bestIndex))
         << ", \"cache_hits\": " << result.cacheHits
-        << ", \"cache_misses\": " << result.cacheMisses << "},\n";
+        << ", \"cache_misses\": " << result.cacheMisses;
+    if (!result.pointsStored)
+        oss << ", \"points_elided\": true";
+    oss << "},\n";
     oss << "  \"frontier\": [";
     for (std::size_t i = 0; i < result.frontier.size(); ++i)
         oss << (i ? ", " : "") << result.frontier[i];
@@ -158,7 +237,7 @@ toJson(const SweepResult& result)
         for (std::size_t a = 0; a < result.axisFields.size(); ++a) {
             oss << (a ? ", " : "") << '"'
                 << jsonEscape(result.axisFields[a]) << "\": \""
-                << jsonEscape(pr.point.axisText[a]) << '"';
+                << jsonEscape(axisTextAt(pr, a)) << '"';
         }
         oss << "}, \"status\": \"" << pointStatusName(pr.status) << '"';
         if (pr.status == PointStatus::Ok) {
@@ -186,9 +265,23 @@ std::string
 formatTable(const SweepResult& result)
 {
     std::ostringstream oss;
-    oss << "sweep '" << result.name << "': " << result.points.size()
+    oss << "sweep '" << result.name << "': " << result.totalPoints
         << " points (" << result.evaluated << " ok, " << result.failed
-        << " failed, " << result.skipped << " skipped)\n\n";
+        << " failed, " << result.skipped << " skipped)\n";
+    if (result.stoppedEarly) {
+        oss << "paused after " << result.chunksExecuted +
+                                      result.chunksResumed
+            << " of " << result.chunksTotal << " chunks; "
+            << result.totalPoints - result.evaluated - result.failed -
+                   result.skipped
+            << " points not yet evaluated\n";
+    }
+    if (!result.pointsStored) {
+        oss << "memory-bounded run: per-point results were folded as "
+               "chunks completed; showing the "
+            << result.points.size() << " frontier points\n";
+    }
+    oss << '\n';
 
     // Column widths from the data so the table stays aligned for any
     // axis naming.
@@ -196,7 +289,9 @@ formatTable(const SweepResult& result)
     for (std::size_t a = 0; a < result.axisFields.size(); ++a) {
         std::size_t w = result.axisFields[a].size();
         for (const PointResult& pr : result.points)
-            w = std::max(w, pr.point.axisText[a].size());
+            w = std::max(w, axisTextAt(pr, a).size());
+        for (const PointResult& pr : result.failureSamples)
+            w = std::max(w, axisTextAt(pr, a).size());
         axisWidth.push_back(w);
     }
 
@@ -212,7 +307,7 @@ formatTable(const SweepResult& result)
         oss << std::setw(5) << pr.point.index;
         for (std::size_t a = 0; a < result.axisFields.size(); ++a)
             oss << "  " << std::setw(static_cast<int>(axisWidth[a]))
-                << pr.point.axisText[a];
+                << axisTextAt(pr, a);
         oss << "  " << std::setw(7) << pointStatusName(pr.status);
         if (pr.status == PointStatus::Ok) {
             oss << "  " << std::setw(12) << fmtNum(pr.energyPerMacPj)
@@ -224,12 +319,21 @@ formatTable(const SweepResult& result)
         oss << '\n';
     }
 
+    // Diagnostics: every non-Ok stored point, or the retained samples
+    // in memory-bounded mode.
+    const std::vector<PointResult>& diagSource =
+        result.pointsStored ? result.points : result.failureSamples;
     bool anyBad = false;
-    for (const PointResult& pr : result.points)
+    for (const PointResult& pr : diagSource)
         anyBad = anyBad || pr.status != PointStatus::Ok;
     if (anyBad) {
-        oss << "\ndiagnostics:\n";
-        for (const PointResult& pr : result.points) {
+        const std::size_t nonOk = result.failed + result.skipped;
+        oss << "\ndiagnostics";
+        if (!result.pointsStored && diagSource.size() < nonOk)
+            oss << " (first " << diagSource.size() << " of " << nonOk
+                << " non-ok points)";
+        oss << ":\n";
+        for (const PointResult& pr : diagSource) {
             if (pr.status == PointStatus::Ok)
                 continue;
             oss << "  #" << pr.point.index << " ["
@@ -252,12 +356,19 @@ formatTable(const SweepResult& result)
     oss << '\n';
 
     if (result.bestIndex != static_cast<std::size_t>(-1)) {
-        const PointResult& best = result.points[result.bestIndex];
-        oss << "best (" << result.paretoObjectives[0] << "): #"
-            << best.point.index << " [" << joinLabel(result, best)
-            << "] " << fmtNum(best.energyPerMacPj) << " pJ/MAC, "
-            << fmtNum(best.latencyNs) << " ns, "
-            << fmtNum(best.topsPerWatt) << " TOPS/W\n";
+        const PointResult* best = result.findPoint(result.bestIndex);
+        if (best) {
+            oss << "best (" << result.paretoObjectives[0] << "): #"
+                << best->point.index << " [" << joinLabel(result, *best)
+                << "] " << fmtNum(best->energyPerMacPj) << " pJ/MAC, "
+                << fmtNum(best->latencyNs) << " ns, "
+                << fmtNum(best->topsPerWatt) << " TOPS/W\n";
+        } else {
+            // Memory-bounded and the best point fell off the frontier
+            // (tied on the first objective, dominated elsewhere).
+            oss << "best (" << result.paretoObjectives[0] << "): #"
+                << result.bestIndex << '\n';
+        }
     }
     oss << "per-action cache across points: " << result.cacheHits
         << " hits, " << result.cacheMisses << " misses\n";

@@ -7,6 +7,7 @@
 #include "cimloop/dse/dse.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -218,9 +219,14 @@ axisFromYaml(const yaml::Node& node, std::size_t i)
         CIM_FATAL(at, ".range.mult must be > 1, got ", mult);
     if (hasMult && from <= 0.0)
         CIM_FATAL(at, ".range.from must be > 0 with 'mult', got ", from);
-    // Tiny tolerance so e.g. {from: 0.1, to: 0.5, step: 0.1} includes 0.5
-    // despite binary rounding.
-    const double tol = 1e-9 * std::max(1.0, std::abs(to));
+    // Tolerance so e.g. {from: 0.1, to: 0.5, step: 0.1} includes 0.5
+    // despite binary rounding, and a geometric walk keeps its endpoint
+    // when v * mult lands 1 ULP past `to`. Scaled to the range's own
+    // magnitude: an absolute floor (the old max(1, |to|) form) admits
+    // whole spurious values once |to| drops below it — {from: 1e-10,
+    // to: 8e-10, mult: 2} must stop at 8e-10, not 1.6e-9.
+    const double tol =
+        1e-9 * std::max(std::abs(from), std::abs(to));
     for (double v = from; v <= to + tol;
          v = hasStep ? v + step : v * mult) {
         axis.values.push_back({v, renderNum(v), false});
@@ -345,10 +351,20 @@ SweepSpec::validateGrid() const
             CIM_FATAL(at, ".min must be <= max, got ", c.min, " > ",
                       c.max, " (field '", c.field, "')");
     }
-    if (pointCount() > 1000000) {
-        CIM_FATAL("sweep '", name, "' enumerates ", pointCount(),
-                  " points; the executor caps grids at 1e6 (split the "
-                  "sweep or thin the axes)");
+    // Million-plus grids are fine — the executor streams chunks and
+    // keeps only frontier + summary in memory past
+    // SweepOptions::maxPointsInMemory. The overflow-guarded product
+    // below only rejects grids whose sheer enumeration time could
+    // never finish (and whose size_t product would wrap).
+    constexpr std::size_t kMaxGridPoints = 1000000000000ull; // 1e12
+    std::size_t n = 1;
+    for (const Axis& axis : axes) {
+        const std::size_t k = axis.values.size();
+        if (k != 0 && n > kMaxGridPoints / k) {
+            CIM_FATAL("sweep '", name, "' enumerates more than 1e12 "
+                      "points; thin the axes");
+        }
+        n *= k;
     }
 }
 
@@ -527,7 +543,7 @@ SweepPoint::fieldValue(const std::string& field) const
 }
 
 SweepPoint
-materializePoint(const SweepSpec& spec, std::size_t index)
+pointShell(const SweepSpec& spec, std::size_t index)
 {
     CIM_ASSERT(index < spec.pointCount(), "sweep point index ", index,
                " out of range (grid has ", spec.pointCount(),
@@ -540,6 +556,17 @@ materializePoint(const SweepSpec& spec, std::size_t index)
         point.coords[i] = rem % spec.axes[i].values.size();
         rem /= spec.axes[i].values.size();
     }
+    point.axisText.reserve(spec.axes.size());
+    for (std::size_t i = 0; i < spec.axes.size(); ++i)
+        point.axisText.push_back(
+            spec.axes[i].values[point.coords[i]].text);
+    return point;
+}
+
+SweepPoint
+materializePoint(const SweepSpec& spec, std::size_t index)
+{
+    SweepPoint point = pointShell(spec, index);
 
     point.macroName = spec.macro;
     point.networkName = spec.network;
@@ -548,11 +575,6 @@ materializePoint(const SweepSpec& spec, std::size_t index)
     point.seed = spec.seed;
     point.objective = spec.objective;
     point.faults = spec.faults;
-
-    point.axisText.reserve(spec.axes.size());
-    for (std::size_t i = 0; i < spec.axes.size(); ++i)
-        point.axisText.push_back(
-            spec.axes[i].values[point.coords[i]].text);
 
     // String axes resolve first so the macro defaults they select form
     // the base the numeric axes then override.
@@ -634,6 +656,43 @@ accuracyLossProxy(const macros::MacroParams& params,
         faults.conductanceSigma + 4.0 * faults.adcNoiseSigma +
         2.0 * std::abs(faults.adcOffset);
     return clip + faultLoss;
+}
+
+std::string
+specFingerprint(const SweepSpec& spec)
+{
+    // Serialize every field a grid index's evaluation depends on at
+    // full precision, with 0x1f separators so no concatenation of two
+    // specs can alias. The programmatic validity predicate cannot be
+    // hashed and is deliberately absent (see the header).
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "cimloop-sweep-v1" << '\x1f' << spec.name << '\x1f'
+        << spec.macro << '\x1f' << spec.network << '\x1f'
+        << spec.workloadPath << '\x1f' << spec.mappings << ' '
+        << spec.seed << ' ' << static_cast<int>(spec.objective) << ' '
+        << spec.scaledAdc << ' ' << spec.scaledAdcAnchor << '\x1f'
+        << spec.faults.stuckOffRate << ' ' << spec.faults.stuckOnRate
+        << ' ' << spec.faults.conductanceSigma << ' '
+        << spec.faults.adcOffset << ' ' << spec.faults.adcNoiseSigma
+        << ' ' << spec.faults.seed << '\x1f';
+    for (const Axis& axis : spec.axes) {
+        oss << "axis" << '\x1f' << axis.field << '\x1f';
+        for (const AxisValue& v : axis.values)
+            oss << v.isString << ' ' << v.num << ' ' << v.text
+                << '\x1f';
+    }
+    for (const Constraint& c : spec.constraints) {
+        oss << "constraint" << '\x1f' << c.field << '\x1f' << c.hasMin
+            << ' ' << c.min << ' ' << c.hasMax << ' ' << c.max
+            << '\x1f';
+    }
+    for (const std::string& obj : spec.paretoObjectives)
+        oss << "pareto" << '\x1f' << obj << '\x1f';
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(oss.str())));
+    return buf;
 }
 
 const char*

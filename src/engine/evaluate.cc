@@ -116,15 +116,8 @@ precompute(const Arch& arch, const workload::Layer& layer,
     return table;
 }
 
-namespace {
-
-/**
- * Everything precompute() reads, serialized: two (arch, layer) pairs with
- * equal keys produce identical tables. Doubles print at full precision so
- * operating points one ULP apart do not alias.
- */
 std::string
-perActionKey(const Arch& arch, const workload::Layer& layer)
+archCacheKey(const Arch& arch)
 {
     std::ostringstream oss;
     oss.precision(17);
@@ -137,8 +130,15 @@ perActionKey(const Arch& arch, const workload::Layer& layer)
         << arch.supplyVoltage << ' ' << arch.includeLeakage << '\x1f'
         << arch.faults.stuckOffRate << ' ' << arch.faults.stuckOnRate << ' '
         << arch.faults.conductanceSigma << ' ' << arch.faults.adcOffset
-        << ' ' << arch.faults.adcNoiseSigma << ' ' << arch.faults.seed
-        << '\x1f'
+        << ' ' << arch.faults.adcNoiseSigma << ' ' << arch.faults.seed;
+    return oss.str();
+}
+
+std::string
+perActionKey(const Arch& arch, const workload::Layer& layer)
+{
+    std::ostringstream oss;
+    oss << archCacheKey(arch) << '\x1f'
         << layer.network << '\x1f' << layer.name << '\x1f' << layer.index
         << ' ' << layer.networkLayers << ' ' << layer.inputBits << ' '
         << layer.weightBits << ' ' << layer.outputBits;
@@ -146,6 +146,8 @@ perActionKey(const Arch& arch, const workload::Layer& layer)
         oss << ' ' << d;
     return oss.str();
 }
+
+namespace {
 
 struct PerActionCache
 {

@@ -61,6 +61,20 @@ PerActionTable precompute(const Arch& arch, const workload::Layer& layer,
 std::shared_ptr<const PerActionTable>
 cachedPrecompute(const Arch& arch, const workload::Layer& layer);
 
+/**
+ * The architecture half of the per-action cache key: everything
+ * precompute() reads off the Arch (serialized hierarchy, representation,
+ * operating point, fault model), at full double precision so operating
+ * points one ULP apart do not alias. Two arches with equal keys produce
+ * identical per-action tables for every layer. The DSE journal and the
+ * sweep's cross-point cache-economy accounting reuse this fingerprint.
+ */
+std::string archCacheKey(const Arch& arch);
+
+/** Full cachedPrecompute() key: archCacheKey(arch) plus the layer's
+ *  identity (network, name, index, dims, bits). */
+std::string perActionKey(const Arch& arch, const workload::Layer& layer);
+
 /** Cache counters for benchmarks and tests. */
 struct PerActionCacheStats
 {

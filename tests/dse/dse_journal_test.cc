@@ -1,0 +1,213 @@
+/**
+ * The on-disk sweep journal: records round-trip through a fresh loader,
+ * the manifest header pins (fingerprint, grid size, chunk size) are
+ * enforced on reopen, and the commit protocol tolerates a killed
+ * writer — an uncommitted tail in results.jsonl is dropped, a
+ * truncated manifest line stops the committed set at the last full
+ * commit, and records outside committed ranges never load.
+ */
+#include "cimloop/dse/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop::dse {
+namespace {
+
+/** A fresh (pre-removed) journal directory under /tmp. */
+std::string
+freshDir(const std::string& tag)
+{
+    std::string dir = "/tmp/cimloop_journal_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+PointResult
+okPoint(std::size_t index, double energy)
+{
+    PointResult pr;
+    pr.point.index = index;
+    pr.status = PointStatus::Ok;
+    pr.engineTouched = true;
+    pr.energyPj = energy;
+    pr.energyPerMacPj = energy / 2;
+    pr.latencyNs = 3.5;
+    pr.areaUm2 = 100.25;
+    pr.macs = 64;
+    pr.topsPerWatt = 0.5;
+    pr.accuracyLoss = 2;
+    return pr;
+}
+
+PointResult
+skippedPoint(std::size_t index)
+{
+    PointResult pr;
+    pr.point.index = index;
+    pr.status = PointStatus::Skipped;
+    pr.statusDetail = "constraint";
+    return pr;
+}
+
+TEST(DseJournal, RecordsRoundTripThroughAFreshLoader)
+{
+    const std::string dir = freshDir("roundtrip");
+    {
+        SweepJournal j(dir, "00000000deadbeef", 6, 2, "rt");
+        EXPECT_EQ(j.completedChunks(), 0u);
+        std::vector<PointResult> chunk;
+        chunk.push_back(okPoint(2, 8.0));
+        PointResult failed;
+        failed.point.index = 3;
+        failed.status = PointStatus::Failed;
+        failed.engineTouched = true;
+        failed.statusDetail = "fatal: line1\nline2 \"quoted\"";
+        chunk.push_back(failed);
+        j.appendChunk(1, 2, 4, chunk);
+    }
+    SweepJournal j(dir, "00000000deadbeef", 6, 2, "rt");
+    EXPECT_EQ(j.completedChunks(), 1u);
+    EXPECT_FALSE(j.chunkCompleted(0));
+    EXPECT_TRUE(j.chunkCompleted(1));
+
+    const JournalRecord* ok = j.record(2);
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->status, PointStatus::Ok);
+    EXPECT_TRUE(ok->engineTouched);
+    EXPECT_DOUBLE_EQ(ok->metrics[0], 8.0);
+    EXPECT_DOUBLE_EQ(ok->metrics[1], 4.0);
+    EXPECT_DOUBLE_EQ(ok->metrics[3], 100.25);
+
+    const JournalRecord* bad = j.record(3);
+    ASSERT_NE(bad, nullptr);
+    EXPECT_EQ(bad->status, PointStatus::Failed);
+    EXPECT_EQ(bad->statusDetail, "fatal: line1\nline2 \"quoted\"");
+
+    EXPECT_EQ(j.record(0), nullptr); // chunk 0 never committed
+}
+
+TEST(DseJournal, SkippedPointsAreNotJournaled)
+{
+    const std::string dir = freshDir("skipped");
+    {
+        SweepJournal j(dir, "1111111111111111", 2, 2, "s");
+        j.appendChunk(0, 0, 2, {okPoint(0, 1.0), skippedPoint(1)});
+    }
+    SweepJournal j(dir, "1111111111111111", 2, 2, "s");
+    EXPECT_TRUE(j.chunkCompleted(0));
+    EXPECT_NE(j.record(0), nullptr);
+    // Validity is re-derived from (spec, index); no record exists.
+    EXPECT_EQ(j.record(1), nullptr);
+}
+
+TEST(DseJournal, HeaderDisagreementIsFatal)
+{
+    const std::string dir = freshDir("header");
+    {
+        SweepJournal j(dir, "aaaaaaaaaaaaaaaa", 4, 2, "h");
+        j.appendChunk(0, 0, 2, {okPoint(0, 1.0), okPoint(1, 2.0)});
+    }
+    // Different spec fingerprint: resuming would merge foreign results.
+    EXPECT_THROW(SweepJournal(dir, "bbbbbbbbbbbbbbbb", 4, 2, "h"),
+                 FatalError);
+    // Different grid size or chunking: ranges no longer line up.
+    EXPECT_THROW(SweepJournal(dir, "aaaaaaaaaaaaaaaa", 8, 2, "h"),
+                 FatalError);
+    EXPECT_THROW(SweepJournal(dir, "aaaaaaaaaaaaaaaa", 4, 3, "h"),
+                 FatalError);
+    // The rejected opens must not have clobbered the journal: the
+    // matching triple still loads the committed chunk.
+    SweepJournal ok(dir, "aaaaaaaaaaaaaaaa", 4, 2, "h");
+    EXPECT_EQ(ok.completedChunks(), 1u);
+    EXPECT_NE(ok.record(0), nullptr);
+}
+
+TEST(DseJournal, UncommittedResultTailIsDropped)
+{
+    // Kill-between-flushes: result lines hit disk but the manifest
+    // commit line did not. The loader must treat that chunk as never
+    // run (its records dropped), so the executor re-executes it.
+    const std::string dir = freshDir("tail");
+    {
+        SweepJournal j(dir, "cccccccccccccccc", 4, 2, "t");
+        j.appendChunk(0, 0, 2, {okPoint(0, 1.0), okPoint(1, 2.0)});
+    }
+    {
+        std::ofstream results(dir + "/results.jsonl", std::ios::app);
+        results << "{\"i\":2,\"st\":\"ok\",\"eng\":1,\"d\":\"\","
+                   "\"m\":[9,9,9,9,9,9,9]}\n";
+        results << "{\"i\":3,\"st\":\"ok\",\"eng\":1,"; // cut mid-write
+    }
+    SweepJournal j(dir, "cccccccccccccccc", 4, 2, "t");
+    EXPECT_EQ(j.completedChunks(), 1u);
+    EXPECT_NE(j.record(0), nullptr);
+    EXPECT_EQ(j.record(2), nullptr) << "uncommitted record survived";
+    EXPECT_EQ(j.record(3), nullptr);
+}
+
+TEST(DseJournal, TruncatedManifestLineStopsAtLastFullCommit)
+{
+    const std::string dir = freshDir("manifest");
+    {
+        SweepJournal j(dir, "dddddddddddddddd", 6, 2, "m");
+        j.appendChunk(0, 0, 2, {okPoint(0, 1.0), okPoint(1, 2.0)});
+    }
+    {
+        // A commit line cut off mid-write (the crash case the protocol
+        // exists for).
+        std::ofstream manifest(dir + "/manifest.jsonl", std::ios::app);
+        manifest << "{\"chunk\":1,\"fr";
+    }
+    SweepJournal j(dir, "dddddddddddddddd", 6, 2, "m");
+    EXPECT_EQ(j.completedChunks(), 1u);
+    EXPECT_TRUE(j.chunkCompleted(0));
+    EXPECT_FALSE(j.chunkCompleted(1));
+}
+
+TEST(DseJournal, ReExecutedChunkOverwritesItsRecords)
+{
+    // First attempt: records flushed, commit lost (simulated by hand).
+    // The re-run re-journals the chunk; the last occurrence of an index
+    // wins on load.
+    const std::string dir = freshDir("rewrite");
+    { SweepJournal j(dir, "eeeeeeeeeeeeeeee", 2, 2, "w"); }
+    {
+        std::ofstream results(dir + "/results.jsonl", std::ios::app);
+        results << "{\"i\":0,\"st\":\"ok\",\"eng\":1,\"d\":\"\","
+                   "\"m\":[1,1,1,1,1,1,1]}\n";
+    }
+    {
+        SweepJournal j(dir, "eeeeeeeeeeeeeeee", 2, 2, "w");
+        EXPECT_EQ(j.record(0), nullptr); // dropped: never committed
+        j.appendChunk(0, 0, 2, {okPoint(0, 42.0), okPoint(1, 2.0)});
+    }
+    SweepJournal j(dir, "eeeeeeeeeeeeeeee", 2, 2, "w");
+    const JournalRecord* rec = j.record(0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_DOUBLE_EQ(rec->metrics[0], 42.0);
+}
+
+TEST(DseJournal, CorruptCommitGeometryIsFatal)
+{
+    // A commit line whose range disagrees with chunk * chunk_size means
+    // the journal was hand-edited or written by different code — merging
+    // it would silently misplace results.
+    const std::string dir = freshDir("geometry");
+    { SweepJournal j(dir, "ffffffffffffffff", 6, 2, "g"); }
+    {
+        std::ofstream manifest(dir + "/manifest.jsonl", std::ios::app);
+        manifest << "{\"chunk\":1,\"from\":0,\"to\":2}\n";
+    }
+    EXPECT_THROW(SweepJournal(dir, "ffffffffffffffff", 6, 2, "g"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cimloop::dse

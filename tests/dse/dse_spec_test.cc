@@ -103,6 +103,92 @@ TEST(DseSpec, GeometricRangeEnumeratesPowers)
     EXPECT_DOUBLE_EQ(spec.axes[0].values[3].num, 512.0);
 }
 
+TEST(DseSpec, TinyGeometricRangeKeepsItsEndpoint)
+{
+    // Regression: the endpoint tolerance used to be absolute
+    // (1e-9 * max(1, |to|)), which at nanoscale magnitudes swallowed
+    // the whole range — every value sat "within tolerance" of the
+    // endpoint and beyond. It must be relative to the range magnitude.
+    SweepSpec spec = specFromText(
+        "network: mvm\n"
+        "axes:\n"
+        "  - field: fault_sigma\n"
+        "    range: {from: 1.0e-10, to: 8.0e-10, mult: 2}\n");
+    ASSERT_EQ(spec.axes[0].values.size(), 4u); // 1, 2, 4, 8 e-10
+    EXPECT_DOUBLE_EQ(spec.axes[0].values[0].num, 1e-10);
+    EXPECT_DOUBLE_EQ(spec.axes[0].values[3].num, 8e-10);
+}
+
+TEST(DseSpec, SteppedRangeIncludesAnEndpointReachedWithRoundoff)
+{
+    // 0.1 is not exact in binary; ten accumulated steps land a hair
+    // off 1.0. The relative tolerance must still include the endpoint.
+    SweepSpec spec = specFromText(
+        "network: mvm\n"
+        "axes:\n"
+        "  - field: fault_sigma\n"
+        "    range: {from: 0.1, to: 1.0, step: 0.1}\n");
+    ASSERT_EQ(spec.axes[0].values.size(), 10u);
+    EXPECT_NEAR(spec.axes[0].values[9].num, 1.0, 1e-9);
+}
+
+TEST(DseSpec, MillionPointGridValidates)
+{
+    // Grids past 10^6 points used to be rejected outright; they now
+    // validate and run memory-bounded. Only a nonsensical >10^12 grid
+    // (or an overflowing axis product) is refused.
+    SweepSpec spec;
+    spec.network = "mvm";
+    std::vector<double> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = 0.01 + i * 0.001;
+    spec.addAxis("fault_sigma", v);
+    spec.addAxis("adc_noise_sigma", v);
+    spec.addAxis("stuck_off_rate", v);
+    EXPECT_EQ(spec.pointCount(), 1000000u);
+    spec.validate(); // must not throw
+
+    SweepSpec huge;
+    huge.network = "mvm";
+    std::vector<double> wide(20000);
+    for (int i = 0; i < 20000; ++i)
+        wide[i] = 0.01 + i * 1e-6;
+    huge.addAxis("fault_sigma", wide);
+    huge.addAxis("adc_noise_sigma", wide);
+    huge.addAxis("stuck_off_rate", wide); // 8e12 points
+    expectFatalContaining([&] { huge.validate(); }, "1e12");
+}
+
+TEST(DseSpec, FingerprintTracksEvaluationAffectingFields)
+{
+    SweepSpec a;
+    a.network = "mvm";
+    a.addAxis("dac_bits", std::vector<double>{1, 2});
+    const std::string base = specFingerprint(a);
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(base.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_EQ(specFingerprint(a), base) << "fingerprint is unstable";
+
+    SweepSpec b = a;
+    b.seed = 99;
+    EXPECT_NE(specFingerprint(b), base);
+    SweepSpec c = a;
+    c.axes[0].values[1].num = 3;
+    c.axes[0].values[1].text = "3";
+    EXPECT_NE(specFingerprint(c), base);
+    SweepSpec d = a;
+    Constraint con;
+    con.field = "dac_bits";
+    con.hasMax = true;
+    con.max = 1.0;
+    d.constraints.push_back(con);
+    EXPECT_NE(specFingerprint(d), base);
+    SweepSpec e = a;
+    e.faults.conductanceSigma = 0.25;
+    EXPECT_NE(specFingerprint(e), base);
+}
+
 TEST(DseSpec, UnknownTopLevelKeyFatalsWithKeyPath)
 {
     expectFatalContaining(

@@ -8,6 +8,9 @@
 #include "cimloop/dse/dse.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "cimloop/common/error.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/macros/macros.hh"
+#include "cimloop/obs/obs.hh"
 #include "cimloop/workload/networks.hh"
 
 namespace cimloop::dse {
@@ -243,6 +247,411 @@ TEST(DseSweep, CountsAreConsistent)
     EXPECT_TRUE(result.points[result.bestIndex].onFrontier)
         << "the best point under the first objective is nondominated "
            "by construction";
+}
+
+TEST(DseSweep, ChunkSizeNeverChangesResultBytes)
+{
+    // Chunks are an execution/commit granularity, not a semantic one:
+    // every artifact must come out byte-identical whether the grid runs
+    // as one chunk or point-by-point.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 8});
+
+    engine::clearPerActionCache();
+    SweepResult mono = runSweep(spec);
+    const std::string table = formatTable(mono);
+    const std::string csv = toCsv(mono);
+    const std::string json = toJson(mono);
+
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                              std::size_t{5}, std::size_t{100}}) {
+        engine::clearPerActionCache();
+        SweepOptions opts;
+        opts.chunkSize = chunk;
+        opts.threads = 4;
+        SweepResult result = runSweep(spec, opts);
+        EXPECT_EQ(formatTable(result), table)
+            << "table differs at chunk size " << chunk;
+        EXPECT_EQ(toCsv(result), csv)
+            << "CSV differs at chunk size " << chunk;
+        EXPECT_EQ(toJson(result), json)
+            << "JSON differs at chunk size " << chunk;
+        EXPECT_EQ(result.chunksTotal, (6 + chunk - 1) / chunk);
+        EXPECT_EQ(result.chunksExecuted, result.chunksTotal);
+        EXPECT_EQ(result.chunksResumed, 0u);
+    }
+}
+
+TEST(DseSweep, NonFiniteMetricsDemoteThePointToFailed)
+{
+    // An absurd supply voltage overflows the quadratic energy factor to
+    // inf. NaN/inf compares false against everything, so such a point
+    // would silently sit on the Pareto frontier; the executor must
+    // demote it to Failed with a diagnostic instead.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("voltage", std::vector<double>{0.8, 1e200});
+
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.points.size(), 2u);
+    EXPECT_EQ(result.evaluated, 1u);
+    EXPECT_EQ(result.failed, 1u);
+    EXPECT_EQ(result.points[1].status, PointStatus::Failed);
+    EXPECT_NE(result.points[1].statusDetail.find("non-finite metric"),
+              std::string::npos)
+        << result.points[1].statusDetail;
+    EXPECT_EQ(result.frontier, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(result.bestIndex, 0u);
+}
+
+TEST(DseSweep, NonFiniteMetricNamesTheFirstBadField)
+{
+    PointResult pr;
+    pr.status = PointStatus::Ok;
+    EXPECT_EQ(nonFiniteMetric(pr), nullptr);
+    pr.latencyNs = std::numeric_limits<double>::quiet_NaN();
+    ASSERT_NE(nonFiniteMetric(pr), nullptr);
+    EXPECT_STREQ(nonFiniteMetric(pr), "latency_ns");
+    pr.latencyNs = 0.0;
+    pr.topsPerWatt = std::numeric_limits<double>::infinity();
+    EXPECT_STREQ(nonFiniteMetric(pr), "tops_per_watt");
+}
+
+TEST(DseSweep, MaterializeFailureStillExportsAxisColumns)
+{
+    // A bad value on a string axis makes materializePoint() itself
+    // throw, so the executor only has the grid-identity shell for that
+    // point. Every exporter must still print the right index and axis
+    // columns instead of indexing an empty axisText (the old
+    // out-of-bounds read) or dropping CSV columns.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("macro", std::vector<std::string>{"base", "gremlin"});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2});
+
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.points.size(), 4u);
+    EXPECT_EQ(result.evaluated, 2u);
+    EXPECT_EQ(result.failed, 2u);
+    EXPECT_EQ(result.points[2].status, PointStatus::Failed);
+    EXPECT_NE(result.points[2].statusDetail.find("unknown macro"),
+              std::string::npos);
+    // The shell still carries the axis values...
+    ASSERT_EQ(result.points[2].point.axisText.size(), 2u);
+    EXPECT_EQ(result.points[2].point.axisText[0], "gremlin");
+    // ...so the table names the design and the CSV row keeps its
+    // column count.
+    EXPECT_NE(formatTable(result).find("macro=gremlin, dac_bits=1"),
+              std::string::npos);
+    const std::string csv = toCsv(result);
+    std::size_t lineStart = 0;
+    int lines = 0;
+    const std::size_t headerCommas =
+        static_cast<std::size_t>(std::count(
+            csv.begin(), csv.begin() + csv.find('\n'), ','));
+    auto fieldSeparators = [](const std::string& line) {
+        // Commas inside quoted fields are payload, not separators.
+        std::size_t n = 0;
+        bool quoted = false;
+        for (char ch : line) {
+            if (ch == '"')
+                quoted = !quoted;
+            else if (ch == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    while (lineStart < csv.size()) {
+        std::size_t lineEnd = csv.find('\n', lineStart);
+        std::string line = csv.substr(lineStart, lineEnd - lineStart);
+        EXPECT_EQ(fieldSeparators(line), headerCommas)
+            << "row has wrong column count: " << line;
+        lineStart = lineEnd + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 5); // header + 4 points
+    EXPECT_NE(toJson(result).find("\"macro\": \"gremlin\""),
+              std::string::npos);
+}
+
+TEST(DseSweep, ExportersToleratePointsWithEmptyAxisText)
+{
+    // Regression for the exporters' out-of-bounds axisText[a] read:
+    // a hand-built result whose point never materialized (empty
+    // axisText) must render with padded (empty) axis columns.
+    SweepResult result;
+    result.name = "oob";
+    result.axisFields = {"array", "dac_bits"};
+    result.paretoObjectives = {"energy_per_mac", "latency"};
+    result.totalPoints = 1;
+    result.failed = 1;
+    PointResult pr;
+    pr.point.index = 0; // axisText left empty
+    pr.status = PointStatus::Failed;
+    pr.statusDetail = "fatal: broke before materialization\rwith a CR";
+    result.points.push_back(pr);
+
+    const std::string csv = toCsv(result);
+    EXPECT_NE(csv.find("0,,,failed"), std::string::npos) << csv;
+    // The carriage return rides inside a quoted field, so the CSV still
+    // has exactly two record separators (header + row).
+    EXPECT_NE(csv.find('\r'), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find("\"fatal: broke before materialization\rwith"),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(toJson(result).find("\"array\": \"\""), std::string::npos);
+    EXPECT_NE(formatTable(result).find("failed"), std::string::npos);
+}
+
+TEST(DseSweep, MemoryBoundedModeKeepsOnlyTheFrontier)
+{
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128, 4096});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 8});
+
+    engine::clearPerActionCache();
+    SweepResult full = runSweep(spec);
+    ASSERT_TRUE(full.pointsStored);
+
+    engine::clearPerActionCache();
+    SweepOptions opts;
+    opts.maxPointsInMemory = 4; // grid is 9 points: force bounded mode
+    SweepResult bounded = runSweep(spec, opts);
+
+    EXPECT_FALSE(bounded.pointsStored);
+    EXPECT_EQ(bounded.totalPoints, 9u);
+    EXPECT_EQ(bounded.evaluated, full.evaluated);
+    EXPECT_EQ(bounded.failed, full.failed);
+    EXPECT_EQ(bounded.skipped, full.skipped);
+    EXPECT_EQ(bounded.frontier, full.frontier);
+    EXPECT_EQ(bounded.bestIndex, full.bestIndex);
+    EXPECT_EQ(bounded.cacheHits, full.cacheHits);
+    EXPECT_EQ(bounded.cacheMisses, full.cacheMisses);
+
+    // Only the frontier is stored, in grid order, metrics intact.
+    ASSERT_EQ(bounded.points.size(), bounded.frontier.size());
+    for (std::size_t k = 0; k < bounded.frontier.size(); ++k) {
+        const std::size_t idx = bounded.frontier[k];
+        const PointResult* got = bounded.findPoint(idx);
+        ASSERT_NE(got, nullptr) << "frontier point " << idx;
+        EXPECT_TRUE(got->onFrontier);
+        const PointResult* want = full.findPoint(idx);
+        ASSERT_NE(want, nullptr);
+        EXPECT_DOUBLE_EQ(got->energyPerMacPj, want->energyPerMacPj);
+        EXPECT_DOUBLE_EQ(got->latencyNs, want->latencyNs);
+    }
+    // Dominated points were folded into the summary and released.
+    bool sawDominated = false;
+    for (std::size_t i = 0; i < 9; ++i) {
+        if (full.findPoint(i)->status == PointStatus::Ok &&
+            !full.findPoint(i)->onFrontier) {
+            EXPECT_EQ(bounded.findPoint(i), nullptr);
+            sawDominated = true;
+        }
+    }
+    EXPECT_TRUE(sawDominated) << "fixture lost its dominated points";
+    // Failures are sampled for the report.
+    ASSERT_FALSE(bounded.failureSamples.empty());
+    EXPECT_EQ(bounded.failureSamples[0].status, PointStatus::Failed);
+}
+
+/** dse.* counter values relevant to the resume contract. */
+struct DseCounters
+{
+    std::uint64_t evaluated = 0, failed = 0, skipped = 0, pareto = 0;
+    std::uint64_t hits = 0, misses = 0;
+    std::uint64_t chunksExec = 0, chunksResumed = 0, pointsSkipped = 0;
+};
+
+DseCounters
+readDseCounters()
+{
+    auto value = [](const char* name) -> std::uint64_t {
+        for (const auto& [n, v] : obs::snapshot().counters)
+            if (n == name)
+                return v;
+        return 0;
+    };
+    DseCounters c;
+    c.evaluated = value("dse.points_evaluated");
+    c.failed = value("dse.points_failed");
+    c.skipped = value("dse.points_skipped");
+    c.pareto = value("dse.points_pareto");
+    c.hits = value("dse.cache.hits");
+    c.misses = value("dse.cache.misses");
+    c.chunksExec = value("dse.chunks_executed");
+    c.chunksResumed = value("dse.chunks_resumed");
+    c.pointsSkipped = value("dse.resume.points_skipped");
+    return c;
+}
+
+TEST(DseSweep, InterruptedThenResumedRunIsByteIdentical)
+{
+    // The resume contract end-to-end: run two chunks, stop (the
+    // controlled stand-in for a kill), rerun against the same journal
+    // with a different thread count, and require every artifact byte
+    // and every order-insensitive counter to match an uninterrupted
+    // run.
+    SweepSpec spec;
+    spec.name = "resume";
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128, 4096});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 8});
+    Constraint c;
+    c.field = "adc_bits";
+    c.hasMax = true;
+    c.max = 14.0;
+    spec.constraints.push_back(c);
+
+    engine::clearPerActionCache();
+    obs::resetAll();
+    SweepResult clean = runSweep(spec);
+    const DseCounters cleanCounters = readDseCounters();
+    const std::string table = formatTable(clean);
+    const std::string csv = toCsv(clean);
+    const std::string json = toJson(clean);
+
+    for (int resumeThreads : {1, 8}) {
+        const std::string dir =
+            "/tmp/cimloop_resume_t" + std::to_string(resumeThreads);
+        std::filesystem::remove_all(dir);
+
+        SweepOptions first;
+        first.threads = 1;
+        first.chunkSize = 2;
+        first.maxChunks = 2;
+        first.resumeDir = dir;
+        engine::clearPerActionCache();
+        SweepResult partial = runSweep(spec, first);
+        EXPECT_TRUE(partial.stoppedEarly);
+        EXPECT_EQ(partial.chunksExecuted, 2u);
+        EXPECT_EQ(partial.chunksTotal, 5u);
+        EXPECT_NE(formatTable(partial).find("paused after"),
+                  std::string::npos);
+
+        SweepOptions second;
+        second.threads = resumeThreads;
+        second.chunkSize = 2;
+        second.resumeDir = dir;
+        engine::clearPerActionCache();
+        obs::resetAll();
+        SweepResult resumed = runSweep(spec, second);
+        const DseCounters resumedCounters = readDseCounters();
+
+        EXPECT_FALSE(resumed.stoppedEarly);
+        EXPECT_EQ(resumed.chunksResumed, 2u);
+        EXPECT_EQ(resumed.chunksExecuted, 3u);
+        EXPECT_EQ(resumed.resumedPoints, 4u);
+        EXPECT_EQ(formatTable(resumed), table)
+            << "resumed table differs at --threads " << resumeThreads;
+        EXPECT_EQ(toCsv(resumed), csv);
+        EXPECT_EQ(toJson(resumed), json);
+
+        // Every counter except the execution-shape triple matches the
+        // uninterrupted run; the triple reports the resume itself.
+        EXPECT_EQ(resumedCounters.evaluated, cleanCounters.evaluated);
+        EXPECT_EQ(resumedCounters.failed, cleanCounters.failed);
+        EXPECT_EQ(resumedCounters.skipped, cleanCounters.skipped);
+        EXPECT_EQ(resumedCounters.pareto, cleanCounters.pareto);
+        EXPECT_EQ(resumedCounters.hits, cleanCounters.hits);
+        EXPECT_EQ(resumedCounters.misses, cleanCounters.misses);
+        EXPECT_EQ(resumedCounters.chunksExec, 3u);
+        EXPECT_EQ(resumedCounters.chunksResumed, 2u);
+        EXPECT_EQ(resumedCounters.pointsSkipped, 4u);
+
+        // Resuming a finished journal re-runs nothing.
+        engine::clearPerActionCache();
+        SweepResult again = runSweep(spec, second);
+        EXPECT_EQ(again.chunksExecuted, 0u);
+        EXPECT_EQ(again.chunksResumed, 5u);
+        EXPECT_EQ(toCsv(again), csv);
+    }
+}
+
+TEST(DseSweep, ResumeAgainstADriftedSpecIsFatal)
+{
+    const std::string dir = "/tmp/cimloop_resume_drift";
+    std::filesystem::remove_all(dir);
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 3, 4});
+
+    SweepOptions opts;
+    opts.chunkSize = 2;
+    opts.maxChunks = 1;
+    opts.resumeDir = dir;
+    SweepResult partial = runSweep(spec, opts);
+    EXPECT_TRUE(partial.stoppedEarly);
+
+    // Any evaluation-affecting change — here the seed — must refuse to
+    // merge with the journaled half.
+    spec.seed = 2;
+    opts.maxChunks = 0;
+    EXPECT_THROW(runSweep(spec, opts), FatalError);
+}
+
+TEST(DseSweep, MillionPointGridRunsMemoryBounded)
+{
+    // The grid that used to die in validateGrid() with "more than
+    // 1000000 points". Constraints prune it to a handful of live
+    // evaluations, but every index is still materialized, checked, and
+    // folded — proving the executor streams rather than allocates the
+    // grid.
+    SweepSpec spec;
+    spec.network = "mvm";
+    spec.mappings = 2;
+    std::vector<double> fine;
+    for (int i = 0; i < 102; ++i)
+        fine.push_back(0.05 + 0.001 * i);
+    spec.addAxis("fault_sigma", fine);           // 102
+    spec.addAxis("adc_noise_sigma", fine);       // x 102
+    spec.addAxis("stuck_off_rate", fine);        // x 102 = 1,061,208
+    Constraint c;
+    c.field = "fault_sigma";
+    c.hasMax = true;
+    c.max = 0.0505; // one fine value survives per axis slot
+    spec.constraints.push_back(c);
+    Constraint c2;
+    c2.field = "adc_noise_sigma";
+    c2.hasMax = true;
+    c2.max = 0.0505;
+    spec.constraints.push_back(c2);
+    Constraint c3;
+    c3.field = "stuck_off_rate";
+    c3.hasMax = true;
+    // Half a grid step past the second value: 0.05 + 0.001 carries
+    // binary roundoff, so the bound cannot sit exactly on it.
+    c3.max = 0.0515;
+    spec.constraints.push_back(c3);
+
+    ASSERT_GT(spec.pointCount(), 1000000u);
+    spec.validate(); // no longer fatal above 1e6
+
+    SweepOptions opts;
+    opts.threads = 8;
+    opts.chunkSize = 65536;
+    SweepResult result = runSweep(spec, opts);
+    EXPECT_FALSE(result.pointsStored);
+    EXPECT_EQ(result.totalPoints, 1061208u);
+    EXPECT_EQ(result.evaluated, 2u); // stuck_off_rate 0.05, 0.051
+    EXPECT_EQ(result.skipped, result.totalPoints - 2);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_LE(result.points.size(), 2u);
+    ASSERT_FALSE(result.frontier.empty());
+    EXPECT_NE(result.findPoint(result.frontier[0]), nullptr);
 }
 
 } // namespace
