@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "cimloop/common/arena.hh"
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/dist/pmf.hh"
+#include "cimloop/dist/simd.hh"
 #include "cimloop/dse/dse.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/faults/faults.hh"
@@ -205,6 +207,141 @@ BM_PmfSliceMixture(benchmark::State& state)
     }
 }
 BENCHMARK(BM_PmfSliceMixture);
+
+/** Runs @p body with the SIMD backend forced to @p b, then re-detects. */
+template <typename Fn>
+void
+withBackend(dist::simd::Backend b, benchmark::State& state, Fn&& body)
+{
+    if (b == dist::simd::Backend::Avx2 && !dist::simd::avx2Supported()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        for (auto _ : state) {
+        }
+        return;
+    }
+    dist::simd::setBackend(b);
+    body();
+    dist::simd::resetBackend();
+}
+
+void
+latticeConvolveLoop(benchmark::State& state)
+{
+    // Same workload as BM_PmfConvolveLattice; the Simd/Portable pair
+    // isolates the vector-kernel speedup at a pinned backend (results
+    // are bit-identical between the two by the simd.hh contract).
+    dist::Pmf a = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127);
+    dist::Pmf b = dist::Pmf::quantizedGaussian(0.0, 40.0, -128, 127);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.convolveWith(b));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.size() * b.size()));
+}
+
+void
+BM_LatticeConvolveSimd(benchmark::State& state)
+{
+    withBackend(dist::simd::Backend::Avx2, state,
+                [&] { latticeConvolveLoop(state); });
+}
+BENCHMARK(BM_LatticeConvolveSimd);
+
+void
+BM_LatticeConvolvePortable(benchmark::State& state)
+{
+    withBackend(dist::simd::Backend::Portable, state,
+                [&] { latticeConvolveLoop(state); });
+}
+BENCHMARK(BM_LatticeConvolvePortable);
+
+void
+BM_PrecomputeArena(benchmark::State& state)
+{
+    // The allocation pattern precompute drives through the thread arena:
+    // a scope, a few dense lattice arrays, rewind. Compare against
+    // BM_Precompute across snapshots for the end-to-end effect.
+    Arena& arena = scratchArena();
+    for (auto _ : state) {
+        ArenaScope scope(arena);
+        double* a = arena.alloc<double>(512);
+        double* b = arena.alloc<double>(1024);
+        double* c = arena.alloc<double>(4096);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        c[0] = 3.0;
+        benchmark::DoNotOptimize(a);
+        benchmark::DoNotOptimize(b);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_PrecomputeArena);
+
+void
+BM_RefsimGnormWalk(benchmark::State& state)
+{
+    // The refsim inner loop in isolation: per-(k, wb) dotPair over a
+    // 512-row tile, the dominant cost of simulateVector.
+    constexpr std::size_t kRows = 512;
+    constexpr std::size_t kCols = 128; // k_total * wb rows of g_norm
+    std::vector<double> xs(kRows), xs2(kRows), g(kCols * kRows);
+    Rng rng(7);
+    for (std::size_t i = 0; i < kRows; ++i) {
+        xs[i] = rng.uniform();
+        xs2[i] = xs[i] * xs[i];
+    }
+    for (double& v : g)
+        v = rng.uniform();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < kCols; ++k) {
+            double s = 0.0, e = 0.0;
+            dist::simd::dotPair(xs.data(), xs2.data(), &g[k * kRows],
+                                kRows, s, e);
+            total += s + e;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kRows * kCols));
+}
+BENCHMARK(BM_RefsimGnormWalk);
+
+void
+BM_RefsimGnormWalkNaive(benchmark::State& state)
+{
+    // The pre-SIMD shape of the same walk: a serial dependent-chain
+    // accumulator per dot, which cannot vectorize without reassociation.
+    // The ratio against BM_RefsimGnormWalk is the kernel speedup.
+    constexpr std::size_t kRows = 512;
+    constexpr std::size_t kCols = 128;
+    std::vector<double> xs(kRows), xs2(kRows), g(kCols * kRows);
+    Rng rng(7);
+    for (std::size_t i = 0; i < kRows; ++i) {
+        xs[i] = rng.uniform();
+        xs2[i] = xs[i] * xs[i];
+    }
+    for (double& v : g)
+        v = rng.uniform();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < kCols; ++k) {
+            const double* gr = &g[k * kRows];
+            double s = 0.0, e = 0.0;
+            for (std::size_t c = 0; c < kRows; ++c) {
+                s += xs[c] * gr[c];
+                e += xs2[c] * gr[c];
+            }
+            benchmark::DoNotOptimize(s);
+            total += s + e;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kRows * kCols));
+}
+BENCHMARK(BM_RefsimGnormWalkNaive);
 
 refsim::RefSimConfig
 refsimBenchConfig()

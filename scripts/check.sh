@@ -5,8 +5,12 @@ cd "$(dirname "$0")/.."
 
 # Same configure command as the tier-1 verify in ROADMAP.md: no generator
 # override, so an existing build/ configured with the default generator
-# (or a fresh clone) both work.
-cmake -B build -S .
+# (or a fresh clone) both work. Extra arguments pass straight to the
+# configure step, so a Release tier-1 verify is
+#   scripts/check.sh -DCMAKE_BUILD_TYPE=Release
+# (or set CMAKE_BUILD_TYPE=Release in the environment).
+cmake -B build -S . \
+    ${CMAKE_BUILD_TYPE:+-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE}"} "$@"
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 for b in build/bench/*; do

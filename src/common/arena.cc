@@ -1,0 +1,160 @@
+#include "cimloop/common/arena.hh"
+
+#include <algorithm>
+#include <new>
+
+#include "cimloop/common/error.hh"
+
+namespace cimloop {
+
+namespace {
+
+/** First chunk size when the arena is constructed with no hint. */
+constexpr std::size_t kDefaultChunkBytes = std::size_t{64} * 1024;
+
+/** Growth is geometric but capped so a one-off giant scope does not pin
+ *  gigabytes of scratch for the rest of the thread's life. */
+constexpr std::size_t kMaxChunkGrowthBytes = std::size_t{64} * 1024 * 1024;
+
+std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+std::byte*
+reserveBytes(std::size_t size)
+{
+    return static_cast<std::byte*>(::operator new(
+        size, std::align_val_t{Arena::kMinAlign}));
+}
+
+void
+freeBytes(std::byte* p, std::size_t size)
+{
+    ::operator delete(p, size, std::align_val_t{Arena::kMinAlign});
+}
+
+} // namespace
+
+Arena::Arena(std::size_t initial_bytes)
+    : next_size_(initial_bytes > 0 ? alignUp(initial_bytes, kMinAlign)
+                                   : kDefaultChunkBytes)
+{}
+
+Arena::~Arena()
+{
+    for (Chunk& c : chunks_)
+        freeBytes(c.data, c.size);
+}
+
+void
+Arena::grow(std::size_t min_bytes)
+{
+    std::size_t size = std::max(next_size_, alignUp(min_bytes, kMinAlign));
+    next_size_ = std::min(size * 2, kMaxChunkGrowthBytes);
+    Chunk c;
+    c.data = reserveBytes(size);
+    c.size = size;
+    c.used = 0;
+    chunks_.push_back(c);
+    active_ = chunks_.size() - 1;
+}
+
+void*
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    CIM_ASSERT(align != 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+    if (align < kMinAlign)
+        align = kMinAlign;
+    if (bytes == 0)
+        bytes = 1; // distinct non-null pointers for zero-size requests
+    while (true) {
+        if (chunks_.empty()) {
+            grow(bytes + align);
+            continue;
+        }
+        Chunk& c = chunks_[active_];
+        std::size_t at = alignUp(c.used, align);
+        if (at + bytes <= c.size) {
+            c.used = at + bytes;
+            return c.data + at;
+        }
+        // Chunk sizes are nondecreasing, so later (released) chunks can
+        // only be bigger; advance into them before reserving new memory.
+        if (active_ + 1 < chunks_.size()) {
+            ++active_;
+            continue;
+        }
+        grow(bytes + align);
+    }
+}
+
+Arena::Mark
+Arena::mark() const
+{
+    if (chunks_.empty())
+        return {};
+    return {active_, chunks_[active_].used};
+}
+
+void
+Arena::release(const Mark& m)
+{
+    if (chunks_.empty())
+        return;
+    CIM_ASSERT(m.chunk < chunks_.size(), "arena mark out of range");
+    for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i)
+        chunks_[i].used = 0;
+    active_ = m.chunk;
+    chunks_[active_].used = m.used;
+}
+
+void
+Arena::reset()
+{
+    if (chunks_.size() > 1) {
+        std::size_t total = 0;
+        for (Chunk& c : chunks_) {
+            total += c.size;
+            freeBytes(c.data, c.size);
+        }
+        chunks_.clear();
+        Chunk c;
+        c.data = reserveBytes(total);
+        c.size = total;
+        c.used = 0;
+        chunks_.push_back(c);
+    } else if (!chunks_.empty()) {
+        chunks_.front().used = 0;
+    }
+    active_ = 0;
+}
+
+std::size_t
+Arena::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_)
+        total += c.size;
+    return total;
+}
+
+std::size_t
+Arena::usedBytes() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= active_ && i < chunks_.size(); ++i)
+        total += chunks_[i].used;
+    return total;
+}
+
+Arena&
+scratchArena()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace cimloop

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SIMD kernels for the statistical hot path, with a strict bit-identity
+ * contract.
+ *
+ * Dispatch policy (see docs/architecture.md, "Hot paths and kernels"):
+ * the backend is resolved once per process — the CIMLOOP_SIMD env var
+ * ("portable", "avx2", or "auto"; default auto) overrides runtime CPU
+ * detection (`__builtin_cpu_supports("avx2")`). No global -mavx2 flag:
+ * AVX2 bodies are compiled per-function with
+ * `__attribute__((target("avx2")))`, so the rest of the binary's codegen
+ * is unchanged and the same build runs on non-AVX2 hosts.
+ *
+ * Bit-identity contract — both backends produce byte-identical outputs:
+ *  - Elementwise kernels (axpy, scaleProbs, divProbs, adjacentGaps) are
+ *    lane-exact: each output double is produced by the same mul/add/div
+ *    on the same inputs in both backends. FMA is never used (a fused
+ *    multiply-add rounds once where mul+add rounds twice, which would
+ *    break identity with the scalar path).
+ *  - Reductions (sum, dot, dotPair) fix the association order in BOTH
+ *    backends: four accumulators striped j, j+4, j+8, ... combined as
+ *    (l0+l1)+(l2+l3), then a serial tail. The portable mirror uses the
+ *    same four-accumulator structure, so the two backends agree bitwise
+ *    with each other (though not with a naive serial single-accumulator
+ *    loop — call sites that adopt these reductions accept a fixed,
+ *    documented association change).
+ */
+#ifndef CIMLOOP_DIST_SIMD_HH
+#define CIMLOOP_DIST_SIMD_HH
+
+#include <cstddef>
+
+#include "cimloop/dist/pmf.hh"
+
+namespace cimloop::dist::simd {
+
+enum class Backend
+{
+    Portable,
+    Avx2,
+};
+
+/** True when this build and CPU can run the AVX2 backend. */
+bool avx2Supported();
+
+/** The backend every kernel dispatches to (resolved once, cached). */
+Backend activeBackend();
+
+/** Forces a backend (tests and benches); fatal if unsupported here. */
+void setBackend(Backend b);
+
+/** Drops a forced backend and re-resolves from env + CPU detection. */
+void resetBackend();
+
+const char* backendName(Backend b);
+
+/** dst[j] += scale * src[j] for j in [0, n). */
+void axpy(double* dst, const double* src, double scale, std::size_t n);
+
+/** pts[i].prob *= w (values untouched). */
+void scaleProbs(Pmf::Point* pts, std::size_t n, double w);
+
+/** pts[i].prob /= divisor (values untouched). */
+void divProbs(Pmf::Point* pts, std::size_t n, double divisor);
+
+/** gaps[i] = pts[i+1].value - pts[i].value for i in [0, n-1); n >= 1. */
+void adjacentGaps(const Pmf::Point* pts, std::size_t n, double* gaps);
+
+/** Sum of x[0..n) under the fixed blocked association. */
+double sum(const double* x, std::size_t n);
+
+/** Dot product of x and g under the fixed blocked association. */
+double dot(const double* x, const double* g, std::size_t n);
+
+/** s = dot(x, g), e = dot(x2, g) in one pass over g. */
+void dotPair(const double* x, const double* x2, const double* g,
+             std::size_t n, double& s, double& e);
+
+} // namespace cimloop::dist::simd
+
+#endif // CIMLOOP_DIST_SIMD_HH

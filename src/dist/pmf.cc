@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cimloop/common/arena.hh"
 #include "cimloop/common/error.hh"
+#include "cimloop/dist/simd.hh"
 #include "cimloop/obs/obs.hh"
 
 namespace cimloop::dist {
@@ -56,6 +58,54 @@ denseEnough(std::int64_t lo, std::int64_t hi, std::size_t n_points)
                                   8 * static_cast<std::int64_t>(n_points));
 }
 
+/**
+ * latticeBounds over the union of all components' supports — exactly the
+ * test fromPoints would apply to the concatenated point list, so the
+ * single-pass mixture fast path triggers iff the old concat-then-
+ * fromPoints route would have taken the lattice path.
+ */
+bool
+mixtureLatticeBounds(const std::vector<Pmf>& parts, std::size_t total,
+                     std::int64_t& lo, std::int64_t& hi)
+{
+    if (total == 0)
+        return false;
+    bool first = true;
+    double min_v = 0.0;
+    double max_v = 0.0;
+    for (const Pmf& part : parts) {
+        for (const Pmf::Point& pt : part.points()) {
+            double v = pt.value;
+            if (!(std::abs(v) <= 0x1p53) || v != std::floor(v))
+                return false;
+            if (first) {
+                min_v = max_v = v;
+                first = false;
+            } else {
+                min_v = std::min(min_v, v);
+                max_v = std::max(max_v, v);
+            }
+        }
+    }
+    lo = static_cast<std::int64_t>(min_v);
+    hi = static_cast<std::int64_t>(max_v);
+    return hi - lo < kMaxLatticeSpan;
+}
+
+/**
+ * Pins which instruction path a lattice kernel ran on: golden-metrics
+ * tests assert this counter, so a host (or CIMLOOP_SIMD override) that
+ * silently fell back to the portable kernels fails the golden diff
+ * instead of passing with different code under test.
+ */
+void
+countSimdLatticeOp()
+{
+    static obs::Counter& simd_ops = obs::counter("dist.simd_lattice_ops");
+    if (simd::activeBackend() == simd::Backend::Avx2)
+        simd_ops.add();
+}
+
 } // namespace
 
 Pmf
@@ -91,11 +141,17 @@ Pmf::fromPoints(std::vector<Point> pts)
         lattice.add();
         // Integer-lattice fast path: merge duplicates through a dense
         // probability array (no sort; output is sorted by construction).
-        std::vector<double> acc(hi - lo + 1, 0.0);
+        // The array is per-call scratch, so it lives in the thread's
+        // arena instead of hitting the global allocator.
+        Arena& arena = scratchArena();
+        ArenaScope scope(arena);
+        const std::size_t span = static_cast<std::size_t>(hi - lo) + 1;
+        double* acc = arena.alloc<double>(span);
+        std::fill_n(acc, span, 0.0);
         for (const Point& pt : pts)
             acc[static_cast<std::int64_t>(pt.value) - lo] += pt.prob;
         p.points_.reserve(pts.size());
-        for (std::size_t i = 0; i < acc.size(); ++i) {
+        for (std::size_t i = 0; i < span; ++i) {
             if (acc[i] != 0.0)
                 p.points_.push_back(
                     {static_cast<double>(lo + static_cast<std::int64_t>(i)),
@@ -256,22 +312,26 @@ Pmf::convolveWith(const Pmf& other, std::size_t max_points) const
         (ahi - alo) + (bhi - blo) < kMaxLatticeSpan &&
         denseEnough(blo, bhi, other.points_.size())) {
         lattice.add();
+        countSimdLatticeOp();
         // Dense integer-lattice kernel: densify the second operand, then
         // each point of the first contributes one contiguous axpy over
-        // the flat array — no point-pair list, no sort/merge.
+        // the flat array — no point-pair list, no sort/merge. Both flat
+        // arrays are arena scratch; the axpy runs on the SIMD backend
+        // (elementwise mul+add, bit-identical to the scalar loop).
         const std::size_t bspan = static_cast<std::size_t>(bhi - blo) + 1;
         const std::size_t span =
             static_cast<std::size_t>((ahi - alo) + (bhi - blo)) + 1;
-        std::vector<double> pb(bspan, 0.0);
+        Arena& arena = scratchArena();
+        ArenaScope scope(arena);
+        double* pb = arena.alloc<double>(bspan);
+        std::fill_n(pb, bspan, 0.0);
         for (const Point& b : other.points_)
             pb[static_cast<std::int64_t>(b.value) - blo] += b.prob;
-        std::vector<double> acc(span, 0.0);
+        double* acc = arena.alloc<double>(span);
+        std::fill_n(acc, span, 0.0);
         for (const Point& a : points_) {
-            const double pa = a.prob;
-            double* dst =
-                acc.data() + (static_cast<std::int64_t>(a.value) - alo);
-            for (std::size_t j = 0; j < bspan; ++j)
-                dst[j] += pa * pb[j];
+            simd::axpy(acc + (static_cast<std::int64_t>(a.value) - alo),
+                       pb, a.prob, bspan);
         }
         const std::int64_t lo = alo + blo;
         out.points_.reserve(std::min(span, max_points * 2));
@@ -313,15 +373,17 @@ Pmf::downsample(std::size_t max_points)
     // below the median gap, so tight clusters collapse before isolated
     // tail points are touched. Merges are probability-weighted, which
     // preserves the mean exactly.
+    Arena& arena = scratchArena();
     while (points_.size() > max_points) {
+        ArenaScope scope(arena);
+        countSimdLatticeOp();
         const std::size_t n = points_.size();
-        std::vector<double> gaps(n - 1);
-        for (std::size_t i = 0; i + 1 < n; ++i)
-            gaps[i] = points_[i + 1].value - points_[i].value;
-        std::vector<double> order = gaps;
-        auto mid = order.begin() +
-                   static_cast<std::ptrdiff_t>(order.size() / 2);
-        std::nth_element(order.begin(), mid, order.end());
+        double* gaps = arena.alloc<double>(n - 1);
+        simd::adjacentGaps(points_.data(), n, gaps);
+        double* order = arena.alloc<double>(n - 1);
+        std::copy(gaps, gaps + (n - 1), order);
+        double* mid = order + (n - 1) / 2;
+        std::nth_element(order, mid, order + (n - 1));
         const double threshold = *mid;
 
         std::vector<Point> merged;
@@ -364,12 +426,49 @@ Pmf
 Pmf::mixture(const std::vector<Pmf>& parts)
 {
     CIM_ASSERT(!parts.empty(), "mixture needs at least one component");
+    static obs::Counter& lattice = obs::counter("dist.pmf.mixture.lattice");
+    static obs::Counter& fallback =
+        obs::counter("dist.pmf.mixture.fallback");
     std::size_t total = 0;
     for (const Pmf& part : parts)
         total += part.points_.size();
+    const double w = 1.0 / static_cast<double>(parts.size());
+
+    std::int64_t lo = 0, hi = 0;
+    if (mixtureLatticeBounds(parts, total, lo, hi) &&
+        denseEnough(lo, hi, total)) {
+        lattice.add();
+        countSimdLatticeOp();
+        // Single-pass dense kernel: accumulate every component straight
+        // into one flat lattice array — no intermediate scaled-point
+        // list. Each addend is the same pt.prob * w the concat route
+        // produced, added in the same order, so the result is
+        // byte-identical to the fallback's fromPoints.
+        Pmf p;
+        Arena& arena = scratchArena();
+        ArenaScope scope(arena);
+        const std::size_t span = static_cast<std::size_t>(hi - lo) + 1;
+        double* acc = arena.alloc<double>(span);
+        std::fill_n(acc, span, 0.0);
+        for (const Pmf& part : parts) {
+            for (const Point& pt : part.points_)
+                acc[static_cast<std::int64_t>(pt.value) - lo] +=
+                    pt.prob * w;
+        }
+        p.points_.reserve(std::min<std::size_t>(span, total));
+        for (std::size_t i = 0; i < span; ++i) {
+            if (acc[i] != 0.0)
+                p.points_.push_back(
+                    {static_cast<double>(lo + static_cast<std::int64_t>(i)),
+                     acc[i]});
+        }
+        p.normalize();
+        return p;
+    }
+
+    fallback.add();
     std::vector<Point> pts;
     pts.reserve(total);
-    const double w = 1.0 / static_cast<double>(parts.size());
     for (const Pmf& part : parts) {
         for (const Point& pt : part.points_)
             pts.push_back({pt.value, pt.prob * w});
@@ -385,8 +484,10 @@ Pmf::normalize()
         total += pt.prob;
     if (total <= 0.0)
         CIM_FATAL("cannot normalize PMF with zero total probability");
-    for (Point& pt : points_)
-        pt.prob /= total;
+    // The total stays a serial reduction (its order is part of the byte
+    // contract); the division is elementwise and runs on the SIMD
+    // backend, each prob divided by the same total either way.
+    simd::divProbs(points_.data(), points_.size(), total);
 }
 
 double

@@ -1,0 +1,422 @@
+#include "cimloop/dist/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/common/log.hh"
+#include "cimloop/common/util.hh"
+
+// This translation unit is compiled with -ffp-contract=off (see
+// src/dist/CMakeLists.txt): the bit-identity contract in simd.hh forbids
+// fusing any mul+add into an FMA, in the portable mirrors as much as in
+// the intrinsic bodies.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CIMLOOP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define CIMLOOP_SIMD_X86 0
+#endif
+
+namespace cimloop::dist::simd {
+
+static_assert(sizeof(Pmf::Point) == 2 * sizeof(double),
+              "Point kernels view the AoS array as a flat double array");
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Portable mirrors. Reductions use the same four-accumulator blocked
+// association as the AVX2 bodies, so both backends agree bitwise.
+// ---------------------------------------------------------------------
+
+void
+axpyPortable(double* dst, const double* src, double scale, std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        dst[j] += scale * src[j];
+}
+
+void
+scaleProbsPortable(Pmf::Point* pts, std::size_t n, double w)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i].prob *= w;
+}
+
+void
+divProbsPortable(Pmf::Point* pts, std::size_t n, double divisor)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i].prob /= divisor;
+}
+
+void
+adjacentGapsPortable(const Pmf::Point* pts, std::size_t n, double* gaps)
+{
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        gaps[i] = pts[i + 1].value - pts[i].value;
+}
+
+double
+sumPortable(const double* x, std::size_t n)
+{
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        a0 += x[j];
+        a1 += x[j + 1];
+        a2 += x[j + 2];
+        a3 += x[j + 3];
+    }
+    double r = (a0 + a1) + (a2 + a3);
+    for (; j < n; ++j)
+        r += x[j];
+    return r;
+}
+
+double
+dotPortable(const double* x, const double* g, std::size_t n)
+{
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        a0 += x[j] * g[j];
+        a1 += x[j + 1] * g[j + 1];
+        a2 += x[j + 2] * g[j + 2];
+        a3 += x[j + 3] * g[j + 3];
+    }
+    double r = (a0 + a1) + (a2 + a3);
+    for (; j < n; ++j)
+        r += x[j] * g[j];
+    return r;
+}
+
+void
+dotPairPortable(const double* x, const double* x2, const double* g,
+                std::size_t n, double& s, double& e)
+{
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    double e0 = 0.0, e1 = 0.0, e2 = 0.0, e3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        s0 += x[j] * g[j];
+        s1 += x[j + 1] * g[j + 1];
+        s2 += x[j + 2] * g[j + 2];
+        s3 += x[j + 3] * g[j + 3];
+        e0 += x2[j] * g[j];
+        e1 += x2[j + 1] * g[j + 1];
+        e2 += x2[j + 2] * g[j + 2];
+        e3 += x2[j + 3] * g[j + 3];
+    }
+    double rs = (s0 + s1) + (s2 + s3);
+    double re = (e0 + e1) + (e2 + e3);
+    for (; j < n; ++j) {
+        rs += x[j] * g[j];
+        re += x2[j] * g[j];
+    }
+    s = rs;
+    e = re;
+}
+
+#if CIMLOOP_SIMD_X86
+
+// ---------------------------------------------------------------------
+// AVX2 bodies. Per-function target attribute: the rest of the binary is
+// compiled for the baseline ISA and these are only reached after the
+// runtime cpuid check. Mul+add throughout — never FMA.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void
+axpyAvx2(double* dst, const double* src, double scale, std::size_t n)
+{
+    const __m256d vs = _mm256_set1_pd(scale);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        __m256d d = _mm256_loadu_pd(dst + j);
+        __m256d a = _mm256_mul_pd(vs, _mm256_loadu_pd(src + j));
+        _mm256_storeu_pd(dst + j, _mm256_add_pd(d, a));
+    }
+    for (; j < n; ++j)
+        dst[j] += scale * src[j];
+}
+
+// Point arrays interleave {value, prob}; a {1.0, w} multiplier (and a
+// {1.0, d} divisor) touches only the prob lanes, and x*1.0 / x/1.0 are
+// bitwise exact, so the value lanes pass through unchanged.
+__attribute__((target("avx2"))) void
+scaleProbsAvx2(Pmf::Point* pts, std::size_t n, double w)
+{
+    auto* d = reinterpret_cast<double*>(pts);
+    const __m256d vw = _mm256_set_pd(w, 1.0, w, 1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m256d v = _mm256_loadu_pd(d + 2 * i);
+        _mm256_storeu_pd(d + 2 * i, _mm256_mul_pd(v, vw));
+    }
+    for (; i < n; ++i)
+        pts[i].prob *= w;
+}
+
+__attribute__((target("avx2"))) void
+divProbsAvx2(Pmf::Point* pts, std::size_t n, double divisor)
+{
+    auto* d = reinterpret_cast<double*>(pts);
+    const __m256d vd = _mm256_set_pd(divisor, 1.0, divisor, 1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m256d v = _mm256_loadu_pd(d + 2 * i);
+        _mm256_storeu_pd(d + 2 * i, _mm256_div_pd(v, vd));
+    }
+    for (; i < n; ++i)
+        pts[i].prob /= divisor;
+}
+
+// Even-lane extraction of four {value, prob} pairs starting at @p p:
+// unpacklo gives [a0, b0, a2, b2]; permute to [a0, a2, b0, b2].
+__attribute__((target("avx2"))) __m256d
+loadPointValues(const double* p)
+{
+    __m256d a = _mm256_loadu_pd(p);
+    __m256d b = _mm256_loadu_pd(p + 4);
+    return _mm256_permute4x64_pd(_mm256_unpacklo_pd(a, b),
+                                 _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+__attribute__((target("avx2"))) void
+adjacentGapsAvx2(const Pmf::Point* pts, std::size_t n, double* gaps)
+{
+    const auto* d = reinterpret_cast<const double*>(pts);
+    std::size_t i = 0;
+    // Needs pts[i .. i+4] resident, i.e. i + 4 < n.
+    for (; i + 5 <= n; i += 4) {
+        __m256d v = loadPointValues(d + 2 * i);
+        __m256d w = loadPointValues(d + 2 * i + 2);
+        _mm256_storeu_pd(gaps + i, _mm256_sub_pd(w, v));
+    }
+    for (; i + 1 < n; ++i)
+        gaps[i] = pts[i + 1].value - pts[i].value;
+}
+
+__attribute__((target("avx2"))) double
+hsumBlocked(__m256d acc)
+{
+    __m128d lo = _mm256_castpd256_pd128(acc);
+    __m128d hi = _mm256_extractf128_pd(acc, 1);
+    double l0 = _mm_cvtsd_f64(lo);
+    double l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+    double l2 = _mm_cvtsd_f64(hi);
+    double l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    return (l0 + l1) + (l2 + l3);
+}
+
+__attribute__((target("avx2"))) double
+sumAvx2(const double* x, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4)
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + j));
+    double r = hsumBlocked(acc);
+    for (; j < n; ++j)
+        r += x[j];
+    return r;
+}
+
+__attribute__((target("avx2"))) double
+dotAvx2(const double* x, const double* g, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        __m256d p = _mm256_mul_pd(_mm256_loadu_pd(x + j),
+                                  _mm256_loadu_pd(g + j));
+        acc = _mm256_add_pd(acc, p);
+    }
+    double r = hsumBlocked(acc);
+    for (; j < n; ++j)
+        r += x[j] * g[j];
+    return r;
+}
+
+__attribute__((target("avx2"))) void
+dotPairAvx2(const double* x, const double* x2, const double* g,
+            std::size_t n, double& s, double& e)
+{
+    __m256d acc_s = _mm256_setzero_pd();
+    __m256d acc_e = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        __m256d vg = _mm256_loadu_pd(g + j);
+        acc_s = _mm256_add_pd(acc_s,
+                              _mm256_mul_pd(_mm256_loadu_pd(x + j), vg));
+        acc_e = _mm256_add_pd(acc_e,
+                              _mm256_mul_pd(_mm256_loadu_pd(x2 + j), vg));
+    }
+    double rs = hsumBlocked(acc_s);
+    double re = hsumBlocked(acc_e);
+    for (; j < n; ++j) {
+        rs += x[j] * g[j];
+        re += x2[j] * g[j];
+    }
+    s = rs;
+    e = re;
+}
+
+#endif // CIMLOOP_SIMD_X86
+
+// ---------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------
+
+std::atomic<int> g_backend{-1};
+
+Backend
+resolveBackend()
+{
+    if (const char* env = std::getenv("CIMLOOP_SIMD")) {
+        std::string v = toLower(env);
+        if (v == "portable" || v == "scalar")
+            return Backend::Portable;
+        if (v == "avx2") {
+            if (avx2Supported())
+                return Backend::Avx2;
+            warn("CIMLOOP_SIMD=avx2 requested but AVX2 is unavailable "
+                 "on this CPU/build; using portable kernels");
+            return Backend::Portable;
+        }
+        if (!v.empty() && v != "auto")
+            warn("unknown CIMLOOP_SIMD value '", v,
+                 "' (expected portable|avx2|auto); auto-detecting");
+    }
+    return avx2Supported() ? Backend::Avx2 : Backend::Portable;
+}
+
+} // namespace
+
+bool
+avx2Supported()
+{
+#if CIMLOOP_SIMD_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+Backend
+activeBackend()
+{
+    int b = g_backend.load(std::memory_order_relaxed);
+    if (b < 0) {
+        b = static_cast<int>(resolveBackend());
+        g_backend.store(b, std::memory_order_relaxed);
+    }
+    return static_cast<Backend>(b);
+}
+
+void
+setBackend(Backend b)
+{
+    if (b == Backend::Avx2 && !avx2Supported())
+        CIM_FATAL("cannot force the AVX2 SIMD backend: unsupported on "
+                  "this CPU/build");
+    g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void
+resetBackend()
+{
+    g_backend.store(-1, std::memory_order_relaxed);
+}
+
+const char*
+backendName(Backend b)
+{
+    return b == Backend::Avx2 ? "avx2" : "portable";
+}
+
+void
+axpy(double* dst, const double* src, double scale, std::size_t n)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2) {
+        axpyAvx2(dst, src, scale, n);
+        return;
+    }
+#endif
+    axpyPortable(dst, src, scale, n);
+}
+
+void
+scaleProbs(Pmf::Point* pts, std::size_t n, double w)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2) {
+        scaleProbsAvx2(pts, n, w);
+        return;
+    }
+#endif
+    scaleProbsPortable(pts, n, w);
+}
+
+void
+divProbs(Pmf::Point* pts, std::size_t n, double divisor)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2) {
+        divProbsAvx2(pts, n, divisor);
+        return;
+    }
+#endif
+    divProbsPortable(pts, n, divisor);
+}
+
+void
+adjacentGaps(const Pmf::Point* pts, std::size_t n, double* gaps)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2) {
+        adjacentGapsAvx2(pts, n, gaps);
+        return;
+    }
+#endif
+    adjacentGapsPortable(pts, n, gaps);
+}
+
+double
+sum(const double* x, std::size_t n)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2)
+        return sumAvx2(x, n);
+#endif
+    return sumPortable(x, n);
+}
+
+double
+dot(const double* x, const double* g, std::size_t n)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2)
+        return dotAvx2(x, g, n);
+#endif
+    return dotPortable(x, g, n);
+}
+
+void
+dotPair(const double* x, const double* x2, const double* g, std::size_t n,
+        double& s, double& e)
+{
+#if CIMLOOP_SIMD_X86
+    if (activeBackend() == Backend::Avx2) {
+        dotPairAvx2(x, x2, g, n, s, e);
+        return;
+    }
+#endif
+    dotPairPortable(x, x2, g, n, s, e);
+}
+
+} // namespace cimloop::dist::simd

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cimloop/common/arena.hh"
 #include "cimloop/common/error.hh"
 #include "cimloop/common/log.hh"
 #include "cimloop/common/parallel.hh"
@@ -37,6 +38,11 @@ precompute(const Arch& arch, const workload::Layer& layer,
            const dist::OperandProfile* profile_override)
 {
     CIM_SPAN("engine.precompute");
+    // Precompute is the heaviest Pmf churn site (three encodes, two slice
+    // mixtures, fault perturbation): one arena scope bounds all the
+    // lattice-kernel scratch the nested dist calls allocate, so the
+    // thread's arena is rewound in one step when the table is built.
+    ArenaScope scratch(scratchArena());
     PerActionTable table;
     table.extLayer = arch.extendLayer(layer);
 
