@@ -116,6 +116,24 @@ observability:
   --trace FILE         write a Chrome trace-event JSON of the run's
                        timing spans; load it via chrome://tracing or
                        ui.perfetto.dev (also accepts --trace=FILE)
+
+cancellation / shutdown:
+  --timeout SECONDS    wall-clock deadline for the whole run (any
+                       mode); work stops at the next deterministic
+                       boundary (sweep chunk, layer, search sample,
+                       refsim vector) and exits with code 124. A
+                       journaled sweep keeps every committed chunk and
+                       --resume continues it later.
+  With --sweep --resume, SIGINT/SIGTERM are handled cooperatively: the
+  in-flight chunk commits, the resume hint prints, and the exit code
+  is 128+signo (Ctrl-C = 130). A second signal kills immediately.
+
+exit codes:
+  0    success (including a sweep paused at --max-chunks)
+  1    fatal error (bad spec, unmappable layer, I/O failure)
+  2    usage error (bad flags)
+  124  --timeout deadline expired
+  130  interrupted by SIGINT (SIGTERM exits 143; 128+signo in general)
 )";
 }
 
@@ -244,6 +262,12 @@ parseArgs(const std::vector<std::string>& args)
             if (v < 1)
                 CIM_FATAL("--max-chunks must be >= 1, got ", v);
             opts.maxChunks = static_cast<std::size_t>(v);
+        } else if (flag == "--timeout") {
+            opts.timeoutSeconds = parseDouble(flag, value());
+            if (!(opts.timeoutSeconds > 0.0)) {
+                CIM_FATAL("--timeout must be > 0 seconds, got ",
+                          opts.timeoutSeconds);
+            }
         } else if (flag == "--json") {
             opts.jsonPath = value();
         } else if (flag == "--metrics") {
@@ -386,11 +410,12 @@ objectiveFromString(const std::string& s)
 
 int
 runRefSim(const CliOptions& opts, const faults::FaultModel& fault_model,
-          std::ostream& out)
+          const CancelToken& token, std::ostream& out)
 {
     workload::Network net = buildWorkload(opts);
 
     refsim::RefSimConfig cfg;
+    cfg.cancel = token;
     cfg.threads = opts.threads;
     cfg.seed = opts.seed;
     cfg.maxVectors = opts.refsimVectors;
@@ -508,7 +533,8 @@ struct ObsRunScope
  * --threads at fixed seed — the determinism harness compares them.
  */
 int
-runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
+runSweepCli(const CliOptions& opts, const CancelToken& token,
+            std::ostream& out, std::ostream& err)
 {
     dse::SweepSpec spec = dse::SweepSpec::fromFile(opts.sweepPath);
     if (opts.seedGiven)
@@ -519,6 +545,7 @@ runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
     sweep_opts.chunkSize = opts.chunkSize;
     sweep_opts.resumeDir = opts.resumeDir;
     sweep_opts.maxChunks = opts.maxChunks;
+    sweep_opts.cancel = token;
     dse::SweepResult result = dse::runSweep(spec, sweep_opts);
     out << dse::formatTable(result);
 
@@ -537,6 +564,10 @@ runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
         out << "wrote " << opts.jsonPath << "\n";
     }
     if (result.stoppedEarly) {
+        if (result.cancelled) {
+            out << "sweep cancelled ("
+                << cancelReasonName(token.reason()) << ")\n";
+        }
         out << "sweep paused after "
             << result.chunksExecuted + result.chunksResumed << " of "
             << result.chunksTotal << " chunks";
@@ -544,14 +575,48 @@ runSweepCli(const CliOptions& opts, std::ostream& out, std::ostream& err)
             out << "; rerun with --resume " << opts.resumeDir
                 << " to continue";
         out << "\n";
-        return 0;
+        return ExitOk;
     }
     if (result.evaluated == 0) {
         err << "sweep '" << result.name
             << "' evaluated no points successfully\n";
-        return 1;
+        return ExitFatal;
     }
-    return 0;
+    return ExitOk;
+}
+
+/**
+ * Installs the cooperative SIGINT/SIGTERM handler for the run when
+ * @p enable (sweep --resume mode, where an interrupted run loses
+ * nothing), and guarantees the previous dispositions come back on any
+ * exit path — a library embedder's handlers must survive run().
+ */
+struct SignalCancelScope
+{
+    bool installed = false;
+    SignalCancelScope(const CancelToken& token, bool enable)
+    {
+        if (enable) {
+            installSignalCancel(token);
+            installed = true;
+        }
+    }
+    ~SignalCancelScope()
+    {
+        if (installed)
+            uninstallSignalCancel();
+    }
+};
+
+/** Maps a cancelled run's reason to its process exit code. */
+int
+cancelExitCode(CancelReason reason)
+{
+    if (reason == CancelReason::Signal) {
+        const int sig = lastCancelSignal();
+        return sig > 0 ? 128 + sig : static_cast<int>(ExitInterrupt);
+    }
+    return ExitDeadline;
 }
 
 /** Writes --trace / --metrics outputs at the end of a successful run. */
@@ -591,24 +656,36 @@ run(const std::vector<std::string>& args, std::ostream& out,
         opts = parseArgs(args);
     } catch (const FatalError& e) {
         err << e.what() << "\n" << usage();
-        return 2;
+        return ExitUsage;
     }
     if (opts.help) {
         out << usage();
-        return 0;
+        return ExitOk;
     }
+
+    // One token for the whole run: --timeout arms its deadline, and in
+    // sweep --resume mode SIGINT/SIGTERM flip it instead of killing the
+    // process (an interrupted journaled sweep loses nothing; other
+    // modes keep the default die-on-signal behavior).
+    CancelToken token;
+    if (opts.timeoutSeconds > 0.0)
+        token.setDeadline(Deadline::after(opts.timeoutSeconds));
+    SignalCancelScope signal_scope(
+        token, !opts.sweepPath.empty() && !opts.resumeDir.empty());
 
     try {
         ObsRunScope obs_scope(opts);
         if (!opts.sweepPath.empty()) {
-            int rc = runSweepCli(opts, out, err);
+            int rc = runSweepCli(opts, token, out, err);
             if (rc == 0)
                 emitObservability(opts, out);
+            if (rc == 0 && token.cancelled())
+                rc = cancelExitCode(token.reason());
             return rc;
         }
         faults::FaultModel fault_model = buildFaults(opts);
         if (opts.refsim) {
-            int rc = runRefSim(opts, fault_model, out);
+            int rc = runRefSim(opts, fault_model, token, out);
             if (rc == 0)
                 emitObservability(opts, out);
             return rc;
@@ -629,6 +706,8 @@ run(const std::vector<std::string>& args, std::ostream& out,
             mapping::Mapping fixed = mapping::Mapping::fromYaml(
                 arch.hierarchy, yaml::parseFile(opts.mappingPath));
             for (const workload::Layer& layer : net.layers) {
+                token.throwIfCancelled("fixed-mapping replay at layer '" +
+                                       layer.name + "'");
                 engine::PerActionTable table =
                     engine::precompute(arch, layer);
                 engine::SearchResult sr;
@@ -653,7 +732,8 @@ run(const std::vector<std::string>& args, std::ostream& out,
                 << ", seed " << opts.seed << ")\n\n";
             ev = engine::evaluateNetworkParallel(
                 arch, net, opts.threads, opts.mappings, opts.seed,
-                objectiveFromString(opts.objective), opts.keepGoing);
+                objectiveFromString(opts.objective), opts.keepGoing,
+                &token);
         }
 
         if (!ev.complete()) {
@@ -676,7 +756,7 @@ run(const std::vector<std::string>& args, std::ostream& out,
                 engine::evaluateNetworkParallel(
                     clean_arch, net, opts.threads, opts.mappings,
                     opts.seed, objectiveFromString(opts.objective),
-                    opts.keepGoing);
+                    opts.keepGoing, &token);
             char fl[160];
             out << "per-layer degradation vs fault-free baseline:\n";
             std::snprintf(fl, sizeof(fl), "%-24s %14s %14s %8s\n",
@@ -746,10 +826,19 @@ run(const std::vector<std::string>& args, std::ostream& out,
         }
 
         emitObservability(opts, out);
-        return 0;
+        // Keep-going runs absorb cancellation into "cancelled"
+        // diagnostics instead of throwing; the partial table above is
+        // still worth printing, but the exit code must say the run was
+        // cut short.
+        if (token.cancelled())
+            return cancelExitCode(token.reason());
+        return ExitOk;
+    } catch (const CancelledError& e) {
+        err << e.what() << "\n";
+        return cancelExitCode(e.reason());
     } catch (const FatalError& e) {
         err << e.what() << "\n";
-        return 1;
+        return ExitFatal;
     }
 }
 

@@ -20,6 +20,29 @@
 
 namespace cimloop::cli {
 
+/**
+ * Process exit codes, standardized across every mode. Scripts (and the
+ * e2e tests) branch on these, so the values are frozen:
+ *  - ExitOk: the run completed (including a sweep that paused cleanly
+ *    at --max-chunks).
+ *  - ExitFatal: a fatal error — bad spec, unmappable layer, I/O
+ *    failure — after argument parsing succeeded.
+ *  - ExitUsage: the command line itself was rejected (unknown flag,
+ *    malformed or out-of-range value, contradictory flags).
+ *  - ExitDeadline: --timeout expired; work stopped at the next
+ *    deterministic boundary (timeout(1) uses the same 124).
+ *  - ExitInterrupt: a signal cancelled the run (128 + signo; 130 is
+ *    SIGINT, SIGTERM maps to 143).
+ */
+enum ExitCode : int
+{
+    ExitOk = 0,
+    ExitFatal = 1,
+    ExitUsage = 2,
+    ExitDeadline = 124,
+    ExitInterrupt = 130,
+};
+
 /** Parsed command-line options. */
 struct CliOptions
 {
@@ -99,6 +122,16 @@ struct CliOptions
     std::size_t maxChunks = 0; //!< --max-chunks N
 
     /**
+     * --timeout SECONDS: arm a wall-clock deadline for the whole run
+     * (any mode). Work stops at the next deterministic boundary —
+     * sweep chunk, network layer, search sample, refsim vector — and
+     * the process exits with ExitDeadline; a journaled sweep keeps
+     * every chunk committed before the deadline and resumes normally.
+     * 0 (the default) means no deadline.
+     */
+    double timeoutSeconds = 0.0;
+
+    /**
      * Observability. --metrics prints the run's counter/span summary
      * table; --metrics=FILE writes the metrics JSON instead (counters
      * are deterministic at fixed seed for any --threads; span timings
@@ -124,7 +157,10 @@ std::string usage();
 /**
  * Runs the tool: builds the architecture and workload, searches
  * mappings, and writes results to @p out (diagnostics to @p err).
- * Returns a process exit code (0 = success).
+ * Returns a process exit code (see ExitCode). For `--sweep --resume`
+ * runs, SIGINT/SIGTERM are handled cooperatively: the chunk in flight
+ * commits to the journal, the resume hint prints, and the exit code is
+ * 128 + signo.
  */
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);

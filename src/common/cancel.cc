@@ -1,0 +1,223 @@
+#include "cimloop/common/cancel.hh"
+
+#include <chrono>
+#include <csignal>
+#include <limits>
+
+namespace cimloop {
+
+namespace {
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char*
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+    case CancelReason::None:
+        return "none";
+    case CancelReason::User:
+        return "user";
+    case CancelReason::Deadline:
+        return "deadline";
+    case CancelReason::Signal:
+        return "signal";
+    }
+    return "none";
+}
+
+Deadline
+Deadline::after(double seconds)
+{
+    Deadline d;
+    const double ns = seconds * 1e9;
+    // A non-positive (or absurdly large negative) budget is "already
+    // expired": clamp to the clock's current stamp so expired() is true
+    // on the very first poll. Nonzero is preserved so active() holds.
+    std::int64_t stamp;
+    if (ns <= 0.0) {
+        stamp = nowNs();
+    } else if (ns >=
+               static_cast<double>(
+                   std::numeric_limits<std::int64_t>::max()) -
+                   static_cast<double>(nowNs())) {
+        stamp = std::numeric_limits<std::int64_t>::max();
+    } else {
+        stamp = nowNs() + static_cast<std::int64_t>(ns);
+    }
+    d.ns_ = stamp == 0 ? 1 : stamp;
+    return d;
+}
+
+Deadline
+Deadline::fromRawNs(std::int64_t ns)
+{
+    Deadline d;
+    d.ns_ = ns;
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    return ns_ != 0 && nowNs() >= ns_;
+}
+
+double
+Deadline::remainingSeconds() const
+{
+    if (ns_ == 0)
+        return std::numeric_limits<double>::infinity();
+    const std::int64_t left = ns_ - nowNs();
+    return left <= 0 ? 0.0 : static_cast<double>(left) * 1e-9;
+}
+
+CancelledError::CancelledError(CancelReason reason,
+                               const std::string& context)
+    : std::runtime_error(context + " cancelled (" +
+                         cancelReasonName(reason) + ")"),
+      reason_(reason)
+{}
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void
+CancelToken::cancel(CancelReason reason) const
+{
+    int expected = static_cast<int>(CancelReason::None);
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(reason), std::memory_order_relaxed);
+}
+
+void
+CancelToken::setDeadline(Deadline deadline) const
+{
+    state_->deadlineNs.store(deadline.rawNs(),
+                             std::memory_order_relaxed);
+}
+
+Deadline
+CancelToken::deadline() const
+{
+    return Deadline::fromRawNs(
+        state_->deadlineNs.load(std::memory_order_relaxed));
+}
+
+bool
+CancelToken::cancelled() const
+{
+    if (state_->reason.load(std::memory_order_relaxed) !=
+        static_cast<int>(CancelReason::None)) {
+        return true;
+    }
+    const std::int64_t dl =
+        state_->deadlineNs.load(std::memory_order_relaxed);
+    if (dl != 0 && nowNs() >= dl) {
+        cancel(CancelReason::Deadline);
+        return true;
+    }
+    return false;
+}
+
+CancelReason
+CancelToken::reason() const
+{
+    // Route through cancelled() so an expired-but-unobserved deadline
+    // latches before the reason is read.
+    if (!cancelled())
+        return CancelReason::None;
+    return static_cast<CancelReason>(
+        state_->reason.load(std::memory_order_relaxed));
+}
+
+void
+CancelToken::throwIfCancelled(const std::string& context) const
+{
+    if (cancelled())
+        throw CancelledError(reason(), context);
+}
+
+namespace {
+
+/**
+ * Signal plumbing. The handler may run at any instant, so it touches
+ * only lock-free atomics: the raw target pointer (kept alive by the
+ * shared_ptr below, which only install/uninstall — ordinary code —
+ * mutate) and the signal-number cell. A second delivery of the same
+ * signal restores SIG_DFL and re-raises: graceful shutdown must never
+ * make a process unkillable.
+ */
+std::shared_ptr<void> g_signal_keepalive; //!< pins the token's state
+std::atomic<std::atomic<int>*> g_signal_target{nullptr}; //!< its reason cell
+std::atomic<int> g_signal_number{0};
+std::atomic<int> g_signal_count{0};
+struct sigaction g_old_int;
+struct sigaction g_old_term;
+bool g_signal_installed = false;
+
+extern "C" void
+cimloopSignalCancelHandler(int sig)
+{
+    if (g_signal_count.fetch_add(1, std::memory_order_relaxed) > 0) {
+        std::signal(sig, SIG_DFL); // async-signal-safe
+        std::raise(sig);
+        return;
+    }
+    g_signal_number.store(sig, std::memory_order_relaxed);
+    if (std::atomic<int>* reason =
+            g_signal_target.load(std::memory_order_relaxed)) {
+        int expected = static_cast<int>(CancelReason::None);
+        reason->compare_exchange_strong(
+            expected, static_cast<int>(CancelReason::Signal),
+            std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+void
+installSignalCancel(const CancelToken& token)
+{
+    g_signal_keepalive = token.state_;
+    g_signal_target.store(&token.state_->reason,
+                          std::memory_order_relaxed);
+    g_signal_number.store(0, std::memory_order_relaxed);
+    g_signal_count.store(0, std::memory_order_relaxed);
+    if (!g_signal_installed) {
+        struct sigaction sa = {};
+        sa.sa_handler = cimloopSignalCancelHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: let blocking calls wake
+        sigaction(SIGINT, &sa, &g_old_int);
+        sigaction(SIGTERM, &sa, &g_old_term);
+        g_signal_installed = true;
+    }
+}
+
+void
+uninstallSignalCancel()
+{
+    if (g_signal_installed) {
+        sigaction(SIGINT, &g_old_int, nullptr);
+        sigaction(SIGTERM, &g_old_term, nullptr);
+        g_signal_installed = false;
+    }
+    g_signal_target.store(nullptr, std::memory_order_relaxed);
+    g_signal_keepalive.reset();
+}
+
+int
+lastCancelSignal()
+{
+    return g_signal_number.load(std::memory_order_relaxed);
+}
+
+} // namespace cimloop

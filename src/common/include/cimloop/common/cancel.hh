@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for the evaluation stack.
+ *
+ * A CancelToken is a copyable handle on shared cancellation state: one
+ * relaxed-atomic reason flag plus an optional deadline. Long-running
+ * paths poll cancelled() between work items — sweep chunks, network
+ * layers, mapping-search samples, refsim vectors — and cancellation is
+ * *acted on* only at those deterministic boundaries: a unit of work
+ * either completes whole (and, for journaled sweeps, commits) or is
+ * abandoned and reported as cancelled. Nothing ever returns a partial
+ * number, so every artifact produced before the cancel stays
+ * byte-identical to what an uninterrupted run would have written.
+ *
+ * Three cancellation sources share the one flag:
+ *  - an explicit cancel() call (the future `cimloop serve` cancels the
+ *    token it handed the request when the connection drops),
+ *  - a Deadline armed via setDeadline() (CLI --timeout), observed
+ *    lazily by the next cancelled() poll,
+ *  - a process signal, via installSignalCancel(): SIGINT/SIGTERM flip
+ *    the installed token from a signal-safe handler instead of killing
+ *    the process mid-write.
+ *
+ * Polling is wait-free (one relaxed load; plus one clock read when a
+ * deadline is armed), so per-sample polling in the mapper's inner loop
+ * costs nanoseconds.
+ */
+#ifndef CIMLOOP_COMMON_CANCEL_HH
+#define CIMLOOP_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cimloop {
+
+/** Why a token was cancelled. */
+enum class CancelReason : int
+{
+    None = 0,     //!< not cancelled
+    User = 1,     //!< explicit cancel() call
+    Deadline = 2, //!< the armed Deadline expired
+    Signal = 3,   //!< SIGINT/SIGTERM via installSignalCancel()
+};
+
+/** Short lowercase name ("user" | "deadline" | "signal" | "none"). */
+const char* cancelReasonName(CancelReason reason);
+
+/**
+ * A point on the process's monotonic wall clock. Deadline::never() (the
+ * default) never expires; Deadline::after(s) expires s seconds from
+ * now. Built on std::chrono::steady_clock so a suspended/adjusted
+ * system clock cannot fire (or eternally defer) a timeout.
+ */
+class Deadline
+{
+  public:
+    /** An inert deadline that never expires. */
+    Deadline() = default;
+
+    static Deadline never() { return Deadline(); }
+
+    /** Expires @p seconds from now; <= 0 is already expired. */
+    static Deadline after(double seconds);
+
+    /** True when this deadline can expire at all. */
+    bool active() const { return ns_ != 0; }
+
+    /** True when the deadline has passed (never true for never()). */
+    bool expired() const;
+
+    /** Seconds until expiry; 0 when expired, +inf when inactive. */
+    double remainingSeconds() const;
+
+    /** Raw steady-clock nanosecond stamp (0 = inactive). */
+    std::int64_t rawNs() const { return ns_; }
+
+    /** Rebuilds a deadline from a rawNs() stamp. */
+    static Deadline fromRawNs(std::int64_t ns);
+
+  private:
+    std::int64_t ns_ = 0; //!< steady_clock ns since epoch; 0 = never
+};
+
+/**
+ * Thrown when a work unit observes cancellation and abandons: the
+ * "cancelled" failure kind next to FatalError (user error) and
+ * PanicError (bug). Carries the reason so exit-code mapping (124
+ * deadline / 130 signal) does not have to parse message text.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    /** what() becomes "<context> cancelled (<reason>)". */
+    CancelledError(CancelReason reason, const std::string& context);
+
+    CancelReason reason() const { return reason_; }
+
+  private:
+    CancelReason reason_;
+};
+
+/**
+ * Copyable handle on shared cancellation state (std::stop_token
+ * style): the default constructor creates fresh, uncancelled state and
+ * copies share it, so handing a token to a worker/config/options
+ * struct links everyone to the same flag. cancel() and setDeadline()
+ * act on the shared state, so they work through any copy.
+ */
+class CancelToken
+{
+  public:
+    CancelToken();
+
+    /** Flips the flag (first cancel wins; later calls are no-ops). */
+    void cancel(CancelReason reason = CancelReason::User) const;
+
+    /**
+     * Arms a deadline. Call before sharing the token across threads:
+     * the deadline cell itself is atomic, but re-arming mid-run would
+     * race with polls semantically. An inactive deadline disarms.
+     */
+    void setDeadline(Deadline deadline) const;
+
+    /** The armed deadline (never() when none). */
+    Deadline deadline() const;
+
+    /**
+     * Wait-free poll: true once cancel() ran or the armed deadline
+     * expired. A deadline observed here latches CancelReason::Deadline,
+     * so reason() is stable afterwards.
+     */
+    bool cancelled() const;
+
+    /** The latched reason (None while cancelled() is false). */
+    CancelReason reason() const;
+
+    /** Throws CancelledError("<context> cancelled (<reason>)") when
+     *  cancelled; returns otherwise. The boundary-check idiom. */
+    void throwIfCancelled(const std::string& context) const;
+
+  private:
+    friend void installSignalCancel(const CancelToken&);
+
+    struct State
+    {
+        std::atomic<int> reason{static_cast<int>(CancelReason::None)};
+        std::atomic<std::int64_t> deadlineNs{0};
+    };
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Installs a process-wide SIGINT/SIGTERM handler that cancels @p token
+ * (reason Signal) instead of killing the process: the first signal
+ * flips the token's flag from the handler via a lock-free atomic store
+ * (signal-safe); a second signal restores the default disposition and
+ * re-raises, so a wedged run can still be killed the ordinary way.
+ * Keeps the token's state alive until uninstallSignalCancel(), which
+ * restores the previous handlers. Not reentrant: one installation at a
+ * time (installing again replaces the target token).
+ */
+void installSignalCancel(const CancelToken& token);
+
+/** Restores the signal dispositions installSignalCancel() replaced. */
+void uninstallSignalCancel();
+
+/** The signal number that cancelled the installed token (0 = none
+ *  yet). Exit-code mapping returns 128 + this (130 for SIGINT). */
+int lastCancelSignal();
+
+} // namespace cimloop
+
+#endif // CIMLOOP_COMMON_CANCEL_HH

@@ -18,6 +18,8 @@
 #include <functional>
 #include <vector>
 
+#include "cimloop/common/cancel.hh"
+
 namespace cimloop {
 
 /** One captured worker failure: the item index and its exception. */
@@ -42,10 +44,19 @@ struct WorkerError
  * single failure rethrows the original exception unchanged; multiple
  * failures throw one PanicError when any of them was a PanicError (a bug
  * trumps bad input), otherwise one FatalError, whose message lists every
- * failing item.
+ * failing item. CancelledError captures never enter the aggregate: a
+ * real failure always trumps cancellation.
+ *
+ * With a @p cancel token, workers poll it between work items and stop
+ * claiming once it fires; items already claimed run to completion (the
+ * work-item boundary is where cancellation acts). When cancellation —
+ * not a failure — left items unrun, one CancelledError is thrown after
+ * the join; if every item finished before the token was observed, the
+ * call returns normally.
  */
 void parallelFor(int threads, std::size_t n,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn,
+                 const CancelToken* cancel = nullptr);
 
 /**
  * Keep-going variant: runs ALL n items even when some fail, and returns
@@ -53,10 +64,17 @@ void parallelFor(int threads, std::size_t n,
  * An empty result means every item succeeded. Used by graceful
  * per-layer degradation, where one bad layer must not abandon the rest
  * of the network.
+ *
+ * With a @p cancel token, workers stop claiming once it fires, and
+ * every unrun item is reported as a WorkerError holding a
+ * CancelledError — the executed items are always the contiguous prefix
+ * of the claim order, so callers can tell exactly which slots hold real
+ * results.
  */
 std::vector<WorkerError>
 parallelForAll(int threads, std::size_t n,
-               const std::function<void(std::size_t)>& fn);
+               const std::function<void(std::size_t)>& fn,
+               const CancelToken* cancel = nullptr);
 
 } // namespace cimloop
 

@@ -333,6 +333,18 @@ struct SweepOptions
      *  folded into the frontier/summary (and journal) as chunks finish
      *  instead of being stored, so RAM stays O(frontier), not O(n). */
     std::size_t maxPointsInMemory = 262144;
+
+    /**
+     * Cooperative cancellation, polled only at the chunk boundary: the
+     * chunk in flight when the token fires still completes and commits
+     * (journaled sweeps journal only whole chunks), then the run stops
+     * exactly as if SweepOptions::maxChunks had been hit, with
+     * SweepResult::cancelled set. The token is deliberately NOT passed
+     * into per-point evaluation — a point abandoned mid-chunk would
+     * journal a "cancelled" failure permanently and break the resumed
+     * run's byte-identity. Default-constructed tokens never fire.
+     */
+    CancelToken cancel;
 };
 
 /** A complete sweep run. */
@@ -360,7 +372,8 @@ struct SweepResult
     std::size_t failed = 0;
     std::size_t skipped = 0;
 
-    bool stoppedEarly = false;      //!< hit SweepOptions::maxChunks
+    bool stoppedEarly = false;      //!< hit maxChunks or was cancelled
+    bool cancelled = false;         //!< SweepOptions::cancel fired
     std::size_t chunksTotal = 0;    //!< ceil(totalPoints / chunkSize)
     std::size_t chunksExecuted = 0; //!< evaluated live this run
     std::size_t chunksResumed = 0;  //!< restored from the journal

@@ -12,12 +12,16 @@
  *   results.jsonl    one record per non-skipped point of every
  *                    committed chunk, in grid order
  *
- * Commit protocol: a chunk's result lines are written and flushed
- * BEFORE its manifest commit line, so a kill at any instant leaves at
- * worst an uncommitted tail in results.jsonl — the loader keeps only
- * records inside committed ranges and silently drops the rest (a
- * re-executed chunk rewrites them; the last occurrence of an index
- * wins).
+ * Commit protocol: a chunk's result lines are written and fsync'd
+ * BEFORE its manifest commit line, and the manifest is fsync'd after —
+ * write-ahead ordering, so a kill (including kill -9 or power loss) at
+ * any instant leaves at worst an uncommitted tail in results.jsonl.
+ * The loader keeps only records inside committed ranges and silently
+ * drops the rest (a re-executed chunk rewrites them; the last
+ * occurrence of an index wins). Tests that churn many tiny journals
+ * and don't need crash durability can set CIMLOOP_JOURNAL_NO_FSYNC=1
+ * to skip the fsyncs (the writes still happen; only the durability
+ * barrier is dropped).
  *
  * Skipped points are not journaled: validity is a pure function of
  * (spec, index) and is re-derived on load. A point that is valid yet
@@ -41,6 +45,35 @@ namespace cimloop::dse {
 /** Number of metric doubles a journal record carries (the PointResult
  *  metric block, in declaration order). */
 constexpr std::size_t kJournalMetricCount = 7;
+
+/**
+ * Append-only POSIX-fd writer. The journal needs real fsync for its
+ * commit protocol, and std::ofstream has no portable way to reach the
+ * file descriptor — flush() only moves bytes into the OS page cache,
+ * which a power loss or kill -9 can drop.
+ */
+class AppendFile
+{
+  public:
+    AppendFile() = default;
+    ~AppendFile();
+    AppendFile(const AppendFile&) = delete;
+    AppendFile& operator=(const AppendFile&) = delete;
+
+    /** Opens @p path for appending (O_TRUNC when @p truncate). */
+    void open(const std::string& path, bool truncate);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Appends @p data whole; false on any short write or error. */
+    bool write(const std::string& data);
+
+    /** fsync(2); false on error. */
+    bool sync();
+
+  private:
+    int fd_ = -1;
+};
 
 /** One journaled (non-skipped) point: everything the exporters read
  *  that cannot be re-derived from (spec, index). */
@@ -78,8 +111,10 @@ class SweepJournal
 
     /**
      * Commits chunk @p chunk covering grid range [from, to): writes
-     * one record per non-skipped result, flushes, then appends and
-     * flushes the manifest commit line.
+     * one record per non-skipped result and fsyncs the results file,
+     * then appends the manifest commit line and fsyncs the manifest —
+     * the commit line durably implies its records are durable.
+     * CIMLOOP_JOURNAL_NO_FSYNC=1 skips both fsyncs.
      */
     void appendChunk(std::size_t chunk, std::size_t from, std::size_t to,
                      const std::vector<PointResult>& results);
@@ -93,10 +128,11 @@ class SweepJournal
 
     std::string dir_;
     std::size_t chunkSize_ = 0;
+    bool fsync_ = true; //!< off via CIMLOOP_JOURNAL_NO_FSYNC=1
     std::set<std::size_t> completed_; //!< committed chunk ids
     std::map<std::size_t, JournalRecord> records_; //!< by point index
-    std::ofstream resultsOut_;
-    std::ofstream manifestOut_;
+    AppendFile resultsOut_;
+    AppendFile manifestOut_;
 };
 
 } // namespace cimloop::dse

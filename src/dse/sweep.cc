@@ -113,6 +113,8 @@ classifyFailure(std::exception_ptr error)
         return kindPrefixed("fatal", e.what());
     } catch (const PanicError& e) {
         return kindPrefixed("panic", e.what());
+    } catch (const CancelledError& e) {
+        return kindPrefixed("cancelled", e.what());
     } catch (const std::exception& e) {
         return kindPrefixed("exception", e.what());
     }
@@ -514,6 +516,20 @@ runSweep(const SweepSpec& spec, const SweepOptions& opts)
         if (opts.maxChunks &&
             result.chunksExecuted >= opts.maxChunks) {
             result.stoppedEarly = true;
+            break;
+        }
+        // The chunk boundary is the only place the sweep acts on its
+        // token: the chunk that was in flight when the token fired has
+        // already committed (journal and fold alike), so stopping here is
+        // indistinguishable from a maxChunks stop — the journal holds
+        // only whole chunks and a resumed run reproduces the
+        // uninterrupted bytes.
+        if (opts.cancel.cancelled()) {
+            result.stoppedEarly = true;
+            result.cancelled = true;
+            static obs::Counter& c_cancelled =
+                obs::counter("dse.cancelled");
+            c_cancelled.add();
             break;
         }
 

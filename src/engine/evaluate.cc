@@ -402,11 +402,18 @@ struct ShardOutcome
 ShardOutcome
 runSearchShard(const Arch& arch, const PerActionTable& table,
                const mapping::Mapper& mapper, Objective objective,
-               std::uint64_t seed, int shard, int budget)
+               std::uint64_t seed, int shard, int budget,
+               const CancelToken* cancel)
 {
     ShardOutcome out;
     Rng rng = Rng::forStream(seed, static_cast<std::uint64_t>(shard));
     for (int i = 0; i < budget; ++i) {
+        // Poll between samples, not mid-evaluation. The shard just stops
+        // drawing; searchMappings notices the token after the join and
+        // abandons the whole search, so a cancelled search never leaks a
+        // best computed from a truncated sample set.
+        if (cancel && cancel->cancelled())
+            break;
         std::optional<mapping::Mapping> m = mapper.next(rng, out.rejected);
         if (!m) {
             out.exhausted = true;
@@ -435,9 +442,12 @@ runSearchShard(const Arch& arch, const PerActionTable& table,
 SearchResult
 searchMappings(const Arch& arch, const workload::Layer& layer,
                int num_mappings, std::uint64_t seed, Objective objective,
-               int threads)
+               int threads, const CancelToken* cancel)
 {
     CIM_SPAN("engine.search_layer");
+    if (cancel)
+        cancel->throwIfCancelled("mapping search for layer '" + layer.name +
+                                 "'");
     std::shared_ptr<const PerActionTable> table =
         cachedPrecompute(arch, layer);
     const mapping::Mapper mapper(arch.hierarchy, table->extLayer,
@@ -471,8 +481,17 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
                                  (shard < num_mappings % shards ? 1 : 0);
                     outcomes[s] = runSearchShard(arch, *table, mapper,
                                                  objective, seed, shard,
-                                                 budget);
-                });
+                                                 budget, cancel);
+                },
+                cancel);
+
+    // All-or-nothing: a token observed mid-search (by a shard's sample
+    // loop, after parallelFor's own poll let every shard start) abandons
+    // the search before any counter bumps, so cancelled searches leave no
+    // trace in the deterministic obs counters.
+    if (cancel)
+        cancel->throwIfCancelled("mapping search for layer '" + layer.name +
+                                 "'");
 
     // Deterministic merge: ascending shard order, strict improvement only,
     // realizing the (value, shard, sample) tie-break.
@@ -533,6 +552,9 @@ classifyLayerError(std::size_t index, const workload::Layer& layer,
     } catch (const PanicError& e) {
         diag.kind = "panic";
         diag.message = e.what();
+    } catch (const CancelledError& e) {
+        diag.kind = "cancelled";
+        diag.message = e.what();
     } catch (const std::exception& e) {
         diag.kind = "exception";
         diag.message = e.what();
@@ -564,7 +586,19 @@ accumulateNetwork(const workload::Network& network,
         }
         net.layers.push_back(std::move(results[i]));
     }
-    c_failed.add(diagnostics.size());
+    // Cancelled layers are not failures: they would have succeeded given
+    // time. Counting them apart keeps engine.layers.failed meaningful,
+    // and the cancelled counter registers lazily so it never appears in
+    // the (golden-pinned) counter set of uncancelled runs.
+    std::size_t cancelled = 0;
+    for (const LayerDiagnostic& d : diagnostics)
+        cancelled += d.kind == "cancelled" ? 1 : 0;
+    c_failed.add(diagnostics.size() - cancelled);
+    if (cancelled > 0) {
+        static obs::Counter& c_cancelled =
+            obs::counter("engine.cancelled_layers");
+        c_cancelled.add(cancelled);
+    }
     net.diagnostics = std::move(diagnostics);
     // Library users get the run's metrics without going through the CLI.
     net.metrics = obs::snapshot();
@@ -576,21 +610,40 @@ accumulateNetwork(const workload::Network& network,
 NetworkEvaluation
 evaluateNetwork(const Arch& arch, const workload::Network& network,
                 int mappings_per_layer, std::uint64_t seed,
-                Objective objective, bool keep_going)
+                Objective objective, bool keep_going,
+                const CancelToken* cancel)
 {
     CIM_SPAN("engine.evaluate_network");
     std::vector<SearchResult> results(network.layers.size());
     std::vector<LayerDiagnostic> diagnostics;
     for (std::size_t i = 0; i < network.layers.size(); ++i) {
         const workload::Layer& layer = network.layers[i];
+        // The layer boundary is where cancellation acts: layers already
+        // searched keep their byte-identical results; this layer and the
+        // rest are abandoned whole.
+        if (cancel && cancel->cancelled()) {
+            if (!keep_going)
+                cancel->throwIfCancelled("network evaluation at layer '" +
+                                         layer.name + "'");
+            for (std::size_t j = i; j < network.layers.size(); ++j) {
+                diagnostics.push_back(classifyLayerError(
+                    j, network.layers[j],
+                    std::make_exception_ptr(CancelledError(
+                        cancel->reason(),
+                        "layer '" + network.layers[j].name + "'"))));
+            }
+            break;
+        }
         if (!keep_going) {
             results[i] = searchMappings(arch, layer, mappings_per_layer,
-                                        seed + layer.index, objective);
+                                        seed + layer.index, objective, 1,
+                                        cancel);
             continue;
         }
         try {
             results[i] = searchMappings(arch, layer, mappings_per_layer,
-                                        seed + layer.index, objective);
+                                        seed + layer.index, objective, 1,
+                                        cancel);
         } catch (...) {
             diagnostics.push_back(classifyLayerError(
                 i, layer, std::current_exception()));
@@ -604,11 +657,11 @@ NetworkEvaluation
 evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
                         int threads, int mappings_per_layer,
                         std::uint64_t seed, Objective objective,
-                        bool keep_going)
+                        bool keep_going, const CancelToken* cancel)
 {
     if (threads <= 1 || network.layers.empty())
         return evaluateNetwork(arch, network, mappings_per_layer, seed,
-                               objective, keep_going);
+                               objective, keep_going, cancel);
 
     // Layers fan out first; when the network has fewer distinct layers
     // than threads (one repeated transformer block, say), the leftover
@@ -622,14 +675,17 @@ evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
     auto work = [&](std::size_t i) {
         const workload::Layer& layer = network.layers[i];
         results[i] = searchMappings(arch, layer, mappings_per_layer,
-                                    seed + layer.index, objective, inner);
+                                    seed + layer.index, objective, inner,
+                                    cancel);
     };
 
     std::vector<LayerDiagnostic> diagnostics;
     if (keep_going) {
         // Every layer runs regardless of failures; each failure becomes
-        // a diagnostic on the result instead of an exception.
-        for (const WorkerError& we : parallelForAll(outer, n, work)) {
+        // a diagnostic on the result instead of an exception. A fired
+        // cancel token makes the unrun layers come back as CancelledError
+        // worker errors, which classify as kind-"cancelled" diagnostics.
+        for (const WorkerError& we : parallelForAll(outer, n, work, cancel)) {
             diagnostics.push_back(classifyLayerError(
                 we.index, network.layers[we.index], we.error));
         }
@@ -638,7 +694,7 @@ evaluateNetworkParallel(const Arch& arch, const workload::Network& network,
         // rethrows after joining, so unmappable layers surface as the
         // same FatalError surface the serial path gives instead of
         // std::terminate.
-        parallelFor(outer, n, work);
+        parallelFor(outer, n, work, cancel);
     }
 
     return accumulateNetwork(network, std::move(results),

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cimloop/common/cancel.hh"
 #include "cimloop/dist/operands.hh"
 #include "cimloop/engine/arch.hh"
 #include "cimloop/mapping/mapper.hh"
@@ -152,11 +153,18 @@ struct SearchResult
  * decomposition and the merge order are independent of scheduling, the
  * returned best mapping, objective value, and sample counters are
  * bit-identical for any thread count, including 1.
+ *
+ * With a @p cancel token, shards poll it between samples. A search is
+ * all-or-nothing: a token that fires mid-search abandons the whole
+ * search with CancelledError rather than returning a best from fewer
+ * samples — a partial search result would not be byte-identical to an
+ * uninterrupted run's.
  */
 SearchResult searchMappings(const Arch& arch, const workload::Layer& layer,
                             int num_mappings, std::uint64_t seed = 1,
                             Objective objective = Objective::Energy,
-                            int threads = 1);
+                            int threads = 1,
+                            const CancelToken* cancel = nullptr);
 
 /**
  * One captured per-layer failure from a keep-going network evaluation:
@@ -166,7 +174,7 @@ struct LayerDiagnostic
 {
     std::size_t layerIndex = 0; //!< position in network.layers
     std::string layer;          //!< layer name
-    std::string kind;           //!< "fatal" | "panic" | "exception"
+    std::string kind;   //!< "fatal" | "panic" | "exception" | "cancelled"
     std::string message;        //!< the exception's what()
 };
 
@@ -212,13 +220,20 @@ struct NetworkEvaluation
  * continues with the remaining layers — the production-sweep behavior
  * where one broken layer must not abort a large design-space run.
  * Without it, the first failure propagates as before.
+ *
+ * With a @p cancel token, the layer loop polls it between layers —
+ * layers already searched keep their byte-identical results. A fired
+ * token throws CancelledError; under keep_going the remaining layers
+ * are instead recorded as kind-"cancelled" diagnostics and the totals
+ * fold only the completed layers.
  */
 NetworkEvaluation evaluateNetwork(const Arch& arch,
                                   const workload::Network& network,
                                   int mappings_per_layer = 200,
                                   std::uint64_t seed = 1,
                                   Objective objective = Objective::Energy,
-                                  bool keep_going = false);
+                                  bool keep_going = false,
+                                  const CancelToken* cancel = nullptr);
 
 /**
  * Same as evaluateNetwork but distributes the work over @p threads worker
@@ -236,7 +251,8 @@ NetworkEvaluation evaluateNetwork(const Arch& arch,
 NetworkEvaluation evaluateNetworkParallel(
     const Arch& arch, const workload::Network& network, int threads,
     int mappings_per_layer = 200, std::uint64_t seed = 1,
-    Objective objective = Objective::Energy, bool keep_going = false);
+    Objective objective = Objective::Energy, bool keep_going = false,
+    const CancelToken* cancel = nullptr);
 
 /**
  * Renders a per-node report of one evaluation: energy share, accesses

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "cimloop/common/cancel.hh"
 #include "cimloop/dist/operands.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/workload/layer.hh"
@@ -90,6 +91,15 @@ struct RefSimConfig
      * levels, offset/noise-adjusted column-sum Gaussian).
      */
     faults::FaultModel faults;
+
+    /**
+     * Cooperative cancellation. Workers poll between simulated vectors;
+     * a fired token abandons the whole layer with CancelledError — the
+     * simulation is all-or-nothing, a result from fewer vectors would
+     * not match an uninterrupted run's. Default-constructed tokens are
+     * never cancelled, so existing callers are unaffected.
+     */
+    CancelToken cancel;
 };
 
 /** Energy totals (pJ, whole layer) with a per-component breakdown. */

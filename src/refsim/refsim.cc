@@ -432,6 +432,8 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
                    dist::OperandProfile* out_profile)
 {
     CIM_SPAN("refsim.simulate_layer");
+    config.cancel.throwIfCancelled("value-level simulation of layer '" +
+                                   layer.name + "'");
     CIM_ASSERT(config.rows >= 1 && config.cols >= 1,
                "refsim needs a non-empty array");
     if (config.maxVectors < 0) {
@@ -523,13 +525,17 @@ simulateValueLevel(const RefSimConfig& config, const Layer& layer,
     // sampled values do not depend on thread scheduling.
     const bool record = out_profile != nullptr;
     std::vector<VectorPartial> partials(sim_vectors);
+    // Workers poll the token between vectors; a fired token throws
+    // CancelledError out of the parallelFor join, abandoning the layer
+    // whole — no partial reduction ever escapes.
     parallelFor(config.threads, static_cast<std::size_t>(sim_vectors),
                 [&](std::size_t v) {
                     simulateVector(config, phys, shape, gen, weights,
                                    g_norm, bit_weight, layer_seed,
                                    static_cast<std::int64_t>(v), record,
                                    partials[v]);
-                });
+                },
+                &config.cancel);
 
     // Deterministic ordered reduction: ascending vector order, so energy
     // sums (and histogram concatenation) are bit-identical for any

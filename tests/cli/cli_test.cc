@@ -771,5 +771,131 @@ TEST(Run, ThreadsMatchSingle)
     EXPECT_EQ(out1.str(), out4.str());
 }
 
+TEST(Parse, TimeoutFlag)
+{
+    CliOptions o = parse({"--macro", "base", "--network", "mvm",
+                          "--timeout", "5.5"});
+    EXPECT_DOUBLE_EQ(o.timeoutSeconds, 5.5);
+
+    // Default: no deadline.
+    CliOptions d = parse({"--macro", "base", "--network", "mvm"});
+    EXPECT_DOUBLE_EQ(d.timeoutSeconds, 0.0);
+
+    // A non-positive, unparsable, or NaN budget is a usage error.
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--timeout", "0"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--timeout", "-3"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--timeout", "soon"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--timeout", "nan"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--timeout"}),
+                 FatalError); // missing value
+}
+
+TEST(Run, BadTimeoutExitsTwo)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--macro", "base", "--network", "mvm", "--timeout",
+                   "0"},
+                  out, err),
+              2);
+    EXPECT_NE(err.str().find("--timeout"), std::string::npos);
+}
+
+TEST(Run, ExpiredTimeoutExitsWithDeadlineCode)
+{
+    // A 1 ns budget has expired by the first poll: strict mode aborts
+    // at the first layer boundary with exit code 124.
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "20", "--timeout", "1e-9"},
+                 out, err);
+    EXPECT_EQ(rc, 124) << err.str();
+    EXPECT_NE(err.str().find("cancelled (deadline)"), std::string::npos)
+        << err.str();
+
+    // The refsim mode honors the same deadline and exit code.
+    std::ostringstream rout, rerr;
+    EXPECT_EQ(run({"--refsim", "--network", "mvm", "--refsim-vectors",
+                   "8", "--timeout", "1e-9"},
+                  rout, rerr),
+              124);
+    EXPECT_NE(rerr.str().find("cancelled (deadline)"),
+              std::string::npos);
+}
+
+TEST(Run, KeepGoingTimeoutReportsDiagnosticsAndExits124)
+{
+    // Keep-going absorbs the cancellation into per-layer diagnostics
+    // (the partial report still prints) but the exit code must say the
+    // run was cut short.
+    std::ostringstream out, err;
+    int rc = run({"--macro", "base", "--network", "mvm", "--mappings",
+                  "20", "--keep-going", "--timeout", "1e-9"},
+                 out, err);
+    EXPECT_EQ(rc, 124) << err.str();
+    EXPECT_NE(err.str().find("cancelled"), std::string::npos)
+        << err.str();
+}
+
+TEST(Run, SweepTimeoutPausesResumably)
+{
+    const char* spec_path = "/tmp/cimloop_cli_sweep_timeout.yaml";
+    const std::string dir = "/tmp/cimloop_cli_sweep_timeout_journal";
+    writeSweepSpec(spec_path);
+    std::filesystem::remove_all(dir);
+
+    std::ostringstream clean, err;
+    ASSERT_EQ(run({"--sweep", spec_path, "--threads", "2"}, clean, err),
+              0)
+        << err.str();
+
+    // Expired deadline: the sweep stops before its first chunk, exits
+    // 124, and the journal records zero chunks.
+    std::ostringstream paused;
+    int rc = run({"--sweep", spec_path, "--threads", "2", "--resume",
+                  dir.c_str(), "--chunk-size", "2", "--timeout", "1e-9"},
+                 paused, err);
+    EXPECT_EQ(rc, 124) << err.str();
+    EXPECT_NE(paused.str().find("sweep cancelled (deadline)"),
+              std::string::npos)
+        << paused.str();
+    EXPECT_NE(paused.str().find("paused after 0 of 2 chunks"),
+              std::string::npos)
+        << paused.str();
+    EXPECT_NE(paused.str().find("--resume " + dir), std::string::npos);
+
+    // Resuming without the deadline completes the sweep and reproduces
+    // the uninterrupted report byte-for-byte.
+    std::ostringstream resumed;
+    ASSERT_EQ(run({"--sweep", spec_path, "--threads", "2", "--resume",
+                   dir.c_str(), "--chunk-size", "2"},
+                  resumed, err),
+              0)
+        << err.str();
+    EXPECT_EQ(resumed.str(), clean.str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Run, SweepTimeoutWithoutJournalStillExits124)
+{
+    const char* spec_path = "/tmp/cimloop_cli_sweep_timeout_nj.yaml";
+    writeSweepSpec(spec_path);
+    std::ostringstream out, err;
+    int rc = run({"--sweep", spec_path, "--timeout", "1e-9"}, out, err);
+    EXPECT_EQ(rc, 124) << err.str();
+    EXPECT_NE(out.str().find("sweep cancelled (deadline)"),
+              std::string::npos);
+    // No journal, so no resume hint.
+    EXPECT_EQ(out.str().find("--resume"), std::string::npos);
+}
+
 } // namespace
 } // namespace cimloop::cli

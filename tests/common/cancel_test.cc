@@ -1,0 +1,181 @@
+/** CancelToken / Deadline / installSignalCancel unit coverage. */
+#include "cimloop/common/cancel.hh"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+
+namespace cimloop {
+namespace {
+
+TEST(Deadline, DefaultNeverExpires)
+{
+    Deadline d;
+    EXPECT_FALSE(d.active());
+    EXPECT_FALSE(d.expired());
+    EXPECT_EQ(d.rawNs(), 0);
+    EXPECT_TRUE(Deadline::never().remainingSeconds() >
+                1e18); // +inf, really
+}
+
+TEST(Deadline, AfterFarFutureIsActiveNotExpired)
+{
+    Deadline d = Deadline::after(3600.0);
+    EXPECT_TRUE(d.active());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingSeconds(), 3000.0);
+    EXPECT_LE(d.remainingSeconds(), 3600.0);
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired)
+{
+    EXPECT_TRUE(Deadline::after(0.0).expired());
+    EXPECT_TRUE(Deadline::after(-5.0).expired());
+    EXPECT_EQ(Deadline::after(0.0).remainingSeconds(), 0.0);
+}
+
+TEST(Deadline, TinyBudgetExpiresOnFirstPoll)
+{
+    // 1 ns from now: by the time expired() runs, the clock has moved.
+    EXPECT_TRUE(Deadline::after(1e-9).expired());
+}
+
+TEST(Deadline, HugeBudgetDoesNotOverflow)
+{
+    Deadline d = Deadline::after(1e300);
+    EXPECT_TRUE(d.active());
+    EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, RawRoundTrip)
+{
+    Deadline d = Deadline::after(100.0);
+    Deadline back = Deadline::fromRawNs(d.rawNs());
+    EXPECT_EQ(back.rawNs(), d.rawNs());
+    EXPECT_TRUE(back.active());
+}
+
+TEST(CancelToken, FreshTokenIsNotCancelled)
+{
+    CancelToken t;
+    EXPECT_FALSE(t.cancelled());
+    EXPECT_EQ(t.reason(), CancelReason::None);
+    EXPECT_NO_THROW(t.throwIfCancelled("test"));
+}
+
+TEST(CancelToken, CancelLatchesAndFirstReasonWins)
+{
+    CancelToken t;
+    t.cancel(CancelReason::User);
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_EQ(t.reason(), CancelReason::User);
+    // Later cancels with a different reason are no-ops.
+    t.cancel(CancelReason::Signal);
+    EXPECT_EQ(t.reason(), CancelReason::User);
+}
+
+TEST(CancelToken, CopiesShareState)
+{
+    CancelToken a;
+    CancelToken b = a; // same shared state
+    b.cancel();
+    EXPECT_TRUE(a.cancelled());
+    EXPECT_EQ(a.reason(), CancelReason::User);
+    // A fresh token is independent.
+    CancelToken c;
+    EXPECT_FALSE(c.cancelled());
+}
+
+TEST(CancelToken, ExpiredDeadlineLatchesDeadlineReason)
+{
+    CancelToken t;
+    t.setDeadline(Deadline::after(1e-9));
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_EQ(t.reason(), CancelReason::Deadline);
+}
+
+TEST(CancelToken, ReasonAloneLatchesAnExpiredDeadline)
+{
+    // reason() must observe the deadline even when cancelled() was
+    // never polled first.
+    CancelToken t;
+    t.setDeadline(Deadline::after(1e-9));
+    EXPECT_EQ(t.reason(), CancelReason::Deadline);
+}
+
+TEST(CancelToken, FarDeadlineDoesNotCancel)
+{
+    CancelToken t;
+    t.setDeadline(Deadline::after(3600.0));
+    EXPECT_FALSE(t.cancelled());
+    EXPECT_TRUE(t.deadline().active());
+}
+
+TEST(CancelToken, ExplicitCancelTrumpsLaterDeadline)
+{
+    CancelToken t;
+    t.cancel(CancelReason::User);
+    t.setDeadline(Deadline::after(1e-9));
+    EXPECT_EQ(t.reason(), CancelReason::User);
+}
+
+TEST(CancelToken, ThrowIfCancelledCarriesContextAndReason)
+{
+    CancelToken t;
+    t.cancel(CancelReason::User);
+    try {
+        t.throwIfCancelled("sweep chunk 3");
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.reason(), CancelReason::User);
+        EXPECT_EQ(std::string(e.what()), "sweep chunk 3 cancelled (user)");
+    }
+}
+
+TEST(CancelToken, PollIsVisibleAcrossThreads)
+{
+    CancelToken t;
+    std::thread canceller([copy = t] { copy.cancel(); });
+    canceller.join();
+    EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancelReasonName, CoversEveryReason)
+{
+    EXPECT_STREQ(cancelReasonName(CancelReason::None), "none");
+    EXPECT_STREQ(cancelReasonName(CancelReason::User), "user");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Deadline), "deadline");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Signal), "signal");
+}
+
+TEST(SignalCancel, SigtermCancelsTheInstalledToken)
+{
+    CancelToken t;
+    installSignalCancel(t);
+    // raise() delivers synchronously on this thread; the handler flips
+    // the token instead of killing the test binary.
+    std::raise(SIGTERM);
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_EQ(t.reason(), CancelReason::Signal);
+    EXPECT_EQ(lastCancelSignal(), SIGTERM);
+    uninstallSignalCancel();
+}
+
+TEST(SignalCancel, UninstallRestoresAndReinstallRetargets)
+{
+    CancelToken first;
+    installSignalCancel(first);
+    uninstallSignalCancel();
+    // After uninstall, a new install targets the new token only.
+    CancelToken second;
+    installSignalCancel(second);
+    std::raise(SIGTERM);
+    EXPECT_FALSE(first.cancelled());
+    EXPECT_TRUE(second.cancelled());
+    uninstallSignalCancel();
+}
+
+} // namespace
+} // namespace cimloop

@@ -215,5 +215,146 @@ TEST(ParallelForAll, EmptyResultMeansSuccess)
     EXPECT_EQ(serial[0].index, 1u);
 }
 
+TEST(ParallelForCancel, PreCancelledTokenRunsNothingAndThrows)
+{
+    CancelToken token;
+    token.cancel();
+    std::atomic<int> executed{0};
+    EXPECT_THROW(parallelFor(4, 100,
+                             [&](std::size_t) { ++executed; }, &token),
+                 CancelledError);
+    EXPECT_EQ(executed.load(), 0);
+    // Serial path too.
+    EXPECT_THROW(parallelFor(1, 100,
+                             [&](std::size_t) { ++executed; }, &token),
+                 CancelledError);
+    EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelForCancel, NullAndUncancelledTokensChangeNothing)
+{
+    CancelToken token;
+    std::atomic<int> count{0};
+    parallelFor(4, 50, [&](std::size_t) { ++count; }, nullptr);
+    parallelFor(4, 50, [&](std::size_t) { ++count; }, &token);
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForCancel, SerialCancelMidRunStopsAtTheBoundary)
+{
+    // fn(2) cancels the token; item 2 itself completes (cancellation
+    // acts between items, never inside one) and items 3+ never run.
+    CancelToken token;
+    std::vector<std::size_t> ran;
+    try {
+        parallelFor(1, 10,
+                    [&](std::size_t i) {
+                        ran.push_back(i);
+                        if (i == 2)
+                            token.cancel();
+                    },
+                    &token);
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.reason(), CancelReason::User);
+    }
+    EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelForCancel, RealFailureTrumpsCancellation)
+{
+    // When a worker failure and a cancel race, the failure must
+    // surface: the cancelled tail carries no information, the failure
+    // is the thing the user needs to see.
+    CancelToken token;
+    try {
+        parallelFor(2, 100,
+                    [&](std::size_t i) {
+                        if (i == 0) {
+                            token.cancel();
+                            CIM_FATAL("real failure on item 0");
+                        }
+                    },
+                    &token);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("real failure"),
+                  std::string::npos);
+    } catch (const CancelledError&) {
+        FAIL() << "cancellation must not mask the real failure";
+    }
+}
+
+TEST(ParallelForAllCancel, ExecutedItemsAreAContiguousPrefix)
+{
+    // The claim counter hands out indices in order and workers poll the
+    // token only between items, so whatever ran is exactly [0, k) and
+    // the returned errors are exactly the CancelledError tail [k, n).
+    // This invariant is what lets callers trust partial result arrays;
+    // it runs under TSan in CI (threads > 1, shared token + slots).
+    constexpr std::size_t n = 64;
+    CancelToken token;
+    std::vector<std::atomic<int>> ran(n);
+    std::atomic<int> executed{0};
+    std::vector<WorkerError> errors = parallelForAll(
+        4, n,
+        [&](std::size_t i) {
+            ++ran[i];
+            if (++executed == 8)
+                token.cancel();
+        },
+        &token);
+
+    ASSERT_FALSE(errors.empty());
+    // Errors are sorted ascending; together with the executed items
+    // they must partition [0, n) at a single boundary k.
+    const std::size_t k = errors.front().index;
+    ASSERT_EQ(errors.size(), n - k);
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        EXPECT_EQ(errors[e].index, k + e);
+        try {
+            std::rethrow_exception(errors[e].error);
+            FAIL() << "expected CancelledError";
+        } catch (const CancelledError& ce) {
+            EXPECT_EQ(ce.reason(), CancelReason::User);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(ran[i].load(), i < k ? 1 : 0) << "index " << i;
+}
+
+TEST(ParallelForAllCancel, PreCancelledTokenReportsEveryItemCancelled)
+{
+    CancelToken token;
+    token.cancel(CancelReason::Deadline);
+    std::vector<WorkerError> errors = parallelForAll(
+        1, 5, [](std::size_t) { FAIL() << "must not run"; }, &token);
+    ASSERT_EQ(errors.size(), 5u);
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        EXPECT_EQ(errors[e].index, e);
+        try {
+            std::rethrow_exception(errors[e].error);
+        } catch (const CancelledError& ce) {
+            EXPECT_EQ(ce.reason(), CancelReason::Deadline);
+        }
+    }
+}
+
+TEST(ParallelForCancel, AllItemsDoneBeforeCancelReturnsNormally)
+{
+    // A token that fires after the last item completed must not turn a
+    // fully successful run into a CancelledError.
+    CancelToken token;
+    std::atomic<int> count{0};
+    parallelFor(1, 10,
+                [&](std::size_t i) {
+                    ++count;
+                    if (i == 9)
+                        token.cancel(); // after the final item's work
+                },
+                &token);
+    EXPECT_EQ(count.load(), 10);
+}
+
 } // namespace
 } // namespace cimloop

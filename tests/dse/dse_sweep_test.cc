@@ -654,5 +654,133 @@ TEST(DseSweep, MillionPointGridRunsMemoryBounded)
     EXPECT_NE(result.findPoint(result.frontier[0]), nullptr);
 }
 
+/** The resume-test spec (5 chunks of 2 at chunkSize 2). */
+SweepSpec
+cancelSpec()
+{
+    SweepSpec spec;
+    spec.name = "cancel";
+    spec.network = "mvm";
+    spec.mappings = 4;
+    spec.scaledAdc = true;
+    spec.addAxis("array", std::vector<double>{64, 128, 4096});
+    spec.addAxis("dac_bits", std::vector<double>{1, 2, 8});
+    Constraint c;
+    c.field = "adc_bits";
+    c.hasMax = true;
+    c.max = 14.0;
+    spec.constraints.push_back(c);
+    return spec;
+}
+
+TEST(DseSweepCancel, PreCancelledTokenStopsBeforeAnyChunk)
+{
+    SweepSpec spec = cancelSpec();
+    SweepOptions opts;
+    opts.cancel.cancel(CancelReason::User);
+    SweepResult result = runSweep(spec, opts);
+    EXPECT_TRUE(result.stoppedEarly);
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(result.chunksExecuted, 0u);
+    EXPECT_EQ(result.evaluated, 0u);
+}
+
+TEST(DseSweepCancel, CancelledResumedSweepIsByteIdentical)
+{
+    // The acceptance contract: cancel mid-sweep (the token fires while
+    // chunk 1 is in flight — that chunk still completes and commits),
+    // then resume with a clean token and require the artifacts and
+    // deterministic counters to match an uninterrupted run, at several
+    // thread counts.
+    SweepSpec spec = cancelSpec();
+
+    engine::clearPerActionCache();
+    obs::resetAll();
+    SweepResult clean = runSweep(spec);
+    const DseCounters cleanCounters = readDseCounters();
+    const std::string table = formatTable(clean);
+    const std::string csv = toCsv(clean);
+    const std::string json = toJson(clean);
+
+    for (int resumeThreads : {1, 8}) {
+        const std::string dir =
+            "/tmp/cimloop_cancel_t" + std::to_string(resumeThreads);
+        std::filesystem::remove_all(dir);
+
+        // The validity hook runs per materialized point, inside the
+        // chunk that evaluates it — a deterministic stand-in for a
+        // SIGINT landing mid-chunk. It always returns true (skip set
+        // unchanged), and fires the token when chunk 1's first point
+        // (index 2 at chunkSize 2) materializes. validity is not part
+        // of the spec fingerprint, so resuming without it is valid.
+        SweepSpec interrupted = cancelSpec();
+        SweepOptions first;
+        first.threads = 1;
+        first.chunkSize = 2;
+        first.resumeDir = dir;
+        interrupted.validity = [&first](const SweepPoint& p) {
+            if (p.index == 2)
+                first.cancel.cancel(CancelReason::User);
+            return true;
+        };
+        engine::clearPerActionCache();
+        obs::resetAll();
+        SweepResult partial = runSweep(interrupted, first);
+        EXPECT_TRUE(partial.stoppedEarly);
+        EXPECT_TRUE(partial.cancelled);
+        // Chunks 0 and 1 committed whole; the token was only acted on
+        // at the next chunk boundary.
+        EXPECT_EQ(partial.chunksExecuted, 2u);
+        EXPECT_EQ(partial.chunksTotal, 5u);
+        EXPECT_NE(formatTable(partial).find("paused after"),
+                  std::string::npos);
+        bool sawCancelCounter = false;
+        for (const auto& [name, v] : obs::snapshot().counters)
+            if (name == "dse.cancelled")
+                sawCancelCounter = v == 1;
+        EXPECT_TRUE(sawCancelCounter);
+
+        SweepOptions second;
+        second.threads = resumeThreads;
+        second.chunkSize = 2;
+        second.resumeDir = dir;
+        engine::clearPerActionCache();
+        obs::resetAll();
+        SweepResult resumed = runSweep(spec, second);
+        const DseCounters resumedCounters = readDseCounters();
+
+        EXPECT_FALSE(resumed.stoppedEarly);
+        EXPECT_FALSE(resumed.cancelled);
+        EXPECT_EQ(resumed.chunksResumed, 2u);
+        EXPECT_EQ(resumed.chunksExecuted, 3u);
+        EXPECT_EQ(formatTable(resumed), table)
+            << "resumed table differs at --threads " << resumeThreads;
+        EXPECT_EQ(toCsv(resumed), csv);
+        EXPECT_EQ(toJson(resumed), json);
+        EXPECT_EQ(resumedCounters.evaluated, cleanCounters.evaluated);
+        EXPECT_EQ(resumedCounters.failed, cleanCounters.failed);
+        EXPECT_EQ(resumedCounters.skipped, cleanCounters.skipped);
+        EXPECT_EQ(resumedCounters.pareto, cleanCounters.pareto);
+        EXPECT_EQ(resumedCounters.hits, cleanCounters.hits);
+        EXPECT_EQ(resumedCounters.misses, cleanCounters.misses);
+    }
+}
+
+TEST(DseSweepCancel, UncancelledSweepNeverBumpsTheCancelCounter)
+{
+    // dse.cancelled registers lazily on the first actual cancellation
+    // (so normal runs don't grow the golden-pinned counter set — the
+    // metrics_regress goldens enforce the absence in a fresh process).
+    // Here, where earlier tests already registered it, assert it stays
+    // zero across an uncancelled sweep.
+    SweepSpec spec = cancelSpec();
+    obs::resetAll();
+    SweepResult result = runSweep(spec);
+    EXPECT_FALSE(result.cancelled);
+    for (const auto& [name, v] : obs::snapshot().counters)
+        if (name == "dse.cancelled")
+            EXPECT_EQ(v, 0u);
+}
+
 } // namespace
 } // namespace cimloop::dse

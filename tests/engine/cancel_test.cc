@@ -1,0 +1,163 @@
+/**
+ * Cancellation across the engine: a fired token abandons searches whole
+ * (all-or-nothing), network evaluation stops at the layer boundary, and
+ * the refsim stops at the vector boundary — with keep-going runs
+ * reporting kind-"cancelled" diagnostics instead of throwing.
+ */
+#include "cimloop/engine/evaluate.hh"
+
+#include <gtest/gtest.h>
+
+#include "cimloop/common/error.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/refsim/refsim.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::engine {
+namespace {
+
+workload::Network
+smallNetwork()
+{
+    workload::Network net = workload::resnet18();
+    net.layers.resize(3);
+    return net;
+}
+
+TEST(CancelSearch, PreCancelledTokenThrowsBeforeAnyWork)
+{
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    CancelToken token;
+    token.cancel();
+    try {
+        searchMappings(arch, net.layers[0], 50, 1, Objective::Energy, 1,
+                       &token);
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.reason(), CancelReason::User);
+        EXPECT_NE(std::string(e.what()).find("mapping search"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelSearch, NullAndFreshTokensMatchBaselineBitExactly)
+{
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    SearchResult base = searchMappings(arch, net.layers[0], 60, 7);
+    CancelToken fresh;
+    SearchResult with = searchMappings(arch, net.layers[0], 60, 7,
+                                       Objective::Energy, 1, &fresh);
+    EXPECT_DOUBLE_EQ(with.best.energyPj, base.best.energyPj);
+    EXPECT_EQ(with.evaluated, base.evaluated);
+    EXPECT_TRUE(with.bestMapping == base.bestMapping);
+}
+
+TEST(CancelNetwork, StrictModeThrowsCancelledError)
+{
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    CancelToken token;
+    token.cancel(CancelReason::User);
+    EXPECT_THROW(evaluateNetwork(arch, net, 40, 1, Objective::Energy,
+                                 false, &token),
+                 CancelledError);
+    EXPECT_THROW(evaluateNetworkParallel(arch, net, 4, 40, 1,
+                                         Objective::Energy, false, &token),
+                 CancelledError);
+}
+
+TEST(CancelNetwork, KeepGoingReportsCancelledDiagnostics)
+{
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    CancelToken token;
+    token.cancel(CancelReason::User);
+    NetworkEvaluation ev = evaluateNetwork(arch, net, 40, 1,
+                                           Objective::Energy, true, &token);
+    ASSERT_EQ(ev.diagnostics.size(), net.layers.size());
+    for (std::size_t i = 0; i < ev.diagnostics.size(); ++i) {
+        EXPECT_EQ(ev.diagnostics[i].layerIndex, i);
+        EXPECT_EQ(ev.diagnostics[i].kind, "cancelled");
+    }
+    EXPECT_DOUBLE_EQ(ev.energyPj, 0.0);
+}
+
+TEST(CancelNetwork, KeepGoingParallelReportsCancelledDiagnostics)
+{
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    CancelToken token;
+    token.cancel(CancelReason::Deadline);
+    NetworkEvaluation ev = evaluateNetworkParallel(
+        arch, net, 4, 40, 1, Objective::Energy, true, &token);
+    ASSERT_EQ(ev.diagnostics.size(), net.layers.size());
+    for (std::size_t i = 0; i < ev.diagnostics.size(); ++i) {
+        EXPECT_EQ(ev.diagnostics[i].layerIndex, i);
+        EXPECT_EQ(ev.diagnostics[i].kind, "cancelled");
+        EXPECT_NE(ev.diagnostics[i].message.find("deadline"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelNetwork, CompletedLayersKeepByteIdenticalResults)
+{
+    // Cancel after the first layer: its result must match the
+    // uninterrupted run's bit-for-bit — cancellation acts only at the
+    // layer boundary and never perturbs completed work.
+    Arch arch = macros::baseMacro();
+    workload::Network net = smallNetwork();
+    NetworkEvaluation base =
+        evaluateNetwork(arch, net, 40, 7, Objective::Energy, true);
+
+    CancelToken token;
+    int searched = 0;
+    // No per-layer hook exists, so cancel from inside the engine via a
+    // token poll side effect: run layer-by-layer manually.
+    NetworkEvaluation partial;
+    partial.layers.resize(net.layers.size());
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        if (token.cancelled())
+            break;
+        partial.layers[i] = searchMappings(arch, net.layers[i], 40,
+                                           7 + net.layers[i].index,
+                                           Objective::Energy, 1, &token);
+        if (++searched == 1)
+            token.cancel();
+    }
+    ASSERT_EQ(searched, 1);
+    EXPECT_DOUBLE_EQ(partial.layers[0].best.energyPj,
+                     base.layers[0].best.energyPj);
+    EXPECT_TRUE(partial.layers[0].bestMapping ==
+                base.layers[0].bestMapping);
+}
+
+TEST(CancelRefsim, PreCancelledTokenAbandonsTheLayer)
+{
+    workload::Network net = smallNetwork();
+    refsim::RefSimConfig cfg;
+    cfg.maxVectors = 4;
+    cfg.cancel.cancel(CancelReason::User);
+    EXPECT_THROW(refsim::simulateValueLevel(cfg, net.layers[0]),
+                 CancelledError);
+}
+
+TEST(CancelRefsim, FreshTokenMatchesBaselineBitExactly)
+{
+    workload::Network net = smallNetwork();
+    refsim::RefSimConfig cfg;
+    cfg.maxVectors = 4;
+    refsim::RefSimResult base =
+        refsim::simulateValueLevel(cfg, net.layers[0]);
+    refsim::RefSimConfig cfg2;
+    cfg2.maxVectors = 4;
+    cfg2.cancel = CancelToken(); // fresh, never fires
+    refsim::RefSimResult with =
+        refsim::simulateValueLevel(cfg2, net.layers[0]);
+    EXPECT_DOUBLE_EQ(with.totalPj(), base.totalPj());
+    EXPECT_EQ(with.valuesSimulated, base.valuesSimulated);
+}
+
+} // namespace
+} // namespace cimloop::engine
