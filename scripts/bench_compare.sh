@@ -7,7 +7,9 @@
 # Usage: bench_compare.sh [-b baseline.json] [-c current.json] [-o report]
 #   -b  baseline snapshot (default: newest git-tracked BENCH_*.json)
 #   -c  current snapshot (default: run ${BUILD_DIR}/bench/microbench now)
-#   -o  report file (default: ${BENCH_REPORT:-bench_compare_report.txt})
+#   -o  report file (default: ${BENCH_REPORT}, falling back to
+#       ${BUILD_DIR}/bench_compare_report.txt so the work tree stays
+#       clean — reports are build products, not sources)
 #
 # Env knobs:
 #   BENCH_TOLERANCE_PCT  allowed slowdown per gated kernel (default 15;
@@ -23,7 +25,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 FILTER="${FILTER:-Convolve|Precompute|RefSim|Gnorm|Arena|SliceMixture|Evaluate|Fault|Obs|Dse}"
 TOLERANCE="${BENCH_TOLERANCE_PCT:-15}"
 GATE_REGEX="${BENCH_GATE_REGEX:-^BM_(PmfConvolveLattice|PmfSliceMixture|Precompute|PrecomputeArena|LatticeConvolveSimd|RefsimGnormWalk|RefSimValueLevel|Evaluate)$}"
-REPORT="${BENCH_REPORT:-bench_compare_report.txt}"
+REPORT="${BENCH_REPORT:-${BUILD_DIR}/bench_compare_report.txt}"
 
 BASELINE=""
 CURRENT=""
@@ -65,6 +67,7 @@ if [ -z "${CURRENT}" ]; then
         "--benchmark_filter=${FILTER}" > "${CURRENT}"
 fi
 
+mkdir -p "$(dirname "${REPORT}")"
 BENCH_BASELINE_PATH="${BASELINE}" BENCH_CURRENT_PATH="${CURRENT}" \
 BENCH_TOLERANCE_PCT="${TOLERANCE}" BENCH_GATE_REGEX="${GATE_REGEX}" \
 BENCH_REPORT_PATH="${REPORT}" python3 - <<'EOF'

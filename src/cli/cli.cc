@@ -128,6 +128,13 @@ cancellation / shutdown:
   in-flight chunk commits, the resume hint prints, and the exit code
   is 128+signo (Ctrl-C = 130). A second signal kills immediately.
 
+server mode:
+  cimloop serve --listen PATH [--cache-mb N] [--threads N]
+                       run as a long-lived evaluation daemon speaking
+                       newline-delimited JSON over a Unix socket; see
+                       `cimloop serve --help` and docs/architecture.md,
+                       "The evaluation server"
+
 exit codes:
   0    success (including a sweep paused at --max-chunks)
   1    fatal error (bad spec, unmappable layer, I/O failure)
@@ -673,8 +680,18 @@ run(const std::vector<std::string>& args, std::ostream& out,
     SignalCancelScope signal_scope(
         token, !opts.sweepPath.empty() && !opts.resumeDir.empty());
 
+    // Hermetic per-invocation numbers for the one-shot tool only: the
+    // serve daemon calls runParsed() directly, keeping the per-action
+    // cache warm and the counters cumulative across requests.
+    ObsRunScope obs_scope(opts);
+    return runParsed(opts, token, out, err);
+}
+
+int
+runParsed(const CliOptions& opts, const CancelToken& token,
+          std::ostream& out, std::ostream& err)
+{
     try {
-        ObsRunScope obs_scope(opts);
         if (!opts.sweepPath.empty()) {
             int rc = runSweepCli(opts, token, out, err);
             if (rc == 0)

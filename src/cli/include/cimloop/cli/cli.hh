@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "cimloop/common/cancel.hh"
+
 namespace cimloop::cli {
 
 /**
@@ -164,6 +166,26 @@ std::string usage();
  */
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
+
+/**
+ * Executes one already-parsed invocation and returns its exit code —
+ * the workhorse behind run(), exposed for `cimloop serve`.
+ *
+ * Unlike run(), this neither resets the process-wide obs counters nor
+ * clears the per-action cache, and it installs no signal handlers: the
+ * daemon runs many requests through one process and *wants* the cache
+ * and counters to accumulate across them. Cancellation (deadline,
+ * client disconnect, server shutdown) arrives through @p token. Every
+ * byte written to @p out for a given options struct is identical to
+ * what a one-shot run() of the same flags writes — the serve e2e
+ * harness byte-compares the two — because cached per-action tables are
+ * pure values: hitting a warm cache changes counters, never results.
+ *
+ * FatalError/CancelledError are caught and mapped to exit codes exactly
+ * as run() maps them; @p opts must already be validated (parseArgs).
+ */
+int runParsed(const CliOptions& opts, const CancelToken& token,
+              std::ostream& out, std::ostream& err);
 
 } // namespace cimloop::cli
 

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-request attribution context for service workloads.
+ *
+ * A long-lived daemon (`cimloop serve`) runs many requests through the
+ * same process-wide machinery — most importantly the per-action cache —
+ * and wants per-client hit/miss accounting next to the global counters.
+ * The global obs counters cannot provide that: they are process-wide by
+ * design. Instead, a request installs a RequestStats block for its
+ * calling thread via RequestStatsScope, and instrumented sites
+ * (engine::cachedPrecompute) bump the *current* block when one is
+ * installed, in addition to the global counters.
+ *
+ * The context is a thread_local pointer, and parallelFor/parallelForAll
+ * propagate the caller's context into their worker threads (workers run
+ * under the context that was current when the pool was entered, nested
+ * pools included). So the attribution follows the request through the
+ * engine's entire fan-out without threading a parameter through every
+ * signature. Requests running concurrently on different threads never
+ * see each other's blocks.
+ *
+ * The counters are relaxed atomics: one request's work items may bump
+ * the same block from several workers at once. Totals are exact; no
+ * ordering is implied.
+ */
+#ifndef CIMLOOP_COMMON_REQUEST_CONTEXT_HH
+#define CIMLOOP_COMMON_REQUEST_CONTEXT_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace cimloop {
+
+/** Per-request (per-client) counters instrumented sites attribute to. */
+struct RequestStats
+{
+    std::atomic<std::uint64_t> cacheHits{0};   //!< per-action cache hits
+    std::atomic<std::uint64_t> cacheMisses{0}; //!< per-action cache misses
+};
+
+/**
+ * The calling thread's current attribution block (nullptr when none is
+ * installed — the one-shot CLI and tests run without one).
+ */
+RequestStats* currentRequestStats() noexcept;
+
+/**
+ * Installs @p stats as the calling thread's context and returns the
+ * previous value so scopes nest. Prefer RequestStatsScope.
+ */
+RequestStats* setCurrentRequestStats(RequestStats* stats) noexcept;
+
+/**
+ * RAII installer: the constructor makes @p stats the calling thread's
+ * context, the destructor restores whatever was installed before.
+ */
+class RequestStatsScope
+{
+  public:
+    explicit RequestStatsScope(RequestStats* stats) noexcept
+        : previous_(setCurrentRequestStats(stats))
+    {}
+    ~RequestStatsScope() { setCurrentRequestStats(previous_); }
+    RequestStatsScope(const RequestStatsScope&) = delete;
+    RequestStatsScope& operator=(const RequestStatsScope&) = delete;
+
+  private:
+    RequestStats* previous_;
+};
+
+} // namespace cimloop
+
+#endif // CIMLOOP_COMMON_REQUEST_CONTEXT_HH

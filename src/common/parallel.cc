@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "cimloop/common/error.hh"
+#include "cimloop/common/request_context.hh"
 
 namespace cimloop {
 
@@ -63,10 +64,17 @@ runPool(int threads, std::size_t n,
     std::atomic<bool> failed{false};
     std::mutex error_mutex;
 
+    // Workers inherit the caller's per-request attribution context, so
+    // cache hits/misses inside a fanned-out request still land on that
+    // request's RequestStats block (nested pools re-capture from their
+    // worker, so the context follows arbitrarily deep fan-out).
+    RequestStats* request_stats = currentRequestStats();
+
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t t = 0; t < workers; ++t) {
         pool.emplace_back([&] {
+            RequestStatsScope stats_scope(request_stats);
             while (!(stop_on_failure &&
                      failed.load(std::memory_order_acquire))) {
                 if (cancel && cancel->cancelled())

@@ -1,0 +1,25 @@
+#include "cimloop/common/request_context.hh"
+
+namespace cimloop {
+
+namespace {
+
+thread_local RequestStats* t_request_stats = nullptr;
+
+} // namespace
+
+RequestStats*
+currentRequestStats() noexcept
+{
+    return t_request_stats;
+}
+
+RequestStats*
+setCurrentRequestStats(RequestStats* stats) noexcept
+{
+    RequestStats* previous = t_request_stats;
+    t_request_stats = stats;
+    return previous;
+}
+
+} // namespace cimloop

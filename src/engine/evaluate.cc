@@ -15,6 +15,7 @@
 #include "cimloop/common/error.hh"
 #include "cimloop/common/log.hh"
 #include "cimloop/common/parallel.hh"
+#include "cimloop/common/request_context.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/faults/faults.hh"
 #include "cimloop/obs/obs.hh"
@@ -153,22 +154,75 @@ perActionKey(const Arch& arch, const workload::Layer& layer)
     return oss.str();
 }
 
+std::size_t
+perActionTableFootprint(const PerActionTable& table)
+{
+    // Approximate heap bytes: the three operand PMFs dominate (16 bytes
+    // per support point), plus the component estimates and the layer's
+    // strings. The constant covers map-node and future overhead; the
+    // budget is a capacity-planning knob, not an allocator audit.
+    std::size_t bytes = 256;
+    bytes += 16 * (table.profile.inputs.size() +
+                   table.profile.weights.size() +
+                   table.profile.outputs.size());
+    bytes += table.nodes.size() * sizeof(models::ComponentEstimate);
+    bytes += table.extLayer.name.size() + table.extLayer.network.size();
+    return bytes;
+}
+
 namespace {
 
 struct PerActionCache
 {
+    struct Entry
+    {
+        // Single-flight: the entry is a shared future so concurrent
+        // misses on one key compute the table exactly once (the claimer)
+        // while racers wait on the result. Besides deduplicating work,
+        // this makes hit and miss counts scheduling-invariant
+        // (misses == unique keys while nothing is evicted), which the
+        // metrics determinism test relies on.
+        std::shared_future<std::shared_ptr<const PerActionTable>> future;
+        std::uint64_t lastUsed = 0; //!< recency tick (hits refresh it)
+        std::size_t bytes = 0;      //!< footprint once completed
+        bool ready = false;         //!< completed (evictable) vs in flight
+    };
+
     std::mutex mutex;
-    // Single-flight: the entry is a shared future so concurrent misses on
-    // one key compute the table exactly once (the claimer) while racers
-    // wait on the result. Besides deduplicating work, this makes hit and
-    // miss counts scheduling-invariant (misses == unique keys), which the
-    // metrics determinism test relies on.
-    std::unordered_map<
-        std::string,
-        std::shared_future<std::shared_ptr<const PerActionTable>>>
-        entries;
+    std::unordered_map<std::string, Entry> entries;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t tick = 0;        //!< monotonic recency clock
+    std::size_t totalBytes = 0;    //!< sum over completed entries
+    std::size_t budgetBytes = 0;   //!< 0 = unlimited
+
+    /** Evicts completed LRU entries until the budget fits. Caller holds
+     *  the mutex. In-flight entries are pinned (their size is unknown
+     *  and a waiter holds the future anyway). */
+    void enforceBudgetLocked()
+    {
+        static obs::Counter& obs_evictions =
+            obs::counter("engine.per_action_cache.evictions");
+        if (budgetBytes == 0)
+            return;
+        while (totalBytes > budgetBytes) {
+            auto victim = entries.end();
+            for (auto it = entries.begin(); it != entries.end(); ++it) {
+                if (!it->second.ready)
+                    continue;
+                if (victim == entries.end() ||
+                    it->second.lastUsed < victim->second.lastUsed)
+                    victim = it;
+            }
+            if (victim == entries.end())
+                break; // everything resident is still in flight
+            totalBytes -= victim->second.bytes;
+            entries.erase(victim);
+            ++evictions;
+            obs_evictions.add();
+        }
+    }
 };
 
 PerActionCache&
@@ -191,26 +245,37 @@ cachedPrecompute(const Arch& arch, const workload::Layer& layer)
     const std::string key = perActionKey(arch, layer);
     std::promise<std::shared_ptr<const PerActionTable>> promise;
     std::shared_future<std::shared_ptr<const PerActionTable>> future;
+    RequestStats* request_stats = currentRequestStats();
     bool claimed = false;
     {
         std::lock_guard<std::mutex> lock(cache.mutex);
         auto [it, inserted] = cache.entries.try_emplace(key);
+        it->second.lastUsed = ++cache.tick;
         if (inserted) {
-            it->second = promise.get_future().share();
+            it->second.future = promise.get_future().share();
             claimed = true;
             ++cache.misses;
             obs_misses.add();
+            if (request_stats)
+                request_stats->cacheMisses.fetch_add(
+                    1, std::memory_order_relaxed);
         } else {
             ++cache.hits;
             obs_hits.add();
+            if (request_stats)
+                request_stats->cacheHits.fetch_add(
+                    1, std::memory_order_relaxed);
         }
-        future = it->second;
+        future = it->second.future;
     }
     if (claimed) {
         // Synthesize outside the lock; waiters block on the future.
+        std::size_t bytes = 64 + key.size();
         try {
-            promise.set_value(std::make_shared<const PerActionTable>(
-                precompute(arch, layer)));
+            auto table = std::make_shared<const PerActionTable>(
+                precompute(arch, layer));
+            bytes += perActionTableFootprint(*table);
+            promise.set_value(std::move(table));
         } catch (...) {
             // Keep the poisoned entry: the inputs are immutable, so a
             // retry would fail identically, and dropping it would make
@@ -221,8 +286,36 @@ cachedPrecompute(const Arch& arch, const workload::Layer& layer)
             // exception (and count as hits).
             promise.set_exception(std::current_exception());
         }
+        // Mark the entry completed and charge its footprint; the entry
+        // may already be gone when clearPerActionCache() raced with the
+        // computation. Eviction runs only now that the size is known.
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end() && !it->second.ready) {
+            it->second.ready = true;
+            it->second.bytes = bytes;
+            cache.totalBytes += bytes;
+            cache.enforceBudgetLocked();
+        }
     }
     return future.get();
+}
+
+void
+setPerActionCacheBudget(std::size_t bytes)
+{
+    PerActionCache& cache = perActionCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.budgetBytes = bytes;
+    cache.enforceBudgetLocked();
+}
+
+bool
+perActionCacheContains(const std::string& key)
+{
+    PerActionCache& cache = perActionCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.entries.find(key) != cache.entries.end();
 }
 
 PerActionCacheStats
@@ -230,7 +323,9 @@ perActionCacheStats()
 {
     PerActionCache& cache = perActionCache();
     std::lock_guard<std::mutex> lock(cache.mutex);
-    return {cache.hits, cache.misses, cache.entries.size()};
+    return {cache.hits,      cache.misses,      cache.entries.size(),
+            cache.totalBytes, cache.evictions,
+            static_cast<std::uint64_t>(cache.budgetBytes)};
 }
 
 void
@@ -241,6 +336,9 @@ clearPerActionCache()
     cache.entries.clear();
     cache.hits = 0;
     cache.misses = 0;
+    cache.evictions = 0;
+    cache.totalBytes = 0;
+    // The budget is configuration, not state: it survives a clear.
 }
 
 double

@@ -57,10 +57,40 @@ PerActionTable precompute(const Arch& arch, const workload::Layer& layer,
  * re-evaluating a network or per-layer searches inside evaluateNetwork,
  * stop re-synthesizing PMFs and re-running plugin estimation. Entries are
  * immutable and shared; they stay alive while any caller holds the pointer
- * even across clearPerActionCache().
+ * even across clearPerActionCache() and LRU eviction.
+ *
+ * When the calling thread carries a RequestStats context (see
+ * cimloop/common/request_context.hh — `cimloop serve` installs one per
+ * request, and parallelFor propagates it into workers), every lookup
+ * additionally bumps that block's cacheHits/cacheMisses, giving the
+ * daemon per-client cache accounting next to the global counters.
  */
 std::shared_ptr<const PerActionTable>
 cachedPrecompute(const Arch& arch, const workload::Layer& layer);
+
+/**
+ * Arms (or, with 0, disarms) a byte budget on the per-action cache,
+ * turning it into an explicitly bounded cross-request cache: whenever
+ * completed entries exceed the budget, least-recently-used entries are
+ * evicted until it fits (entries still being computed are pinned; a hit
+ * refreshes recency). Eviction only drops the cache's reference — a
+ * caller holding the shared_ptr keeps its table. A re-request of an
+ * evicted key is a fresh miss, so with a budget armed the
+ * "misses == unique keys" invariant holds only while the working set
+ * fits; the one-shot CLI and the sweep engine run unbudgeted (0, the
+ * default) and keep the strict invariant. Under concurrent requests the
+ * eviction *order* depends on completion timing; with sequential
+ * requests it is pinned (pure LRU), which the serve cache tests rely
+ * on. Setting a budget below the current footprint evicts immediately.
+ */
+void setPerActionCacheBudget(std::size_t bytes);
+
+/** True when @p key (a perActionKey()) is currently resident. */
+bool perActionCacheContains(const std::string& key);
+
+/** Approximate heap footprint the cache charges one table against the
+ *  budget for (exposed so tests can pick byte-accurate tiny budgets). */
+std::size_t perActionTableFootprint(const PerActionTable& table);
 
 /**
  * The architecture half of the per-action cache key: everything
@@ -82,6 +112,9 @@ struct PerActionCacheStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;       //!< footprint of completed entries
+    std::uint64_t evictions = 0;   //!< entries dropped by the LRU budget
+    std::uint64_t budgetBytes = 0; //!< armed budget (0 = unlimited)
 };
 
 /** Current cachedPrecompute() counters. */

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The `cimloop serve` request protocol, factored away from sockets so
+ * the robustness suite can drive it in-process.
+ *
+ * Wire format: newline-delimited JSON (NDJSON) over a local stream.
+ * Each request is one JSON object on one line; the daemon answers with
+ * exactly one JSON object line per request, in request order:
+ *
+ *   {"id":1,"kind":"ping"}
+ *   {"id":2,"kind":"evaluate","macro":"base","network":"mvm",
+ *    "mappings":100,"seed":1,"threads":8}
+ *   {"id":3,"kind":"sweep","sweep":"examples/sweep.yaml","threads":8}
+ *   {"id":4,"kind":"metrics"}
+ *   {"id":5,"kind":"shutdown"}
+ *
+ * Responses:
+ *  - executed requests (evaluate/sweep):
+ *      {"id":2,"ok":true,"exit":0,"stdout":"...","stderr":""}
+ *    where `stdout` is byte-for-byte what the equivalent one-shot CLI
+ *    invocation writes at the same seed and threads (the determinism
+ *    contract the serve e2e harness enforces), and a nonzero exit adds
+ *      "error":{"kind":"fatal"|"cancelled"|...,"message":"..."}
+ *    built from the same FatalError/CancelledError/LayerDiagnostic
+ *    machinery the CLI maps to exit codes;
+ *  - protocol-level failures (malformed JSON, bad shape, bad flag
+ *    values):
+ *      {"id":null,"ok":false,"error":{"kind":"parse","message":"..."}}
+ *    with kind "parse" (not JSON), "protocol" (JSON, but not a valid
+ *    request: wrong types, unknown kind/field, oversized line) or
+ *    "usage" (fields rejected by the CLI's own flag validation).
+ *
+ * A bad request must never kill the daemon: handleRequestLine() never
+ * throws, and every line gets exactly one response. The request id is
+ * echoed byte-exact (numbers keep their source spelling, however huge).
+ */
+#ifndef CIMLOOP_SERVE_PROTOCOL_HH
+#define CIMLOOP_SERVE_PROTOCOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "cimloop/common/cancel.hh"
+#include "cimloop/common/request_context.hh"
+
+namespace cimloop::serve {
+
+/** Protocol revision reported by ping/metrics. */
+inline constexpr int kProtocolVersion = 1;
+
+/** Daemon configuration (from `cimloop serve` flags). */
+struct ServeConfig
+{
+    std::string listenPath;  //!< --listen PATH (Unix socket)
+    std::size_t cacheMb = 0; //!< --cache-mb N (0 = unlimited)
+    int defaultThreads = 1;  //!< --threads N: default for requests
+    std::size_t maxLineBytes = 1 << 20; //!< request line size guard
+};
+
+/** Per-connection state: request counts and the per-client cache
+ *  hit/miss attribution the metrics request reports. */
+struct ClientState
+{
+    std::uint64_t clientId = 0;
+    RequestStats cacheStats;
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+};
+
+/** Cross-connection daemon state. */
+struct ServerState
+{
+    ServeConfig config;
+    std::atomic<std::uint64_t> requestsTotal{0};
+    std::atomic<std::uint64_t> errorsTotal{0};
+    std::atomic<std::uint64_t> clientsTotal{0};
+    /** Flipped by a shutdown request; the socket loop polls it. */
+    std::atomic<bool> shutdownRequested{false};
+};
+
+/**
+ * Handles one request line and returns the single response line
+ * (without the trailing newline). Never throws; a request that cannot
+ * even be parsed still produces a structured error response.
+ *
+ * @p cancel is the request's cancellation token: the socket layer
+ * cancels it when the client disconnects or the server shuts down, and
+ * a `timeout_s` field in the request arms a deadline on it. evaluate /
+ * sweep requests run under the caller's thread with the client's
+ * RequestStats installed, so per-action cache traffic lands on
+ * @p client's counters (and the process-wide ones) without perturbing
+ * concurrent requests.
+ */
+std::string handleRequestLine(ServerState& server, ClientState& client,
+                              const std::string& line,
+                              const CancelToken& cancel);
+
+/**
+ * A protocol-level error response the socket layer can emit without a
+ * parsed request (e.g. for an oversized line). @p id_json must be a
+ * serialized JSON value ("null" when unknown).
+ */
+std::string errorResponse(const std::string& id_json,
+                          const std::string& kind,
+                          const std::string& message);
+
+} // namespace cimloop::serve
+
+#endif // CIMLOOP_SERVE_PROTOCOL_HH

@@ -1,0 +1,221 @@
+/**
+ * Cache-economy pins for the cross-request per-action cache behind
+ * `cimloop serve`: single-flight coalescing under concurrent identical
+ * requests, per-client hit/miss attribution, deterministic counters,
+ * and LRU eviction in pinned order under a tiny byte budget.
+ */
+#include "cimloop/serve/protocol.hh"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cimloop/engine/evaluate.hh"
+#include "cimloop/macros/macros.hh"
+#include "cimloop/serve/json.hh"
+#include "cimloop/workload/networks.hh"
+
+namespace cimloop::serve {
+namespace {
+
+using engine::cachedPrecompute;
+using engine::clearPerActionCache;
+using engine::perActionCacheContains;
+using engine::perActionCacheStats;
+using engine::perActionKey;
+using engine::PerActionCacheStats;
+using engine::setPerActionCacheBudget;
+
+/** Restores the unbudgeted default however the test exits — the budget
+ *  is process-wide configuration and other suites rely on the strict
+ *  misses==unique-keys invariant. */
+struct BudgetGuard
+{
+    ~BudgetGuard()
+    {
+        setPerActionCacheBudget(0);
+        clearPerActionCache();
+    }
+};
+
+/**
+ * N concurrent identical evaluate requests, each on its own connection
+ * (ClientState), must coalesce into exactly one per-action cache miss:
+ * the single-flight future makes every other request wait for the one
+ * computation instead of redoing it. Per-client attribution must sum to
+ * the global counters.
+ */
+void
+runConcurrentIdenticalRequests(int request_threads)
+{
+    BudgetGuard guard;
+    clearPerActionCache();
+
+    ServerState server;
+    server.config.defaultThreads = 1;
+    const std::string request =
+        "{\"id\":1,\"kind\":\"evaluate\",\"macro\":\"base\","
+        "\"network\":\"mvm\",\"mappings\":6,\"seed\":2,\"threads\":" +
+        std::to_string(request_threads) + "}";
+
+    constexpr int kClients = 6;
+    std::vector<std::unique_ptr<ClientState>> clients;
+    std::vector<std::string> responses(kClients);
+    for (int i = 0; i < kClients; ++i)
+        clients.push_back(std::make_unique<ClientState>());
+
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kClients; ++i) {
+        pool.emplace_back([&, i] {
+            CancelToken token;
+            responses[static_cast<std::size_t>(i)] = handleRequestLine(
+                server, *clients[static_cast<std::size_t>(i)], request,
+                token);
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+
+    // mvm is one layer on one arch: one unique key, so exactly one
+    // miss however many requests raced.
+    PerActionCacheStats stats = perActionCacheStats();
+    EXPECT_EQ(stats.misses, 1u)
+        << "identical concurrent requests recomputed the table";
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+
+    // Per-client attribution sums to the global counters, and every
+    // client saw at least one lookup.
+    std::uint64_t client_hits = 0, client_misses = 0;
+    for (const auto& c : clients) {
+        client_hits += c->cacheStats.cacheHits.load();
+        client_misses += c->cacheStats.cacheMisses.load();
+        EXPECT_GE(c->cacheStats.cacheHits.load() +
+                      c->cacheStats.cacheMisses.load(),
+                  1u);
+    }
+    EXPECT_EQ(client_hits, stats.hits);
+    EXPECT_EQ(client_misses, stats.misses);
+
+    // All responses are byte-identical successes: a warm (or shared)
+    // cache changes counters, never bytes.
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(responses[static_cast<std::size_t>(i)], responses[0]);
+    EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos)
+        << responses[0];
+}
+
+TEST(ServeCache, ConcurrentIdenticalRequestsOneMissAtOneThread)
+{
+    runConcurrentIdenticalRequests(1);
+}
+
+TEST(ServeCache, ConcurrentIdenticalRequestsOneMissAtEightThreads)
+{
+    runConcurrentIdenticalRequests(8);
+}
+
+TEST(ServeCache, SequentialCountersDeterministicAcrossThreadCounts)
+{
+    BudgetGuard guard;
+    ServerState server;
+    server.config.defaultThreads = 1;
+
+    // At a fixed request, the counter pair after a cold+warm sequence
+    // is a pure function of the request — for any threads value —
+    // because lookups happen at deterministic points in the pipeline.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> observed;
+    for (int threads : {1, 8}) {
+        clearPerActionCache();
+        ClientState client;
+        const std::string request =
+            "{\"id\":1,\"kind\":\"evaluate\",\"macro\":\"base\","
+            "\"network\":\"mvm\",\"mappings\":6,\"seed\":2,"
+            "\"threads\":" +
+            std::to_string(threads) + "}";
+        CancelToken token;
+        handleRequestLine(server, client, request, token);
+        handleRequestLine(server, client, request, token);
+        PerActionCacheStats stats = perActionCacheStats();
+        EXPECT_EQ(stats.misses, 1u) << "threads=" << threads;
+        observed.emplace_back(client.cacheStats.cacheHits.load(),
+                              client.cacheStats.cacheMisses.load());
+        EXPECT_EQ(client.cacheStats.cacheMisses.load(), stats.misses);
+        EXPECT_EQ(client.cacheStats.cacheHits.load(), stats.hits);
+    }
+    // Same lookup pattern whether the request ran on 1 or 8 workers.
+    EXPECT_EQ(observed[0], observed[1]);
+}
+
+TEST(ServeCache, LruEvictsInPinnedOrderAtTinyBudget)
+{
+    BudgetGuard guard;
+    clearPerActionCache();
+
+    // Exactly-representable voltages with same-length spellings keep
+    // the three cache keys (and so the three entry charges) the same
+    // size, making the eviction arithmetic exact.
+    engine::Arch nominal = macros::baseMacro();
+    nominal.supplyVoltage = 0.375;
+    engine::Arch low = nominal;
+    low.supplyVoltage = 0.625;
+    engine::Arch high = nominal;
+    high.supplyVoltage = 0.875;
+    const workload::Layer layer = workload::resnet18().layers[5];
+
+    const std::string key_nominal = perActionKey(nominal, layer);
+    const std::string key_low = perActionKey(low, layer);
+    const std::string key_high = perActionKey(high, layer);
+
+    cachedPrecompute(nominal, layer);
+    cachedPrecompute(low, layer);
+    const std::uint64_t two_entries = perActionCacheStats().bytes;
+
+    // Budget = exactly the current two entries: nothing evicts yet.
+    setPerActionCacheBudget(two_entries);
+    EXPECT_TRUE(perActionCacheContains(key_nominal));
+    EXPECT_TRUE(perActionCacheContains(key_low));
+    EXPECT_EQ(perActionCacheStats().evictions, 0u);
+
+    // Refresh `nominal`, then insert a third entry: `low` is now the
+    // least recently used and must be the one evicted.
+    cachedPrecompute(nominal, layer);
+    cachedPrecompute(high, layer);
+    EXPECT_TRUE(perActionCacheContains(key_nominal));
+    EXPECT_FALSE(perActionCacheContains(key_low));
+    EXPECT_TRUE(perActionCacheContains(key_high));
+    EXPECT_EQ(perActionCacheStats().evictions, 1u);
+    EXPECT_LE(perActionCacheStats().bytes, two_entries);
+
+    // Re-requesting the evicted key is a fresh miss and pushes out the
+    // next LRU victim (`nominal`, untouched since before `high`).
+    const std::uint64_t misses_before = perActionCacheStats().misses;
+    cachedPrecompute(low, layer);
+    EXPECT_EQ(perActionCacheStats().misses, misses_before + 1);
+    EXPECT_FALSE(perActionCacheContains(key_nominal));
+    EXPECT_TRUE(perActionCacheContains(key_low));
+    EXPECT_TRUE(perActionCacheContains(key_high));
+    EXPECT_EQ(perActionCacheStats().evictions, 2u);
+}
+
+TEST(ServeCache, BudgetZeroKeepsEverything)
+{
+    BudgetGuard guard;
+    clearPerActionCache();
+    engine::Arch arch = macros::baseMacro();
+    const workload::Layer layer = workload::resnet18().layers[5];
+    cachedPrecompute(arch, layer);
+    engine::Arch other = arch;
+    other.supplyVoltage = 0.72;
+    cachedPrecompute(other, layer);
+    PerActionCacheStats stats = perActionCacheStats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.budgetBytes, 0u);
+}
+
+} // namespace
+} // namespace cimloop::serve

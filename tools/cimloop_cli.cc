@@ -1,16 +1,25 @@
 /**
  * @file
  * The `cimloop` command-line entry point; all logic lives in
- * cimloop::cli so it can be unit-tested.
+ * cimloop::cli (one-shot modes) and cimloop::serve (the daemon), so it
+ * can be unit-tested. The `serve` subcommand dispatches here — not in
+ * cli::run() — because serve links against cli, not the other way
+ * around.
  */
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "cimloop/cli/cli.hh"
+#include "cimloop/serve/server.hh"
 
 int
 main(int argc, char** argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0] == "serve") {
+        args.erase(args.begin());
+        return cimloop::serve::runServe(args, std::cout, std::cerr);
+    }
     return cimloop::cli::run(args, std::cout, std::cerr);
 }
