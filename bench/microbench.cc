@@ -19,6 +19,8 @@
 #include "cimloop/dse/dse.hh"
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/faults/faults.hh"
+#include "cimloop/layout/layout.hh"
+#include "cimloop/models/bankconflict.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/obs/obs.hh"
 #include "cimloop/refsim/refsim.hh"
@@ -107,6 +109,67 @@ BM_Evaluate(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Evaluate);
+
+void
+BM_BankConflictSlowdown(benchmark::State& state)
+{
+    // The per-(node, tensor) inner kernel the layout path adds to every
+    // evaluation: it must stay negligible next to BM_Evaluate.
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    mapping::Mapping m = mapper.greedy();
+    layout::ResolvedLayout resolved = layout::resolveLayout(
+        benchArch().hierarchy,
+        layout::presetLayout("banked8", benchArch().hierarchy));
+    std::size_t node = 0;
+    for (std::size_t i = 0; i < resolved.slots.size(); ++i) {
+        if (resolved.nodeAny(i))
+            node = i;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(models::bankConflictSlowdowns(
+            resolved, benchArch().hierarchy, node, m));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankConflictSlowdown);
+
+void
+BM_EvaluateWithLayout(benchmark::State& state)
+{
+    engine::PerActionTable table =
+        engine::precompute(benchArch(), benchLayer());
+    mapping::Mapper mapper(benchArch().hierarchy, table.extLayer,
+                           {.seed = 1});
+    mapping::Mapping m = mapper.greedy();
+    layout::ResolvedLayout resolved = layout::resolveLayout(
+        benchArch().hierarchy,
+        layout::presetLayout("banked8", benchArch().hierarchy));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine::evaluate(benchArch(), table, m, &resolved));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateWithLayout);
+
+void
+BM_CoSearchLayouts(benchmark::State& state)
+{
+    // Layout x mapping co-search over the full candidate set; arg =
+    // worker threads. ~7x the single-layout search's evaluations.
+    engine::Arch arch = benchArch();
+    arch.layoutSearch = true;
+    int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine::searchMappings(
+            arch, benchLayer(), 100, 1, engine::Objective::Delay,
+            threads));
+    }
+}
+BENCHMARK(BM_CoSearchLayouts)->Arg(1)->Arg(4);
 
 void
 BM_SearchHundredMappings(benchmark::State& state)

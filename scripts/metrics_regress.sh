@@ -54,9 +54,19 @@ run_case engine_mvm_faults \
     --fault-stuck-rate 0.02 --fault-sigma 0.1
 run_case refsim_mvm \
     --refsim --network mvm --refsim-vectors 4 --seed 1 --threads 2
+# Layout x mapping co-search: pins the candidate count, the search
+# counters scaled by the layout enumeration, and the bank-conflict
+# cycle total.
+run_case engine_mvm_cosearch \
+    --macro base --network mvm --mappings 40 --seed 1 --threads 2 \
+    --objective delay --layout-search
 # The example sweep grid: 50 points including a failing design and
 # cross-point per-action cache reuse (dse.cache.hits pins the economy).
 run_case sweep_mvm \
     --sweep examples/sweep.yaml --seed 1 --threads 2
+# The layout sweep grid: fixed presets vs per-point co-search, sharing
+# per-action tables across layout values (layouts never change them).
+run_case sweep_mvm_layout \
+    --sweep examples/layout_sweep.yaml --seed 1 --threads 2
 
 exit "${status}"

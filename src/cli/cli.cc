@@ -10,6 +10,7 @@
 #include "cimloop/engine/evaluate.hh"
 #include "cimloop/obs/obs.hh"
 #include "cimloop/faults/faults.hh"
+#include "cimloop/layout/layout.hh"
 #include "cimloop/macros/macros.hh"
 #include "cimloop/models/devices.hh"
 #include "cimloop/refsim/refsim.hh"
@@ -59,9 +60,21 @@ output:
   --report             print the per-node energy table for each layer
   --help               this text
 
+physical layout:
+  --layout FILE.yaml   pin a physical data layout (per-dataspace rank
+                       order, banks, interleave per storage node); the
+                       analytical bank-conflict model folds the
+                       resulting slowdown into each layer's latency
+  --layout-search      co-search the built-in layout candidates jointly
+                       with the mapping search (every candidate scores
+                       the same sample set; results are bit-identical
+                       for any --threads); prints the winning layout
+                       per layer
+
 fixed mapping:
   --mapping FILE.yaml  replay a pinned mapping (Timeloop-style) on every
-                       layer instead of searching
+                       layer instead of searching (combines with
+                       --layout, not --layout-search)
 
 reference simulation:
   --refsim             run the value-level reference simulator against
@@ -247,6 +260,14 @@ parseArgs(const std::vector<std::string>& args)
                           opts.faultSigma);
         } else if (flag == "--keep-going") {
             opts.keepGoing = true;
+        } else if (flag == "--layout") {
+            opts.layoutPath = value();
+        } else if (startsWith(flag, "--layout=")) {
+            opts.layoutPath = flag.substr(std::string("--layout=").size());
+            if (opts.layoutPath.empty())
+                CIM_FATAL("--layout= expects a file path");
+        } else if (flag == "--layout-search") {
+            opts.layoutSearch = true;
         } else if (flag == "--sweep") {
             opts.sweepPath = value();
         } else if (startsWith(flag, "--sweep=")) {
@@ -308,6 +329,10 @@ parseArgs(const std::vector<std::string>& args)
                 CIM_FATAL("--sweep and --refsim are mutually exclusive");
             if (!opts.mappingPath.empty())
                 CIM_FATAL("--sweep and --mapping are mutually exclusive");
+            if (!opts.layoutPath.empty() || opts.layoutSearch)
+                CIM_FATAL("--sweep explores layouts through a 'layout' "
+                          "axis in the spec; drop --layout/"
+                          "--layout-search");
             if (opts.threads < 1)
                 CIM_FATAL("--threads must be >= 1");
             return opts;
@@ -320,6 +345,12 @@ parseArgs(const std::vector<std::string>& args)
             CIM_FATAL("--chunk-size is only meaningful with --sweep");
         if (opts.maxChunks != 0)
             CIM_FATAL("--max-chunks is only meaningful with --sweep");
+        if (!opts.layoutPath.empty() && opts.layoutSearch)
+            CIM_FATAL("--layout and --layout-search are mutually "
+                      "exclusive");
+        if (opts.layoutSearch && !opts.mappingPath.empty())
+            CIM_FATAL("--layout-search needs a mapping search; it cannot "
+                      "be combined with --mapping");
         if (opts.refsim) {
             // The reference simulator models the base macro directly; an
             // architecture flag is allowed but not required.
@@ -327,6 +358,9 @@ parseArgs(const std::vector<std::string>& args)
                 CIM_FATAL("specify at most one of --macro or --arch");
             if (opts.refsimVectors < 0)
                 CIM_FATAL("--refsim-vectors must be >= 0 (0 = all)");
+            if (!opts.layoutPath.empty() || opts.layoutSearch)
+                CIM_FATAL("--refsim does not model physical layouts; "
+                          "drop --layout/--layout-search");
         } else if (opts.macroName.empty() == opts.archPath.empty()) {
             CIM_FATAL("specify exactly one of --macro or --arch");
         }
@@ -710,12 +744,24 @@ runParsed(const CliOptions& opts, const CancelToken& token,
 
         engine::Arch arch = buildArch(opts);
         arch.faults = fault_model;
+        if (!opts.layoutPath.empty())
+            arch.layout = layout::LayoutSpec::fromFile(opts.layoutPath);
+        arch.layoutSearch = opts.layoutSearch;
         workload::Network net = buildWorkload(opts);
 
         out << "architecture: " << arch.name << " ("
             << arch.technologyNm << " nm)\n";
         out << "workload: " << net.name << " (" << net.layers.size()
             << " layers, " << net.totalMacs() << " MACs)\n";
+        // These lines print only when a layout flag was given, keeping
+        // layout-free runs byte-identical to earlier releases.
+        if (!opts.layoutPath.empty())
+            out << "layout: " << arch.layout.summary() << "\n";
+        if (opts.layoutSearch) {
+            out << "layout co-search: "
+                << layout::enumerateLayouts(arch.hierarchy).size()
+                << " candidates per layer\n";
+        }
         engine::NetworkEvaluation ev;
         if (!opts.mappingPath.empty()) {
             out << "replaying fixed mapping " << opts.mappingPath
@@ -761,6 +807,18 @@ runParsed(const CliOptions& opts, const CancelToken& token,
                 err << "  layer '" << d.layer << "' (" << d.kind
                     << "): " << d.message << "\n";
             }
+        }
+
+        if (opts.layoutSearch) {
+            out << "co-searched layouts:\n";
+            for (std::size_t i = 0; i < net.layers.size(); ++i) {
+                const engine::SearchResult& sr = ev.layers[i];
+                out << "  " << net.layers[i].name << ": "
+                    << (sr.best.valid ? sr.bestLayout.summary()
+                                      : std::string("-"))
+                    << "\n";
+            }
+            out << "\n";
         }
 
         if (fault_model.enabled() && opts.mappingPath.empty()) {

@@ -100,6 +100,17 @@ struct CliOptions
     bool keepGoing = false;
 
     /**
+     * Physical data layouts. --layout pins a layout spec file on every
+     * storage node it names (the bank-conflict model folds into each
+     * layer's latency); --layout-search co-searches the built-in layout
+     * candidates jointly with the mapping search instead. Mutually
+     * exclusive; neither given = idealized conflict-free buffers with
+     * byte-identical output to earlier releases.
+     */
+    std::string layoutPath;   //!< --layout <file.yaml>
+    bool layoutSearch = false; //!< --layout-search
+
+    /**
      * --sweep FILE: run the declarative design-space sweep the YAML file
      * describes (see cimloop::dse) instead of a single evaluation. No
      * architecture/workload flags are needed — the spec names them.

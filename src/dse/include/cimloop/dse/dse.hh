@@ -96,7 +96,7 @@ struct SweepPoint;
  * input_bits, weight_bits, voltage, tech_nm, buffer_kb, mappings,
  * fault_stuck_rate, stuck_off_rate, stuck_on_rate, fault_sigma,
  * adc_offset, adc_noise_sigma, fault_seed, and the string-valued
- * macro / network.
+ * macro / network / layout.
  */
 struct SweepSpec
 {
@@ -120,6 +120,16 @@ struct SweepSpec
 
     /** Base fault model; fault axes override individual fields. */
     faults::FaultModel faults;
+
+    /**
+     * Base physical layout, overridable by a string-valued `layout`
+     * axis. Values: "none" (idealized buffers, the default), "search"
+     * (co-search layouts with mappings per layer), a preset name
+     * (layout::presetNames()), or a layout spec .yaml path. Layouts
+     * change only the latency model, so points differing solely in
+     * layout still share per-action tables.
+     */
+    std::string layout = "none";
 
     std::vector<Axis> axes;
     std::vector<Constraint> constraints;
@@ -175,6 +185,7 @@ struct SweepPoint
     std::string macroName;
     std::string networkName;
     std::string workloadPath;
+    std::string layoutName = "none"; //!< layout axis value (see SweepSpec)
     int mappings = 100;
     std::uint64_t seed = 1;
     engine::Objective objective = engine::Objective::Energy;

@@ -13,6 +13,7 @@
 
 #include "cimloop/common/error.hh"
 #include "cimloop/common/util.hh"
+#include "cimloop/layout/layout.hh"
 #include "cimloop/yaml/node.hh"
 #include "cimloop/yaml/parser.hh"
 
@@ -26,12 +27,23 @@ constexpr const char* kNumericFields =
     "fault_stuck_rate, stuck_off_rate, stuck_on_rate, "
     "conductance_sigma, adc_offset, adc_noise_sigma, fault_seed";
 
-constexpr const char* kStringFields = "macro, network";
+constexpr const char* kStringFields = "macro, network, layout";
 
 bool
 isStringField(const std::string& field)
 {
-    return field == "macro" || field == "network";
+    return field == "macro" || field == "network" || field == "layout";
+}
+
+/** Fatal unless @p value is a valid layout axis value. */
+void
+checkLayoutValue(const std::string& value, const std::string& at)
+{
+    if (!layout::isLayoutValueName(value)) {
+        CIM_FATAL("unknown layout value '", value, "' at ", at,
+                  " (known: none, search, ", layout::presetNames(),
+                  ", or a .yaml layout spec path)");
+    }
 }
 
 bool
@@ -325,6 +337,11 @@ SweepSpec::validateGrid() const
                           stringField ? "string" : "numeric",
                           " values, got '", axis.values[v].text, "'");
             }
+            if (axis.field == "layout") {
+                checkLayoutValue(axis.values[v].text,
+                                 at + ".values[" + std::to_string(v) +
+                                     "]");
+            }
         }
         for (std::size_t j = 0; j < i; ++j) {
             if (axes[j].field == axis.field) {
@@ -402,6 +419,7 @@ SweepSpec::validate() const
         }
     }
     faults.validate();
+    checkLayoutValue(layout, "sweep.layout");
     // The macro name resolves lazily per point (a 'macro' axis may
     // override it), but a bad base name should fail at spec time.
     macros::defaultsByName(macro);
@@ -465,12 +483,14 @@ SweepSpec::fromYaml(const yaml::Node& node)
                     constraintFromYaml(value[j], j));
         } else if (key == "faults") {
             spec.faults = faults::FaultModel::fromYaml(value);
+        } else if (key == "layout") {
+            spec.layout = value.asString();
         } else {
             CIM_FATAL("unknown sweep spec key 'sweep.", key,
                       "' (known: name, macro, network, workload, "
                       "mappings, seed, objective, scaled_adc, "
                       "scaled_adc_anchor, pareto, axes, constraints, "
-                      "faults)");
+                      "faults, layout)");
         }
     }
     spec.validate();
@@ -575,6 +595,7 @@ materializePoint(const SweepSpec& spec, std::size_t index)
     point.seed = spec.seed;
     point.objective = spec.objective;
     point.faults = spec.faults;
+    point.layoutName = spec.layout;
 
     // String axes resolve first so the macro defaults they select form
     // the base the numeric axes then override.
@@ -586,6 +607,8 @@ materializePoint(const SweepSpec& spec, std::size_t index)
         } else if (axis.field == "network") {
             point.networkName = v.text;
             point.workloadPath.clear();
+        } else if (axis.field == "layout") {
+            point.layoutName = v.text;
         }
     }
     point.params = macros::defaultsByName(point.macroName);
@@ -676,6 +699,10 @@ specFingerprint(const SweepSpec& spec)
         << ' ' << spec.faults.conductanceSigma << ' '
         << spec.faults.adcOffset << ' ' << spec.faults.adcNoiseSigma
         << ' ' << spec.faults.seed << '\x1f';
+    // The base layout joins the fingerprint only when set: journals of
+    // pre-layout specs keep their fingerprints (and stay resumable).
+    if (spec.layout != "none")
+        oss << "layout" << '\x1f' << spec.layout << '\x1f';
     for (const Axis& axis : spec.axes) {
         oss << "axis" << '\x1f' << axis.field << '\x1f';
         for (const AxisValue& v : axis.values)

@@ -33,6 +33,7 @@
 #include "cimloop/common/parallel.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/dse/journal.hh"
+#include "cimloop/layout/layout.hh"
 #include "cimloop/obs/obs.hh"
 #include "cimloop/workload/networks.hh"
 
@@ -157,6 +158,14 @@ evaluatePoint(const SweepSpec& spec,
         engine::Arch arch =
             macros::macroByName(pr.point.macroName, pr.point.params);
         arch.faults = pr.point.faults;
+        if (pr.point.layoutName == "search") {
+            arch.layoutSearch = true;
+        } else if (pr.point.layoutName != "none") {
+            // A bad preset name or unreadable layout file is a point
+            // failure (the axis value names it), caught below.
+            arch.layout = layout::presetLayout(pr.point.layoutName,
+                                               arch.hierarchy);
+        }
         const workload::Network& net =
             networks.at(networkKey(pr.point));
         pr.engineTouched = true;
@@ -198,10 +207,11 @@ evaluatePoint(const SweepSpec& spec,
  * Serialization of everything that decides whether two points share
  * per-action tables: the resolved design (macro + every MacroParams
  * field), the fault model, and the network. Points that differ only in
- * mapper budget / seed / objective share tables. The cache economy in
- * SweepResult is computed from the set of these, which makes it a pure
- * function of the point stream — identical for resumed runs whose
- * process-local cache starts cold.
+ * mapper budget / seed / objective — or layout, which reshapes the
+ * latency model but never the per-action energies — share tables. The
+ * cache economy in SweepResult is computed from the set of these, which
+ * makes it a pure function of the point stream — identical for resumed
+ * runs whose process-local cache starts cold.
  */
 std::string
 designSignature(const SweepPoint& point)

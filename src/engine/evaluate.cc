@@ -18,6 +18,8 @@
 #include "cimloop/common/request_context.hh"
 #include "cimloop/common/util.hh"
 #include "cimloop/faults/faults.hh"
+#include "cimloop/layout/layout.hh"
+#include "cimloop/models/bankconflict.hh"
 #include "cimloop/obs/obs.hh"
 
 namespace cimloop::engine {
@@ -372,6 +374,18 @@ Evaluation
 evaluate(const Arch& arch, const PerActionTable& table,
          const mapping::Mapping& mapping)
 {
+    if (arch.layout.empty())
+        return evaluate(arch, table, mapping, nullptr);
+    layout::ResolvedLayout resolved =
+        layout::resolveLayout(arch.hierarchy, arch.layout);
+    return evaluate(arch, table, mapping, &resolved);
+}
+
+Evaluation
+evaluate(const Arch& arch, const PerActionTable& table,
+         const mapping::Mapping& mapping,
+         const layout::ResolvedLayout* layout)
+{
     Evaluation ev;
     mapping::NestResult nest =
         mapping::analyzeNest(arch.hierarchy, mapping, table.extLayer);
@@ -432,11 +446,31 @@ evaluate(const Arch& arch, const PerActionTable& table,
             est.areaUm2 * static_cast<double>(counts.totalInstances);
         ev.areaUm2 += ev.nodeAreaUm2[i];
 
+        // Physical layouts serialize bank-conflicting accesses: the node
+        // issues extra cycles to serve the same traffic, so its timing
+        // demand (not its energy) scales by the per-tensor slowdown.
+        double timed_actions = node_actions;
+        if (layout && layout->any && layout->nodeAny(i)) {
+            spec::PerTensor<double> slow = models::bankConflictSlowdowns(
+                *layout, arch.hierarchy, i, mapping);
+            timed_actions = 0.0;
+            for (TensorKind t : workload::kAllTensors) {
+                int ti = tensorIndex(t);
+                const mapping::TensorCounts& tc = counts.tensors[ti];
+                timed_actions +=
+                    (tc.reads + tc.fills + tc.actions) * slow[ti];
+            }
+            ev.bankConflictCycles +=
+                (timed_actions - node_actions) /
+                static_cast<double>(
+                    std::max<std::int64_t>(counts.usedInstances, 1));
+        }
+
         // Throughput: every component must keep pace; the step time is
         // set by the slowest (latency x actions per step per instance).
-        if (est.latencyNs > 0.0 && node_actions > 0.0) {
+        if (est.latencyNs > 0.0 && timed_actions > 0.0) {
             double per_step_per_instance =
-                node_actions /
+                timed_actions /
                 (static_cast<double>(nest.steps) *
                  static_cast<double>(std::max<std::int64_t>(
                      counts.usedInstances, 1)));
@@ -501,6 +535,7 @@ ShardOutcome
 runSearchShard(const Arch& arch, const PerActionTable& table,
                const mapping::Mapper& mapper, Objective objective,
                std::uint64_t seed, int shard, int budget,
+               const layout::ResolvedLayout* layout,
                const CancelToken* cancel)
 {
     ShardOutcome out;
@@ -517,7 +552,7 @@ runSearchShard(const Arch& arch, const PerActionTable& table,
             out.exhausted = true;
             break;
         }
-        Evaluation ev = evaluate(arch, table, *m);
+        Evaluation ev = evaluate(arch, table, *m, layout);
         if (!ev.valid) {
             ++out.invalid;
             continue;
@@ -551,35 +586,51 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
     const mapping::Mapper mapper(arch.hierarchy, table->extLayer,
                                  {.seed = seed});
 
+    // Layout candidates: the co-search's outer enumeration, the single
+    // fixed arch.layout, or the single empty "no layout" spec. The
+    // candidate order is fixed (part of the determinism contract) and
+    // every candidate is resolved once, up front.
+    std::vector<layout::LayoutSpec> candidates;
+    if (arch.layoutSearch)
+        candidates = layout::enumerateLayouts(arch.hierarchy);
+    if (candidates.empty())
+        candidates.push_back(arch.layout);
+    const bool layouts_active = arch.layoutSearch || !arch.layout.empty();
+    std::vector<layout::ResolvedLayout> resolved;
+    resolved.reserve(candidates.size());
+    for (const layout::LayoutSpec& c : candidates)
+        resolved.push_back(layout::resolveLayout(arch.hierarchy, c));
+    auto layout_of = [&](std::size_t l) -> const layout::ResolvedLayout* {
+        return resolved[l].any ? &resolved[l] : nullptr;
+    };
+
     SearchResult result;
     bool have_best = false;
     double best_value = 0.0;
+    std::size_t best_layout = 0;
 
-    // The greedy heuristic merges ahead of every shard: it wins ties.
-    {
-        mapping::Mapping greedy = mapper.greedy();
-        Evaluation ev = evaluate(arch, *table, greedy);
-        if (ev.valid) {
-            ++result.evaluated;
-            have_best = true;
-            best_value = objectiveValue(objective, ev);
-            result.best = std::move(ev);
-            result.bestMapping = std::move(greedy);
-        } else {
-            ++result.invalid;
-        }
-    }
-
+    const std::size_t num_layouts = candidates.size();
     const int shards = std::min(kSearchShards, std::max(num_mappings, 0));
-    std::vector<ShardOutcome> outcomes(shards);
-    parallelFor(threads, static_cast<std::size_t>(shards),
-                [&](std::size_t s) {
-                    int shard = static_cast<int>(s);
+
+    // One work unit per (layout, shard). Each shard re-draws the SAME
+    // Rng stream (seed, shard) for every layout candidate, so every
+    // candidate scores the identical mapping sample set and the winner
+    // is a joint optimum over layout x mapping — and, because the unit
+    // decomposition is scheduling-independent, results stay
+    // bit-identical for any thread count.
+    std::vector<ShardOutcome> outcomes(num_layouts *
+                                       static_cast<std::size_t>(shards));
+    parallelFor(threads, outcomes.size(),
+                [&](std::size_t u) {
+                    std::size_t l = u / static_cast<std::size_t>(shards);
+                    int shard = static_cast<int>(
+                        u % static_cast<std::size_t>(shards));
                     int budget = num_mappings / shards +
                                  (shard < num_mappings % shards ? 1 : 0);
-                    outcomes[s] = runSearchShard(arch, *table, mapper,
+                    outcomes[u] = runSearchShard(arch, *table, mapper,
                                                  objective, seed, shard,
-                                                 budget, cancel);
+                                                 budget, layout_of(l),
+                                                 cancel);
                 },
                 cancel);
 
@@ -591,19 +642,47 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
         cancel->throwIfCancelled("mapping search for layer '" + layer.name +
                                  "'");
 
-    // Deterministic merge: ascending shard order, strict improvement only,
-    // realizing the (value, shard, sample) tie-break.
-    for (ShardOutcome& out : outcomes) {
-        result.evaluated += out.evaluated;
-        result.invalid += out.invalid;
-        result.rejected += out.rejected;
-        result.exhausted += out.exhausted ? 1 : 0;
-        if (out.have && (!have_best || out.value < best_value)) {
-            have_best = true;
-            best_value = out.value;
-            result.best = std::move(out.eval);
-            result.bestMapping = std::move(out.best);
+    // Deterministic merge realizing the (value, layout, shard, sample)
+    // total order: layouts ascending; within a layout the greedy
+    // heuristic ahead of every shard (it wins ties), then shards
+    // ascending; strict improvement only.
+    const mapping::Mapping greedy = mapper.greedy();
+    for (std::size_t l = 0; l < num_layouts; ++l) {
+        Evaluation ev = evaluate(arch, *table, greedy, layout_of(l));
+        if (ev.valid) {
+            ++result.evaluated;
+            double value = objectiveValue(objective, ev);
+            if (!have_best || value < best_value) {
+                have_best = true;
+                best_value = value;
+                best_layout = l;
+                result.best = std::move(ev);
+                result.bestMapping = greedy;
+            }
+        } else {
+            ++result.invalid;
         }
+        for (int s = 0; s < shards; ++s) {
+            ShardOutcome& out =
+                outcomes[l * static_cast<std::size_t>(shards) +
+                         static_cast<std::size_t>(s)];
+            result.evaluated += out.evaluated;
+            result.invalid += out.invalid;
+            result.rejected += out.rejected;
+            result.exhausted += out.exhausted ? 1 : 0;
+            if (out.have && (!have_best || out.value < best_value)) {
+                have_best = true;
+                best_value = out.value;
+                best_layout = l;
+                result.best = std::move(out.eval);
+                result.bestMapping = std::move(out.best);
+            }
+        }
+    }
+    if (layouts_active) {
+        result.layoutsEvaluated = static_cast<int>(num_layouts);
+        if (have_best)
+            result.bestLayout = candidates[best_layout];
     }
 
     // Counted once, post-merge, so the totals are scheduling-invariant.
@@ -616,13 +695,26 @@ searchMappings(const Arch& arch, const workload::Layer& layer,
     c_invalid.add(static_cast<std::uint64_t>(result.invalid));
     c_rej.add(static_cast<std::uint64_t>(result.rejected));
     c_exh.add(static_cast<std::uint64_t>(result.exhausted));
+    // The layout counters register lazily, like engine.cancelled_layers:
+    // layout-free runs keep their golden-pinned counter set byte-for-byte.
+    if (layouts_active) {
+        static obs::Counter& c_layouts =
+            obs::counter("mapping.layouts_evaluated");
+        static obs::Counter& c_conflict =
+            obs::counter("engine.bank_conflict_cycles");
+        c_layouts.add(static_cast<std::uint64_t>(num_layouts));
+        c_conflict.add(static_cast<std::uint64_t>(std::llround(
+            std::max(result.best.bankConflictCycles, 0.0))));
+    }
 
     if (result.exhausted > 0) {
         warn("mapping search for layer '", layer.name, "' on arch '",
              arch.name, "' stopped early in ", result.exhausted, " of ",
-             shards, " shards: drew ", result.evaluated + result.invalid,
-             " of ", num_mappings + 1, " budgeted samples (",
-             result.rejected, " rejected by the mapper)");
+             static_cast<int>(num_layouts) * shards, " shards: drew ",
+             result.evaluated + result.invalid, " of ",
+             static_cast<int>(num_layouts) * (num_mappings + 1),
+             " budgeted samples (", result.rejected,
+             " rejected by the mapper)");
     }
     if (!have_best) {
         CIM_FATAL("no valid mapping found for layer '", layer.name,

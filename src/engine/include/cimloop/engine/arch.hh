@@ -10,6 +10,7 @@
 
 #include "cimloop/dist/encoding.hh"
 #include "cimloop/faults/faults.hh"
+#include "cimloop/layout/layout.hh"
 #include "cimloop/spec/hierarchy.hh"
 #include "cimloop/workload/layer.hh"
 
@@ -63,6 +64,25 @@ struct Arch
      * ideal codes (faults live in the analog array, not the buffers).
      */
     faults::FaultModel faults;
+
+    /**
+     * Physical data layout for storage nodes (default: none). When set,
+     * evaluate() folds the analytical bank-conflict slowdown into each
+     * layer's latency; when empty, buffers stay idealized and results
+     * are byte-identical to a layout-unaware build. Layouts change the
+     * nest-time model only — per-action energies (precompute) are
+     * layout-invariant, so the per-action cache is shared across
+     * layouts.
+     */
+    layout::LayoutSpec layout;
+
+    /**
+     * Co-search layouts with mappings: searchMappings() evaluates every
+     * enumerateLayouts() candidate against the same sharded sample set
+     * and returns the jointly best (layout, mapping). Overrides
+     * `layout` when set.
+     */
+    bool layoutSearch = false;
 
     /** Effective operand precisions for a layer (rep overrides layer). */
     int inputBitsFor(const workload::Layer& layer) const;

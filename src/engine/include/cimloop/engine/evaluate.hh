@@ -136,6 +136,13 @@ struct Evaluation
     std::int64_t steps = 1;   //!< temporal steps
     double utilization = 1.0; //!< innermost-mesh utilization
 
+    /**
+     * Extra serialized accesses charged by the bank-conflict model,
+     * summed over storage nodes (per instance). Exactly 0 when no
+     * layout is in effect or the layout is conflict-free.
+     */
+    double bankConflictCycles = 0.0;
+
     /** Per-node energy breakdown, parallel to hierarchy nodes. */
     std::vector<double> nodeEnergyPj;
 
@@ -155,9 +162,23 @@ struct Evaluation
     double topsPerMm2() const;
 };
 
-/** Evaluates one mapping using a precomputed table (Algorithm 1, 8-10). */
+/**
+ * Evaluates one mapping using a precomputed table (Algorithm 1, 8-10).
+ * When arch.layout is non-empty it is resolved against the hierarchy
+ * and the bank-conflict slowdown folds into the latency; per-action
+ * energies never depend on the layout.
+ */
 Evaluation evaluate(const Arch& arch, const PerActionTable& table,
                     const mapping::Mapping& mapping);
+
+/**
+ * Same, with an already-resolved layout (nullptr = none). The search
+ * loop resolves each layout candidate once and reuses it across every
+ * sample; the three-argument overload resolves arch.layout per call.
+ */
+Evaluation evaluate(const Arch& arch, const PerActionTable& table,
+                    const mapping::Mapping& mapping,
+                    const layout::ResolvedLayout* layout);
 
 /** Search objective. */
 enum class Objective { Energy, Edp, Delay };
@@ -171,6 +192,15 @@ struct SearchResult
     int invalid = 0;   //!< samples evaluated but structurally invalid
     int rejected = 0;  //!< mapper samples that failed validation
     int exhausted = 0; //!< shards that gave up before spending their budget
+
+    /**
+     * Layout of the winning evaluation: the fixed arch.layout, the
+     * winning co-search candidate, or empty when layouts are off.
+     */
+    layout::LayoutSpec bestLayout;
+
+    /** Layout candidates considered (1 fixed, N co-search, 0 off). */
+    int layoutsEvaluated = 0;
 };
 
 /**
@@ -186,6 +216,13 @@ struct SearchResult
  * decomposition and the merge order are independent of scheduling, the
  * returned best mapping, objective value, and sample counters are
  * bit-identical for any thread count, including 1.
+ *
+ * With arch.layoutSearch, the layout candidate set becomes an outer
+ * enumeration over the same shard streams: every candidate scores the
+ * identical sample set (each (layout, shard) unit re-draws
+ * Rng::forStream(seed, shard)), and bests merge under (value, layout,
+ * shard, sample) — still bit-identical at any thread count. A fixed
+ * arch.layout is the one-candidate special case.
  *
  * With a @p cancel token, shards poll it between samples. A search is
  * all-or-nothing: a token that fires mid-search abandons the whole

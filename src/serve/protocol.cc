@@ -57,6 +57,8 @@ const FieldSpec kEvaluateFields[] = {
     {"fault_stuck_rate", "--fault-stuck-rate", FieldSpec::Number},
     {"fault_sigma", "--fault-sigma", FieldSpec::Number},
     {"mapping", "--mapping", FieldSpec::String},
+    {"layout", "--layout", FieldSpec::String},
+    {"layout_search", "--layout-search", FieldSpec::Flag},
     {"keep_going", "--keep-going", FieldSpec::Flag},
     {"report", "--report", FieldSpec::Flag},
     {"csv", "--csv", FieldSpec::String},

@@ -434,6 +434,41 @@ TEST(Run, KeepGoingReportsFailedLayersAndExitsZero)
     EXPECT_NE(out2.str().find("total energy"), std::string::npos);
 }
 
+TEST(Parse, LayoutFlags)
+{
+    CliOptions fixed = parse({"--macro", "base", "--network", "mvm",
+                              "--layout", "/tmp/l.yaml"});
+    EXPECT_EQ(fixed.layoutPath, "/tmp/l.yaml");
+    EXPECT_FALSE(fixed.layoutSearch);
+
+    CliOptions eq = parse({"--macro", "base", "--network", "mvm",
+                           "--layout=/tmp/l.yaml"});
+    EXPECT_EQ(eq.layoutPath, "/tmp/l.yaml");
+
+    CliOptions searched = parse(
+        {"--macro", "base", "--network", "mvm", "--layout-search"});
+    EXPECT_TRUE(searched.layoutSearch);
+    EXPECT_TRUE(searched.layoutPath.empty());
+
+    // Fixed layout and co-search are mutually exclusive; layouts make
+    // no sense for --refsim; a fixed mapping cannot be co-searched; a
+    // sweep explores layouts through its own axis instead.
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--layout", "/tmp/l.yaml", "--layout-search"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--refsim", "--network", "mvm",
+                        "--layout-search"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--macro", "base", "--network", "mvm",
+                        "--mapping", "/tmp/m.yaml", "--layout-search"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--sweep", "/tmp/s.yaml", "--layout-search"}),
+                 FatalError);
+    EXPECT_THROW(parse({"--sweep", "/tmp/s.yaml", "--layout",
+                        "/tmp/l.yaml"}),
+                 FatalError);
+}
+
 TEST(Parse, ObservabilityFlags)
 {
     // Bare --metrics: summary table on stdout, no file.

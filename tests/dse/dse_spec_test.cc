@@ -189,6 +189,60 @@ TEST(DseSpec, FingerprintTracksEvaluationAffectingFields)
     EXPECT_NE(specFingerprint(e), base);
 }
 
+TEST(DseSpec, LayoutFieldParsesAndValidates)
+{
+    SweepSpec spec = specFromText(
+        "network: mvm\n"
+        "layout: search\n"
+        "axes:\n"
+        "  - field: dac_bits\n"
+        "    values: [1, 2]\n");
+    EXPECT_EQ(spec.layout, "search");
+    EXPECT_EQ(materializePoint(spec, 0).layoutName, "search");
+
+    expectFatalContaining(
+        [] { specFromText("network: mvm\nlayout: banked3\n"); },
+        "sweep.layout");
+}
+
+TEST(DseSpec, LayoutAxisMaterializesAndValidates)
+{
+    SweepSpec spec = specFromText(
+        "network: mvm\n"
+        "axes:\n"
+        "  - field: layout\n"
+        "    values: [default, banked4, search]\n");
+    EXPECT_EQ(materializePoint(spec, 0).layoutName, "default");
+    EXPECT_EQ(materializePoint(spec, 1).layoutName, "banked4");
+    EXPECT_EQ(materializePoint(spec, 2).layoutName, "search");
+
+    expectFatalContaining(
+        [] {
+            specFromText("network: mvm\n"
+                         "axes:\n"
+                         "  - field: layout\n"
+                         "    values: [default, banked3]\n");
+        },
+        "sweep.axes[0].values[1]");
+}
+
+TEST(DseSpec, FingerprintIgnoresDefaultLayoutOnly)
+{
+    // Journals of pre-layout specs must keep their fingerprints: the
+    // default "none" adds nothing, any explicit layout does.
+    SweepSpec a;
+    a.network = "mvm";
+    a.addAxis("dac_bits", std::vector<double>{1, 2});
+    const std::string base = specFingerprint(a);
+    SweepSpec b = a;
+    b.layout = "none";
+    EXPECT_EQ(specFingerprint(b), base);
+    b.layout = "search";
+    EXPECT_NE(specFingerprint(b), base);
+    b.layout = "banked4";
+    EXPECT_NE(specFingerprint(b), base);
+}
+
 TEST(DseSpec, UnknownTopLevelKeyFatalsWithKeyPath)
 {
     expectFatalContaining(

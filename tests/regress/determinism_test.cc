@@ -50,12 +50,39 @@ sweepSpecPath()
     return path;
 }
 
+/** Writes the fixed layout spec the engine_layout scenario pins. */
+std::string
+layoutSpecPath()
+{
+    static const std::string path = [] {
+        const std::string p = "/tmp/cimloop_det_layout.yaml";
+        std::ofstream out(p);
+        out << "layout:\n"
+               "  name: banked4\n"
+               "  nodes:\n"
+               "    - node: buffer\n"
+               "      tensors:\n"
+               "        - tensor: Inputs\n"
+               "          banks: 4\n"
+               "        - tensor: Outputs\n"
+               "          banks: 4\n";
+        return p;
+    }();
+    return path;
+}
+
 std::vector<Scenario>
 scenarios()
 {
     return {
         {"engine",
          {"--macro", "base", "--network", "mvm", "--mappings", "24"}},
+        {"engine_layout",
+         {"--macro", "base", "--network", "mvm", "--mappings", "24",
+          "--layout", layoutSpecPath()}},
+        {"engine_cosearch",
+         {"--macro", "base", "--network", "mvm", "--mappings", "24",
+          "--objective", "delay", "--layout-search"}},
         {"engine_faults",
          {"--macro", "base", "--network", "mvm", "--mappings", "24",
           "--fault-stuck-rate", "0.02", "--fault-sigma", "0.1"}},

@@ -174,6 +174,22 @@ TEST(GoldenMetrics, EngineResnetFaults)
                   run);
 }
 
+TEST(GoldenMetrics, EngineMvmCoSearch)
+{
+    // Layout x mapping co-search: pins the candidate count, the
+    // bank-conflict cycle total, and that the search counters scale by
+    // the layout enumeration exactly.
+    std::vector<std::string> args = {
+        "--macro",     "base",  "--network", "mvm",
+        "--mappings",  "40",    "--seed",    "1",
+        "--threads",   "2",     "--objective", "delay",
+        "--layout-search"};
+    CliRun run = runCliWithMetrics(args, "golden_engine_cosearch");
+    checkScenario("engine_mvm_cosearch",
+                  {{"total_energy_uj", parseTotalEnergyUj(run.out)}},
+                  run);
+}
+
 TEST(GoldenMetrics, RefsimMvm)
 {
     std::vector<std::string> args = {"--refsim", "--network", "mvm",
@@ -205,8 +221,8 @@ TEST(GoldenMetrics, GoldenFilesAreTracked)
 {
     // The harness is only a regression oracle if the goldens exist.
     for (const char* name :
-         {"engine_mvm_base", "engine_resnet_faults", "refsim_mvm",
-          "refsim_mvm_faults"}) {
+         {"engine_mvm_base", "engine_resnet_faults",
+          "engine_mvm_cosearch", "refsim_mvm", "refsim_mvm_faults"}) {
         if (g_update_golden)
             continue;
         std::ifstream in(goldenPath(name));

@@ -236,6 +236,56 @@ TEST(ServeExec, EvaluateMatchesOneShotCliByteForByte)
     }
 }
 
+TEST(ServeExec, LayoutEvaluateMatchesOneShotCliByteForByte)
+{
+    // The layout / layout_search request fields ride the same
+    // field-to-argv translation as every other flag, so a co-search
+    // evaluate through the daemon is byte-identical to the one-shot CLI.
+    Harness h;
+    std::string req =
+        "{\"id\":1,\"kind\":\"evaluate\",\"macro\":\"base\","
+        "\"network\":\"mvm\",\"mappings\":12,\"seed\":5,"
+        "\"objective\":\"delay\",\"layout_search\":true,\"threads\":2}";
+    JsonValue doc = parseResponse(h.call(req));
+    auto [rc, expected] =
+        oneShot({"--macro", "base", "--network", "mvm", "--mappings",
+                 "12", "--seed", "5", "--objective", "delay",
+                 "--layout-search", "--threads", "2"});
+    ASSERT_EQ(rc, 0);
+    ASSERT_TRUE(okField(doc));
+    const JsonValue* out = doc.get("stdout");
+    ASSERT_TRUE(out && out->isString());
+    EXPECT_EQ(out->text, expected);
+
+    // A fixed layout file travels through the "layout" string field.
+    const std::string layout_path =
+        ::testing::TempDir() + "/serve_layout.yaml";
+    {
+        std::ofstream spec(layout_path);
+        spec << "layout:\n"
+                "  name: banked4\n"
+                "  nodes:\n"
+                "    - node: buffer\n"
+                "      tensors:\n"
+                "        - tensor: Inputs\n"
+                "          banks: 4\n";
+    }
+    JsonValue fixed = parseResponse(
+        h.call("{\"id\":2,\"kind\":\"evaluate\",\"macro\":\"base\","
+               "\"network\":\"mvm\",\"mappings\":12,\"seed\":5,"
+               "\"layout\":\"" +
+               layout_path + "\",\"threads\":2}"));
+    auto [rc2, expected2] =
+        oneShot({"--macro", "base", "--network", "mvm", "--mappings",
+                 "12", "--seed", "5", "--layout", layout_path,
+                 "--threads", "2"});
+    ASSERT_EQ(rc2, 0);
+    ASSERT_TRUE(okField(fixed));
+    const JsonValue* out2 = fixed.get("stdout");
+    ASSERT_TRUE(out2 && out2->isString());
+    EXPECT_EQ(out2->text, expected2);
+}
+
 TEST(ServeExec, SweepMatchesOneShotCliByteForByte)
 {
     const std::string spec_path =
